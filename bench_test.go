@@ -1,0 +1,139 @@
+// Benchmarks regenerating the paper's evaluation: one benchmark per
+// figure (the paper's Tables 1 and 2 define variables and execution
+// modes, not measurements; they are implemented in internal/core and
+// covered by its unit tests).
+//
+// Each benchmark runs the full experiment at the paper's virtual
+// durations and parameters, compressed onto wall time by the REPRO_SCALE
+// factor (default 600: one virtual minute per 100 ms). Set
+// REPRO_DURATION_FACTOR below 1 to shrink the runs. Reports — the series
+// the paper plots plus PASS/FAIL shape claims — are written to the
+// benchmark log.
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// benchOpts reads the experiment knobs from the environment.
+func benchOpts() experiments.RunOpts {
+	opts := experiments.RunOpts{Scale: 600, DurationFactor: 1}
+	if v, err := strconv.ParseFloat(os.Getenv("REPRO_SCALE"), 64); err == nil && v > 0 {
+		opts.Scale = v
+	}
+	if v, err := strconv.ParseFloat(os.Getenv("REPRO_DURATION_FACTOR"), 64); err == nil && v > 0 {
+		opts.DurationFactor = v
+	}
+	return opts
+}
+
+func benchFigure(b *testing.B, fn func(experiments.RunOpts) (*experiments.Report, error)) {
+	b.Helper()
+	opts := benchOpts()
+	for i := 0; i < b.N; i++ {
+		rep, err := fn(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Print to stdout: the testing package truncates long
+			// benchmark logs, and the full report (series table plus
+			// PASS/FAIL claims) is the record EXPERIMENTS.md points at.
+			fmt.Printf("\n%s\n", rep.String())
+			if !rep.Passed() {
+				b.Errorf("%s: one or more shape claims failed; see report above", rep.ID)
+			}
+		}
+	}
+}
+
+// BenchmarkFig05SpillPercentThroughput regenerates Figure 5: run-time
+// throughput when k% of the state is pushed per spill, vs All-Mem.
+func BenchmarkFig05SpillPercentThroughput(b *testing.B) {
+	benchFigure(b, experiments.Fig05)
+}
+
+// BenchmarkFig06SpillPercentMemory regenerates Figure 6: memory usage
+// under the k% spill configurations (bounded memory, fewer spills for
+// larger k).
+func BenchmarkFig06SpillPercentMemory(b *testing.B) {
+	benchFigure(b, experiments.Fig06)
+}
+
+// BenchmarkFig07ProductivityPolicy regenerates Figure 7 and the §3.2
+// cleanup comparison: push-less-productive vs push-more-productive.
+func BenchmarkFig07ProductivityPolicy(b *testing.B) {
+	benchFigure(b, experiments.Fig07)
+}
+
+// BenchmarkFig09RelocationThreshold regenerates Figure 9: θ_r sweep under
+// alternating 10x input skew.
+func BenchmarkFig09RelocationThreshold(b *testing.B) {
+	benchFigure(b, experiments.Fig09)
+}
+
+// BenchmarkFig10RelocationMemoryBalance regenerates Figure 10: per-machine
+// memory usage with vs without relocation.
+func BenchmarkFig10RelocationMemoryBalance(b *testing.B) {
+	benchFigure(b, experiments.Fig10)
+}
+
+// BenchmarkFig11RelocationVsSpill regenerates Figure 11: with-relocation
+// vs no-relocation under a 60/20/20 initial distribution.
+func BenchmarkFig11RelocationVsSpill(b *testing.B) {
+	benchFigure(b, experiments.Fig11)
+}
+
+// BenchmarkFig12LazyDisk regenerates Figure 12 and the §5.2 cleanup
+// comparison: lazy-disk vs no-relocation in a memory-constrained cluster.
+func BenchmarkFig12LazyDisk(b *testing.B) {
+	benchFigure(b, experiments.Fig12)
+}
+
+// BenchmarkFig13ActiveVsLazy1 regenerates Figure 13: active-disk vs
+// lazy-disk with machine-aligned join-rate skew.
+func BenchmarkFig13ActiveVsLazy1(b *testing.B) {
+	benchFigure(b, experiments.Fig13)
+}
+
+// BenchmarkFig14ActiveVsLazy2 regenerates Figure 14: the same comparison
+// with differentiated tuple ranges widening the productivity gap.
+func BenchmarkFig14ActiveVsLazy2(b *testing.B) {
+	benchFigure(b, experiments.Fig14)
+}
+
+// BenchmarkAblationSpillPolicies extends Figure 7 to all five spill
+// victim policies.
+func BenchmarkAblationSpillPolicies(b *testing.B) {
+	benchFigure(b, experiments.AblationPolicies)
+}
+
+// BenchmarkAblationTauM sweeps the minimal relocation gap τ_m.
+func BenchmarkAblationTauM(b *testing.B) {
+	benchFigure(b, experiments.AblationTauM)
+}
+
+// BenchmarkAblationPartitionCount sweeps the partition count, showing why
+// the paper over-partitions relative to the machine count.
+func BenchmarkAblationPartitionCount(b *testing.B) {
+	benchFigure(b, experiments.AblationPartitions)
+}
+
+// BenchmarkAblationProductivityShift compares the paper's suggested
+// amortized (EWMA) productivity model against the lifetime metric under a
+// mid-run hot-set shift.
+func BenchmarkAblationProductivityShift(b *testing.B) {
+	benchFigure(b, experiments.AblationShift)
+}
+
+// BenchmarkAblationWindow demonstrates the paper's infinite-streams-with-
+// finite-windows mode: sliding-window state purging caps memory where the
+// unbounded run grows monotonically.
+func BenchmarkAblationWindow(b *testing.B) {
+	benchFigure(b, experiments.AblationWindow)
+}

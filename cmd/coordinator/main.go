@@ -1,0 +1,138 @@
+// Command coordinator runs the global coordinator (GC) as its own OS
+// process: it collects statistics from the engines over TCP, decides
+// relocations and forced spills under the chosen strategy, and
+// orchestrates the 8-step relocation protocol. See cmd/engine for a full
+// localhost cluster example.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/monitor"
+	"repro/internal/nodeflag"
+	"repro/internal/partition"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7000", "listen address")
+		genAddr    = flag.String("gen", "127.0.0.1:7002", "generator (split host) address")
+		engines    = flag.String("engines", "", "engines as name=addr,...")
+		partitions = flag.Int("partitions", 120, "number of partition groups")
+		weights    = flag.String("weights", "", "initial distribution weights, e.g. 3,1,1")
+		strategy   = flag.String("strategy", "lazy", "adaptation strategy: none|lazy|active")
+		theta      = flag.Float64("theta", 0.8, "relocation threshold θ_r")
+		tauM       = flag.Duration("tau", 45*time.Second, "minimal relocation gap τ_m (virtual)")
+		lambda     = flag.Float64("lambda", 2, "active-disk productivity ratio λ")
+		forced     = flag.Float64("forced-fraction", 0.3, "active-disk forced spill fraction")
+		forcedCap  = flag.Int64("forced-cap", 0, "active-disk cumulative forced spill cap in bytes (0 = uncapped)")
+		highWater  = flag.Int64("high-water", 0, "active-disk memory pressure gate in bytes (0 = always)")
+		lbEvery    = flag.Duration("lb-interval", 10*time.Second, "strategy evaluation period (virtual)")
+		scale      = flag.Float64("scale", 1, "virtual time compression factor")
+		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
+	)
+	flag.Parse()
+
+	engineNames, err := nodeflag.EngineNames(*engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir, err := nodeflag.ParseDirectory(*engines)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dir[cluster.CoordinatorNode] = *listen
+	dir[cluster.GeneratorNode] = *genAddr
+
+	assign := partition.UniformAssign(engineNames)
+	if w, err := nodeflag.ParseWeights(*weights, len(engineNames)); err != nil {
+		log.Fatal(err)
+	} else if w != nil {
+		assign, err = partition.WeightedAssign(engineNames, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	masterMap, err := partition.NewMap(*partitions, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var strat core.Strategy
+	switch *strategy {
+	case "none":
+		strat = core.NoAdapt{}
+	case "lazy":
+		strat = core.NewLazyDisk(core.RelocationConfig{Threshold: *theta, MinGap: *tauM})
+	case "active":
+		strat = core.NewActiveDisk(core.ActiveDiskConfig{
+			Relocation:     core.RelocationConfig{Threshold: *theta, MinGap: *tauM},
+			Lambda:         *lambda,
+			ForcedFraction: *forced,
+			MaxForcedBytes: *forcedCap,
+			MemHighWater:   *highWater,
+		})
+	default:
+		log.Fatalf("unknown strategy %q", *strategy)
+	}
+
+	net := transport.NewTCP(dir)
+	defer net.Close()
+	gc, err := coordinator.New(coordinator.Config{
+		Node:       cluster.CoordinatorNode,
+		SplitHost:  cluster.GeneratorNode,
+		Engines:    engineNames,
+		Strategy:   strat,
+		Map:        masterMap,
+		LBInterval: *lbEvery,
+	}, vclock.NewScaled(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := gc.Attach(net); err != nil {
+		log.Fatal(err)
+	}
+	if err := gc.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if *monAddr != "" {
+		mon, err := monitor.Start(*monAddr, func() monitor.Snapshot {
+			snap := monitor.Snapshot{
+				Kind:         "coordinator",
+				Relocations:  gc.Relocations(),
+				ForcedSpills: gc.ForcedSpills(),
+			}
+			for _, ev := range gc.Events().All() {
+				snap.Events = append(snap.Events, monitor.EventJSON{
+					VirtualTime: ev.T.String(), Node: string(ev.Node), Kind: ev.Kind, Detail: ev.Detail,
+				})
+			}
+			return snap
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		log.Printf("coordinator monitoring on http://%s/stats", mon.Addr())
+	}
+	log.Printf("coordinator listening on %s, strategy %s, %d engines", *listen, strat.Name(), len(engineNames))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	gc.Stop()
+	log.Printf("coordinator: %d relocations, %d forced spills", gc.Relocations(), gc.ForcedSpills())
+	for _, e := range gc.Events().All() {
+		log.Printf("  %s %s %s: %s", e.T, e.Kind, e.Node, e.Detail)
+	}
+}

@@ -1,0 +1,164 @@
+// Command engine runs one query engine (QE) of the distributed system as
+// its own OS process, communicating over TCP — the multi-process
+// equivalent of the paper's per-machine query processors.
+//
+// A minimal three-node cluster on localhost:
+//
+//	appserver   -listen 127.0.0.1:7001 &
+//	coordinator -listen 127.0.0.1:7000 -gen 127.0.0.1:7002 \
+//	            -engines m1=127.0.0.1:7101,m2=127.0.0.1:7102 -strategy lazy &
+//	engine -node m1 -listen 127.0.0.1:7101 -gc 127.0.0.1:7000 -app 127.0.0.1:7001 \
+//	       -peers m2=127.0.0.1:7102 &
+//	engine -node m2 -listen 127.0.0.1:7102 -gc 127.0.0.1:7000 -app 127.0.0.1:7001 \
+//	       -peers m1=127.0.0.1:7101 &
+//	generator -listen 127.0.0.1:7002 -gc 127.0.0.1:7000 -app 127.0.0.1:7001 \
+//	          -engines m1=127.0.0.1:7101,m2=127.0.0.1:7102 -duration 10m
+//
+// The engine runs until interrupted.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/monitor"
+	"repro/internal/nodeflag"
+	"repro/internal/partition"
+	"repro/internal/spill"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+func main() {
+	var (
+		node       = flag.String("node", "m1", "this engine's node name")
+		listen     = flag.String("listen", "127.0.0.1:7101", "listen address")
+		gcAddr     = flag.String("gc", "127.0.0.1:7000", "coordinator address")
+		appAddr    = flag.String("app", "127.0.0.1:7001", "application server address")
+		genAddr    = flag.String("gen", "127.0.0.1:7002", "generator (split host) address")
+		peers      = flag.String("peers", "", "other engines as name=addr,... (relocation targets)")
+		inputs     = flag.Int("inputs", 3, "number of join inputs")
+		partitions = flag.Int("partitions", 120, "number of partition groups")
+		threshold  = flag.Int64("spill-threshold", 0, "local spill threshold in bytes (0 disables local spill)")
+		fraction   = flag.Float64("spill-fraction", 0.3, "k%: share of state pushed per spill")
+		policyName = flag.String("policy", "less-productive", "spill policy: less-productive|more-productive|largest|smallest|random")
+		storeDir   = flag.String("store", "", "segment store directory (default in-memory)")
+		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: restored at startup, written on shutdown")
+		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
+		scale      = flag.Float64("scale", 1, "virtual time compression factor (must match the generator's)")
+	)
+	flag.Parse()
+
+	dir := map[partition.NodeID]string{
+		partition.NodeID(*node): *listen,
+		cluster.CoordinatorNode: *gcAddr,
+		cluster.AppServerNode:   *appAddr,
+		cluster.GeneratorNode:   *genAddr, // drain acks flow back to the split host
+	}
+	peerDir, err := nodeflag.ParseDirectory(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for name, addr := range peerDir {
+		dir[name] = addr
+	}
+
+	var policy core.Policy
+	switch *policyName {
+	case "less-productive":
+		policy = core.LessProductivePolicy{}
+	case "more-productive":
+		policy = core.MoreProductivePolicy{}
+	case "largest":
+		policy = core.LargestPolicy{}
+	case "smallest":
+		policy = core.SmallestPolicy{}
+	case "random":
+		policy = core.NewRandomPolicy(1)
+	default:
+		log.Fatalf("unknown policy %q", *policyName)
+	}
+
+	var store spill.Store
+	if *storeDir != "" {
+		fs, err := spill.NewFileStore(*storeDir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store = fs
+	}
+
+	net := transport.NewTCP(dir)
+	defer net.Close()
+	e := engine.New(engine.Config{
+		Node:        partition.NodeID(*node),
+		Coordinator: cluster.CoordinatorNode,
+		AppServer:   cluster.AppServerNode,
+		Inputs:      *inputs,
+		Partitions:  *partitions,
+		Spill:       core.SpillConfig{MemThreshold: *threshold, Fraction: *fraction},
+		LocalSpill:  *threshold > 0,
+		Policy:      policy,
+		Store:       store,
+	}, vclock.NewScaled(*scale))
+	if err := e.Attach(net); err != nil {
+		log.Fatal(err)
+	}
+	if *ckptDir != "" {
+		n, err := checkpoint.Load(e.Op(), *ckptDir)
+		if err != nil {
+			log.Fatalf("restore checkpoint: %v", err)
+		}
+		if n > 0 {
+			log.Printf("engine %s: restored %d partition groups from %s", *node, n, *ckptDir)
+		}
+	}
+	if err := e.Start(); err != nil {
+		log.Fatal(err)
+	}
+	if *monAddr != "" {
+		mon, err := monitor.Start(*monAddr, func() monitor.Snapshot {
+			r := e.StatsSnapshot()
+			return monitor.Snapshot{
+				Node:         *node,
+				Kind:         "engine",
+				MemBytes:     r.MemBytes,
+				Groups:       r.Groups,
+				Output:       r.Output,
+				Spills:       r.SpillCount,
+				SpilledBytes: r.SpilledBytes,
+				Segments:     r.DiskSegments,
+			}
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		log.Printf("engine %s monitoring on http://%s/stats", *node, mon.Addr())
+	}
+	log.Printf("engine %s listening on %s (gc=%s app=%s)", *node, *listen, *gcAddr, *appAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	e.Stop()
+	time.Sleep(50 * time.Millisecond) // let the handler drain before reading state
+	if *ckptDir != "" {
+		n, err := checkpoint.Save(e.Op(), *ckptDir)
+		if err != nil {
+			log.Printf("engine %s: checkpoint failed: %v", *node, err)
+		} else {
+			log.Printf("engine %s: checkpointed %d partition groups to %s", *node, n, *ckptDir)
+		}
+	}
+	log.Printf("engine %s: %d results, %d spills, %d bytes spilled",
+		*node, e.Op().Output(), e.SpillManager().Count(), e.SpillManager().SpilledBytes())
+}

@@ -1,0 +1,89 @@
+// Command runexp runs the paper's experiments and prints their reports:
+// the series each figure plots plus PASS/FAIL shape claims.
+//
+// Usage:
+//
+//	runexp -fig all                 # every figure, paper durations
+//	runexp -fig 7 -factor 0.2       # one figure at 20% duration
+//	runexp -fig 12 -scale 1200      # faster virtual clock
+//	runexp -fig 5 -store /tmp/spill # file-backed segment stores
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+var figures = []struct {
+	id  string
+	run func(experiments.RunOpts) (*experiments.Report, error)
+}{
+	{"5", experiments.Fig05},
+	{"6", experiments.Fig06},
+	{"7", experiments.Fig07},
+	{"9", experiments.Fig09},
+	{"10", experiments.Fig10},
+	{"11", experiments.Fig11},
+	{"12", experiments.Fig12},
+	{"13", experiments.Fig13},
+	{"14", experiments.Fig14},
+	{"ablation-policies", experiments.AblationPolicies},
+	{"ablation-tau", experiments.AblationTauM},
+	{"ablation-partitions", experiments.AblationPartitions},
+	{"ablation-shift", experiments.AblationShift},
+	{"ablation-window", experiments.AblationWindow},
+}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to reproduce (5,6,7,9,10,11,12,13,14, ablation-policies, ablation-tau, ablation-partitions, or all)")
+		scale  = flag.Float64("scale", 600, "virtual time compression factor")
+		factor = flag.Float64("factor", 1, "duration factor (1 = paper durations)")
+		store  = flag.String("store", "", "directory for file-backed spill stores (default in-memory)")
+	)
+	flag.Parse()
+
+	opts := experiments.RunOpts{Scale: *scale, DurationFactor: *factor, StoreDir: *store}
+	want := strings.Split(*fig, ",")
+	all := *fig == "all"
+
+	selected := 0
+	failed := 0
+	for _, f := range figures {
+		if !all && !contains(want, f.id) {
+			continue
+		}
+		selected++
+		rep, err := f.run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s: %v\n", f.id, err)
+			failed++
+			continue
+		}
+		fmt.Println(rep.String())
+		if !rep.Passed() {
+			failed++
+		}
+	}
+	if selected == 0 {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d figure(s) failed their shape claims\n", failed)
+		os.Exit(1)
+	}
+}
+
+func contains(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,30 @@
+package distq
+
+import (
+	"repro/internal/agg"
+	"repro/internal/partition"
+)
+
+// Aggregate is a partitioned group-by aggregate operator (min/max/sum/
+// count), the downstream operator of the paper's Query 1 (GROUP BY
+// brokerName, min(price)). Its partial aggregates are decomposable, so
+// it composes with the spill adaptation: extracted partials merge back
+// exactly.
+type Aggregate = agg.Operator
+
+// AggKind selects the aggregate function.
+type AggKind = agg.Kind
+
+// Aggregate functions.
+const (
+	AggMin   = agg.Min
+	AggMax   = agg.Max
+	AggSum   = agg.Sum
+	AggCount = agg.Count
+)
+
+// NewAggregate returns a group-by aggregate over the given number of
+// partition groups.
+func NewAggregate(kind AggKind, partitions int) *Aggregate {
+	return agg.New(kind, partition.NewFunc(partitions))
+}

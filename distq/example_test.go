@@ -1,0 +1,73 @@
+package distq_test
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/distq"
+)
+
+// ExampleNewCluster runs a two-way join on two emulated engines and
+// prints the matches after draining.
+func ExampleNewCluster() {
+	var (
+		mu      sync.Mutex
+		matches []string
+	)
+	c, err := distq.NewCluster(distq.Options{
+		Engines: []distq.NodeID{"m1", "m2"},
+		Inputs:  2,
+		OnResult: func(phase distq.Phase, r distq.Result) {
+			mu.Lock()
+			matches = append(matches, fmt.Sprintf("key=%d seqs=%v", r.Key, r.Seqs))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	c.Ingest(0, 7, nil) // stream 0, key 7
+	c.Ingest(1, 7, nil) // stream 1, key 7: completes a match
+	c.Ingest(1, 9, nil) // unmatched
+	if err := c.Drain(); err != nil {
+		log.Fatal(err)
+	}
+
+	mu.Lock()
+	sort.Strings(matches)
+	for _, m := range matches {
+		fmt.Println(m)
+	}
+	mu.Unlock()
+	// Output:
+	// key=7 seqs=[0 0]
+}
+
+// ExampleStrategySpec shows how the paper's two integrated strategies are
+// configured.
+func ExampleStrategySpec() {
+	lazy := distq.LazyDisk(0.8, 45*time.Second)
+	active := distq.ActiveDisk(0.8, 45*time.Second, 2, 0.3, 100<<20)
+	fmt.Println(lazy.Build().Name())
+	fmt.Println(active.Build().Name())
+	// Output:
+	// lazy-disk
+	// active-disk
+}
+
+// ExampleNewAggregate evaluates Query 1's GROUP BY min aggregate.
+func ExampleNewAggregate() {
+	minPrice := distq.NewAggregate(distq.AggMin, 16)
+	minPrice.Process(1, 9050) // broker 1 quotes 90.50
+	minPrice.Process(1, 8995)
+	minPrice.Process(2, 9100)
+	v, _ := minPrice.Value(1)
+	fmt.Println(v)
+	// Output:
+	// 8995
+}

@@ -1,0 +1,33 @@
+package distq
+
+import (
+	"repro/internal/operator"
+	"repro/internal/tuple"
+)
+
+// StreamOperator is a stateless tuple operator (select/project/chain)
+// applied on the data path in front of the partitioned join, the paper's
+// stateless plan operators.
+type StreamOperator = operator.Operator
+
+// StreamTuple is the tuple view a filter predicate or projection sees.
+type StreamTuple = tuple.Tuple
+
+// NewSelect returns a selection: tuples failing pred are dropped before
+// entering operator state.
+func NewSelect(label string, pred func(*StreamTuple) bool) StreamOperator {
+	return operator.Select{Label: label, Pred: pred}
+}
+
+// NewProject returns a projection rewriting each tuple (e.g. narrowing
+// its payload).
+func NewProject(label string, m func(StreamTuple) StreamTuple) StreamOperator {
+	return operator.Chain{operator.Project{Label: label, Map: m}}
+}
+
+// NewChain composes operators left to right.
+func NewChain(ops ...StreamOperator) StreamOperator {
+	c := make(operator.Chain, len(ops))
+	copy(c, ops)
+	return c
+}

@@ -1,0 +1,9 @@
+// Package repro reproduces "Optimizing State-Intensive Non-Blocking
+// Queries Using Run-time Adaptation" (Bin Liu, Mariana Jbantova, Elke A.
+// Rundensteiner, ICDE 2007) as a production-quality Go library.
+//
+// The public API lives in package repro/distq. The benchmarks in this
+// directory regenerate every figure of the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package repro

@@ -1,0 +1,138 @@
+// Brokerage: the paper's motivating scenario (Figure 1 and Query 1). A
+// real-time data integration server joins currency offer streams from
+// three banks on (offer currency, offer id), tracking the best (lowest)
+// price per currency for a financial consultant — while the run-time
+// adaptation keeps the state-intensive join inside its memory budget by
+// spilling unproductive partition groups and producing the missed matches
+// in the cleanup phase.
+//
+// Run with:
+//
+//	go run ./examples/brokerage
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/distq"
+)
+
+// currencies the brokerage quotes; the join key encodes (currency, offer).
+var currencies = []string{"EUR", "JPY", "GBP", "CHF", "CAD", "AUD", "SEK", "NZD"}
+
+// offerKey packs a currency and an offer id into one join key, the
+// normalized join column of Query 1's
+// bank1.offerCurrency=bank2.offerCurrency AND bank1.offer=bank2.offer.
+func offerKey(currency, offer int) uint64 {
+	return uint64(currency)<<32 | uint64(offer)
+}
+
+func main() {
+	const banks = 3
+	var (
+		mu        sync.Mutex
+		matches   int
+		bestPrice = map[string]int{}
+		// prices remembers each sent quote so the result consumer can
+		// resolve the matched tuples' prices (sequence number -> price,
+		// per bank).
+		prices [banks]map[uint64]int
+	)
+	for b := range prices {
+		prices[b] = map[uint64]int{}
+	}
+
+	c, err := distq.NewCluster(distq.Options{
+		Engines:    []distq.NodeID{"integrator-1", "integrator-2", "integrator-3"},
+		Inputs:     banks,
+		Partitions: 96,
+		Strategy:   distq.LazyDisk(0.8, 0),
+		// A deliberately tight memory budget: the integration server
+		// spills the least productive offer partitions to disk. The
+		// cluster runs in real time, so the budget check must be fast
+		// enough to observe the bursty ingest below.
+		Spill:              distq.SpillConfig{MemThreshold: 96 << 10, Fraction: 0.3},
+		SpillCheckInterval: 10 * time.Millisecond,
+		StatsInterval:      20 * time.Millisecond,
+		OnResult: func(phase distq.Phase, r distq.Result) {
+			mu.Lock()
+			defer mu.Unlock()
+			matches++
+			// The lowest price among the three banks' matched offers is
+			// the consultant's answer (min(price) of Query 1).
+			cur := currencies[r.Key>>32]
+			low := -1
+			for bank, seq := range r.Seqs {
+				if p, ok := prices[bank][seq]; ok && (low < 0 || p < low) {
+					low = p
+				}
+			}
+			if best, ok := bestPrice[cur]; !ok || low < best {
+				bestPrice[cur] = low
+			}
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+
+	// Trading day: each bank streams offers; banks quote the same
+	// (currency, offer) ids so offers match across banks.
+	rng := rand.New(rand.NewSource(2007))
+	seqs := make([]uint64, banks)
+	const offersPerCurrency = 120
+	for i := 0; i < 12_000; i++ {
+		bank := rng.Intn(banks)
+		cur := rng.Intn(len(currencies))
+		offer := rng.Intn(offersPerCurrency)
+		price := 9_000 + rng.Intn(2_000) - offer // cents
+		mu.Lock()
+		prices[bank][seqs[bank]] = price
+		mu.Unlock()
+		seqs[bank]++
+		if err := c.Ingest(bank, offerKey(cur, offer), []byte{byte(price >> 8), byte(price)}); err != nil {
+			log.Fatal(err)
+		}
+		if i%2000 == 1999 {
+			c.Flush()
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	if err := c.Drain(); err != nil {
+		log.Fatal(err)
+	}
+	runtimeStats := c.Snapshot()
+
+	// After trading hours: the cleanup phase produces the matches whose
+	// state had been pushed to disk — Query 1 still answers exactly.
+	summary, err := c.Cleanup()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("run-time matches:   %d (with %d spills across %d integrators)\n",
+		runtimeStats.Output, runtimeStats.Spills, 3)
+	fmt.Printf("cleanup matches:    %d (recovered from %d spilled quotes)\n",
+		summary.Results, summary.Tuples)
+	fmt.Printf("duplicates:         %d\n", runtimeStats.Duplicates)
+	fmt.Println("best offers (min price per currency, Query 1's aggregate):")
+	mu.Lock()
+	defer mu.Unlock()
+	sorted := make([]string, 0, len(bestPrice))
+	for cur := range bestPrice {
+		sorted = append(sorted, cur)
+	}
+	sort.Strings(sorted)
+	for _, cur := range sorted {
+		fmt.Printf("  %s: %d.%02d\n", cur, bestPrice[cur]/100, bestPrice[cur]%100)
+	}
+	if matches != int(runtimeStats.Output)+int(summary.Results) {
+		log.Fatalf("consumer saw %d matches, cluster reports %d", matches, runtimeStats.Output+summary.Results)
+	}
+}

@@ -1,0 +1,221 @@
+// Package agg implements partitioned group-by aggregation, the second
+// state-intensive operator class the paper's architecture hosts (Query 1
+// ends in GROUP BY brokerName with min(price)). Aggregates here are
+// decomposable: partial aggregates over disjoint tuple subsets merge into
+// the exact total aggregate, which is what makes the operator compatible
+// with the spill adaptation — a spilled generation's partial is merged
+// back during cleanup, like the join's missed results.
+package agg
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+)
+
+// Kind selects the aggregate function.
+type Kind int
+
+// Supported aggregate functions over int64 values.
+const (
+	Min Kind = iota
+	Max
+	Sum
+	Count
+)
+
+// String names the aggregate.
+func (k Kind) String() string {
+	switch k {
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	case Sum:
+		return "sum"
+	case Count:
+		return "count"
+	default:
+		return "unknown"
+	}
+}
+
+// Cell is one group-by key's running aggregate.
+type Cell struct {
+	Key   uint64
+	Value int64
+	Count uint64
+}
+
+// cellMemSize approximates a resident cell's accounted bytes.
+const cellMemSize = 48
+
+// Operator is a partitioned group-by aggregate: state is organized in
+// partition groups like the join's, so the same adaptation machinery
+// (spill extraction, relocation snapshots) applies. Not safe for
+// concurrent use.
+type Operator struct {
+	kind   Kind
+	part   partition.Func
+	groups map[partition.ID]map[uint64]*Cell
+	mem    int64
+	// output counts processed tuples per group for the productivity
+	// metric (each absorbed tuple "produces" one updated aggregate).
+	updates map[partition.ID]uint64
+}
+
+// New returns an aggregate operator partitioned by part.
+func New(kind Kind, part partition.Func) *Operator {
+	return &Operator{
+		kind:    kind,
+		part:    part,
+		groups:  make(map[partition.ID]map[uint64]*Cell),
+		updates: make(map[partition.ID]uint64),
+	}
+}
+
+// Kind reports the aggregate function.
+func (o *Operator) Kind() Kind { return o.kind }
+
+// MemBytes reports the accounted resident state size.
+func (o *Operator) MemBytes() int64 { return o.mem }
+
+// Process absorbs one (group-by key, value) pair.
+func (o *Operator) Process(key uint64, value int64) {
+	id := o.part.Of(key)
+	g := o.groups[id]
+	if g == nil {
+		g = make(map[uint64]*Cell)
+		o.groups[id] = g
+	}
+	o.updates[id]++
+	c, ok := g[key]
+	if !ok {
+		c = &Cell{Key: key, Count: 1, Value: value}
+		if o.kind == Count {
+			c.Value = 1 // Count ignores the input value
+		}
+		g[key] = c
+		o.mem += cellMemSize
+		return
+	}
+	c.Count++
+	switch o.kind {
+	case Min:
+		if value < c.Value {
+			c.Value = value
+		}
+	case Max:
+		if value > c.Value {
+			c.Value = value
+		}
+	case Sum:
+		c.Value += value
+	case Count:
+		c.Value++
+	}
+}
+
+// Value returns the aggregate for a group-by key.
+func (o *Operator) Value(key uint64) (int64, bool) {
+	g := o.groups[o.part.Of(key)]
+	if g == nil {
+		return 0, false
+	}
+	c, ok := g[key]
+	if !ok {
+		return 0, false
+	}
+	return c.Value, true
+}
+
+// Keys returns all group-by keys with resident aggregates, sorted.
+func (o *Operator) Keys() []uint64 {
+	var keys []uint64
+	for _, g := range o.groups {
+		for k := range g {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Stats returns per-partition-group statistics compatible with the
+// adaptation policies.
+func (o *Operator) Stats() []core.GroupStats {
+	stats := make([]core.GroupStats, 0, len(o.groups))
+	for id, g := range o.groups {
+		stats = append(stats, core.GroupStats{
+			ID:     id,
+			Size:   int64(len(g)) * cellMemSize,
+			Output: o.updates[id],
+		})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	return stats
+}
+
+// Partial is the serializable partial aggregate of one partition group,
+// the analogue of the join's GroupSnapshot.
+type Partial struct {
+	ID    partition.ID
+	Kind  Kind
+	Cells []Cell
+}
+
+// Extract removes the group's resident cells as a partial aggregate
+// (spill extraction). Returns nil if the group holds nothing.
+func (o *Operator) Extract(id partition.ID) *Partial {
+	g := o.groups[id]
+	if len(g) == 0 {
+		return nil
+	}
+	p := &Partial{ID: id, Kind: o.kind, Cells: make([]Cell, 0, len(g))}
+	for _, c := range g {
+		p.Cells = append(p.Cells, *c)
+	}
+	sort.Slice(p.Cells, func(i, j int) bool { return p.Cells[i].Key < p.Cells[j].Key })
+	o.mem -= int64(len(g)) * cellMemSize
+	delete(o.groups, id)
+	return p
+}
+
+// Merge folds a partial aggregate back into the operator, exactly
+// reconstructing the aggregate over the union of the tuple sets — the
+// cleanup-phase analogue of the join's generation merge.
+func (o *Operator) Merge(p *Partial) error {
+	if p.Kind != o.kind {
+		return fmt.Errorf("agg: merging %s partial into %s operator", p.Kind, o.kind)
+	}
+	g := o.groups[p.ID]
+	if g == nil {
+		g = make(map[uint64]*Cell)
+		o.groups[p.ID] = g
+	}
+	for _, pc := range p.Cells {
+		c, ok := g[pc.Key]
+		if !ok {
+			cp := pc
+			g[pc.Key] = &cp
+			o.mem += cellMemSize
+			continue
+		}
+		c.Count += pc.Count
+		switch o.kind {
+		case Min:
+			if pc.Value < c.Value {
+				c.Value = pc.Value
+			}
+		case Max:
+			if pc.Value > c.Value {
+				c.Value = pc.Value
+			}
+		case Sum, Count:
+			c.Value += pc.Value
+		}
+	}
+	return nil
+}

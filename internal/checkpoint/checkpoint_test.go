@@ -1,0 +1,126 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/tuple"
+)
+
+func buildOp(t *testing.T) *join.Operator {
+	t.Helper()
+	op := join.New(2, partition.NewFunc(8), nil)
+	for i := 0; i < 100; i++ {
+		_, err := op.Process(tuple.Tuple{
+			Stream: uint8(i % 2), Key: uint64(i % 16), Seq: uint64(i), Payload: make([]byte, 8),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return op
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	wantMem := src.MemBytes()
+	wantOut := src.Output()
+
+	n, err := Save(src, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing checkpointed")
+	}
+
+	dst := join.New(2, partition.NewFunc(8), nil)
+	m, err := Load(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("loaded %d groups, saved %d", m, n)
+	}
+	if dst.MemBytes() != wantMem {
+		t.Fatalf("restored MemBytes %d, want %d", dst.MemBytes(), wantMem)
+	}
+	// Lifetime output counters travel with the groups.
+	var sum uint64
+	for _, g := range dst.Stats() {
+		sum += g.Output
+	}
+	if sum != wantOut {
+		t.Fatalf("restored output %d, want %d", sum, wantOut)
+	}
+	// The restored state still joins: a matching tuple finds partners.
+	if res, _ := dst.Process(tuple.Tuple{Stream: 1, Key: 0, Seq: 1000}); res == 0 {
+		t.Fatal("restored state does not join")
+	}
+}
+
+func TestSaveReplacesStaleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	if _, err := Save(src, dir); err != nil {
+		t.Fatal(err)
+	}
+	// Second save from a smaller operator must not leave stale groups.
+	small := join.New(2, partition.NewFunc(8), nil)
+	small.Process(tuple.Tuple{Stream: 0, Key: 3, Seq: 1})
+	if _, err := Save(small, dir); err != nil {
+		t.Fatal(err)
+	}
+	dst := join.New(2, partition.NewFunc(8), nil)
+	n, err := Load(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d groups after re-save, want 1", n)
+	}
+}
+
+func TestLoadEmptyDir(t *testing.T) {
+	dst := join.New(2, partition.NewFunc(8), nil)
+	n, err := Load(dst, t.TempDir())
+	if err != nil || n != 0 {
+		t.Fatalf("Load empty = %d, %v", n, err)
+	}
+	n, err = Load(dst, filepath.Join(t.TempDir(), "missing"))
+	if err != nil || n != 0 {
+		t.Fatalf("Load missing = %d, %v", n, err)
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	if _, err := Save(src, dir); err != nil {
+		t.Fatal(err)
+	}
+	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-g*.bin"))
+	buf, _ := os.ReadFile(files[0])
+	buf[len(buf)/2] ^= 0xff
+	os.WriteFile(files[0], buf, 0o644)
+
+	dst := join.New(2, partition.NewFunc(8), nil)
+	if _, err := Load(dst, dir); err == nil {
+		t.Fatal("corrupt checkpoint loaded without error")
+	}
+}
+
+func TestLoadOntoOccupiedOperatorFails(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	if _, err := Save(src, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(src, dir); err == nil {
+		t.Fatal("load over resident groups succeeded")
+	}
+}

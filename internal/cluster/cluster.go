@@ -1,0 +1,335 @@
+// Package cluster wires a full experiment: a stream generator node
+// hosting the split operators, N query engine nodes, the global
+// coordinator, and an application server collecting results — all
+// communicating only through a transport (in-process channels by default,
+// TCP for the multi-process binaries) under a shared virtual clock.
+//
+// Run executes the paper's experiment shape: a run-time phase of a given
+// virtual duration, a quiesce + drain fence, and an optional cleanup
+// phase, returning the series and counters the figures plot.
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/coordinator"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/spill"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// Well-known node names for the non-engine roles.
+const (
+	CoordinatorNode = partition.NodeID("gc")
+	GeneratorNode   = partition.NodeID("gen")
+	AppServerNode   = partition.NodeID("app")
+)
+
+// Config describes one experiment.
+type Config struct {
+	// Engines lists the query engine nodes (the paper's processors).
+	Engines []partition.NodeID
+	// Workload parameterizes the synthetic input streams.
+	Workload workload.Config
+	// InitialWeights skews the initial partition distribution over the
+	// engines (e.g. 3,1,1 for the paper's 60/20/20 setup); nil means
+	// uniform.
+	InitialWeights []int
+	// Strategy is the coordinator's adaptation strategy (default NoAdapt).
+	Strategy core.Strategy
+	// Spill configures the local overflow spill (threshold + k%).
+	Spill core.SpillConfig
+	// LocalSpill enables the engines' ss_timer overflow check.
+	LocalSpill bool
+	// Policy builds the per-engine spill victim policy (default
+	// less-productive).
+	Policy func(node partition.NodeID) core.Policy
+	// Materialize ships full results to the application server and
+	// keeps duplicate-checked result sets (exactness tests, examples).
+	Materialize bool
+	// EnumerateResults makes engines enumerate (but not ship) every
+	// result, so run-time and cleanup costs include result production.
+	EnumerateResults bool
+	// SmoothingAlpha, when positive, switches the engines to the
+	// amortized (EWMA) productivity model. Overrides Policy's default
+	// only; an explicit Policy still wins for spill victims.
+	SmoothingAlpha float64
+	// Window, when positive, runs the join with a sliding time window
+	// (virtual) and periodic state purging.
+	Window time.Duration
+	// Scale compresses virtual time (default 600: 1 v-minute = 100 ms).
+	Scale float64
+	// Duration is the virtual length of the run-time phase.
+	Duration time.Duration
+	// RunCleanup executes the disk phase after the run-time phase.
+	RunCleanup bool
+	// StoreDir, when set, gives each engine a file-backed segment store
+	// under StoreDir/<node>; empty means in-memory stores.
+	StoreDir string
+	// Network overrides the transport (default in-process).
+	Network transport.Network
+	// StatsInterval, SpillCheckInterval, LBInterval are the virtual
+	// timer periods (sr_timer, ss_timer, lb_timer).
+	StatsInterval      time.Duration
+	SpillCheckInterval time.Duration
+	LBInterval         time.Duration
+	// FlushInterval is the feeder's pacing granularity (virtual).
+	FlushInterval time.Duration
+}
+
+func (c *Config) withDefaults() (Config, error) {
+	out := *c
+	if len(out.Engines) == 0 {
+		return out, fmt.Errorf("cluster: no engines")
+	}
+	if out.Strategy == nil {
+		out.Strategy = core.NoAdapt{}
+	}
+	if out.Policy == nil {
+		if out.SmoothingAlpha > 0 {
+			// Leave the engine's policy nil so the smoothed default
+			// (SmoothedLessProductive over the engine's tracker) applies.
+			out.Policy = func(partition.NodeID) core.Policy { return nil }
+		} else {
+			out.Policy = func(partition.NodeID) core.Policy { return core.LessProductivePolicy{} }
+		}
+	}
+	if out.Scale <= 0 {
+		out.Scale = 600
+	}
+	if out.Duration <= 0 {
+		return out, fmt.Errorf("cluster: non-positive duration")
+	}
+	if out.StatsInterval <= 0 {
+		out.StatsInterval = 5 * time.Second
+	}
+	if out.SpillCheckInterval <= 0 {
+		out.SpillCheckInterval = 2 * time.Second
+	}
+	if out.LBInterval <= 0 {
+		out.LBInterval = 10 * time.Second
+	}
+	if out.FlushInterval <= 0 {
+		out.FlushInterval = 150 * time.Millisecond
+	}
+	return out, nil
+}
+
+// CleanupSummary aggregates the disk-phase outcome across engines.
+type CleanupSummary struct {
+	PerNode map[partition.NodeID]proto.CleanupDone
+	// Results is the total number of missed results produced.
+	Results uint64
+	// Tuples is the total number of spilled tuples scanned.
+	Tuples int
+	// MaxElapsed is the slowest engine's cleanup time — the cluster's
+	// cleanup latency when engines clean up in parallel (paper §5.2).
+	MaxElapsed time.Duration
+	// TotalElapsed sums all engines' cleanup times — the latency if one
+	// machine had to do all the work serially.
+	TotalElapsed time.Duration
+}
+
+// Result is everything an experiment reports.
+type Result struct {
+	// Throughput is the cumulative run-time output over virtual time
+	// (what the paper's throughput figures plot).
+	Throughput *stats.Series
+	// Memory maps each engine to its resident-state series.
+	Memory map[partition.NodeID]*stats.Series
+	// RuntimeOutput is the total run-time phase output.
+	RuntimeOutput uint64
+	// Generated is the number of input tuples produced.
+	Generated uint64
+	// Relocations and ForcedSpills count completed coordinator
+	// adaptations; LocalSpills counts per-engine overflow spills
+	// (including forced ones).
+	Relocations  int
+	ForcedSpills int
+	LocalSpills  map[partition.NodeID]int
+	SpilledBytes map[partition.NodeID]int64
+	// Events merges all adaptation events.
+	Events []stats.Event
+	// Cleanup summarizes the disk phase (zero value if not run).
+	Cleanup CleanupSummary
+	// RuntimeSet / CleanupSet hold the materialized results
+	// (Materialize mode only).
+	RuntimeSet *tuple.ResultSet
+	CleanupSet *tuple.ResultSet
+	// Duplicates counts duplicate results observed across both phases.
+	Duplicates int
+	// BufferedPeak is the split host's maximal pause-buffer size.
+	BufferedPeak int
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.New(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	clock := vclock.NewScaled(cfg.Scale)
+
+	net := cfg.Network
+	if net == nil {
+		net = transport.NewInproc()
+		defer net.Close()
+	}
+
+	// Initial partition placement.
+	assign := partition.UniformAssign(cfg.Engines)
+	if cfg.InitialWeights != nil {
+		assign, err = partition.WeightedAssign(cfg.Engines, cfg.InitialWeights)
+		if err != nil {
+			return nil, err
+		}
+	}
+	masterMap, err := partition.NewMap(cfg.Workload.Partitions, assign)
+	if err != nil {
+		return nil, err
+	}
+
+	// Application server.
+	app := NewAppServer(clock, cfg.Materialize, nil)
+	if err := app.Attach(net); err != nil {
+		return nil, err
+	}
+
+	// Coordinator.
+	coord, err := coordinator.New(coordinator.Config{
+		Node:       CoordinatorNode,
+		SplitHost:  GeneratorNode,
+		Engines:    cfg.Engines,
+		Strategy:   cfg.Strategy,
+		Map:        masterMap,
+		LBInterval: cfg.LBInterval,
+	}, clock)
+	if err != nil {
+		return nil, err
+	}
+	if err := coord.Attach(net); err != nil {
+		return nil, err
+	}
+
+	// Engines.
+	engines := make(map[partition.NodeID]*engine.Engine, len(cfg.Engines))
+	for _, node := range cfg.Engines {
+		var store spill.Store
+		if cfg.StoreDir != "" {
+			fs, err := spill.NewFileStore(filepath.Join(cfg.StoreDir, string(node)))
+			if err != nil {
+				return nil, err
+			}
+			store = fs
+		}
+		e := engine.New(engine.Config{
+			Node:               node,
+			Coordinator:        CoordinatorNode,
+			AppServer:          AppServerNode,
+			Inputs:             cfg.Workload.Streams,
+			Partitions:         cfg.Workload.Partitions,
+			Spill:              cfg.Spill,
+			LocalSpill:         cfg.LocalSpill,
+			Policy:             cfg.Policy(node),
+			Store:              store,
+			Materialize:        cfg.Materialize,
+			EnumerateResults:   cfg.EnumerateResults,
+			SmoothingAlpha:     cfg.SmoothingAlpha,
+			Window:             cfg.Window,
+			StatsInterval:      cfg.StatsInterval,
+			SpillCheckInterval: cfg.SpillCheckInterval,
+		}, clock)
+		if err := e.Attach(net); err != nil {
+			return nil, err
+		}
+		engines[node] = e
+	}
+
+	// Generator node: feeder + split host.
+	feeder := newFeeder(clock, gen, cfg.FlushInterval)
+	owner, version := masterMap.Snapshot()
+	if err := feeder.attach(net, owner, version); err != nil {
+		return nil, err
+	}
+
+	// Start everything.
+	if err := coord.Start(); err != nil {
+		return nil, err
+	}
+	for _, e := range engines {
+		if err := e.Start(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Run-time phase.
+	if err := feeder.run(cfg.Duration); err != nil {
+		return nil, err
+	}
+
+	// Fence: quiesce the coordinator, then drain every engine through
+	// the generator's data path (FIFO per pair ⇒ all data processed).
+	if err := feeder.quiesce(CoordinatorNode); err != nil {
+		return nil, err
+	}
+	if err := feeder.drain(cfg.Engines); err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Throughput:   app.throughput,
+		Memory:       make(map[partition.NodeID]*stats.Series, len(engines)),
+		Generated:    feeder.generated(),
+		LocalSpills:  make(map[partition.NodeID]int, len(engines)),
+		SpilledBytes: make(map[partition.NodeID]int64, len(engines)),
+	}
+
+	// Cleanup phase.
+	if cfg.RunCleanup {
+		summary, err := app.RunCleanup(cfg.Engines)
+		if err != nil {
+			return nil, err
+		}
+		res.Cleanup = summary
+	}
+
+	// Stop timers before reading engine state.
+	coord.Stop()
+	for _, e := range engines {
+		e.Stop()
+	}
+	// The Stop messages are processed asynchronously; a short real wait
+	// lets the serial handlers finish their queues.
+	time.Sleep(20 * time.Millisecond)
+
+	for node, e := range engines {
+		res.Memory[node] = coord.MemSeries(node)
+		res.LocalSpills[node] = e.SpillManager().Count()
+		res.SpilledBytes[node] = e.SpillManager().SpilledBytes()
+		res.RuntimeOutput += e.Op().Output()
+		res.Events = append(res.Events, e.Events().All()...)
+	}
+	res.Events = append(res.Events, coord.Events().All()...)
+	res.Relocations = coord.Relocations()
+	res.ForcedSpills = coord.ForcedSpills()
+	res.BufferedPeak = feeder.router.BufferedPeak()
+	if cfg.Materialize {
+		res.RuntimeSet = app.runtimeSet
+		res.CleanupSet = app.cleanupSet
+		res.Duplicates = app.Duplicates()
+	}
+	return res, nil
+}

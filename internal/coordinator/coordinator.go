@@ -1,0 +1,367 @@
+// Package coordinator implements the global coordinator (GC): it collects
+// light-weight statistics from every query engine, evaluates the
+// configured adaptation strategy on its load-balancing timer, and
+// orchestrates the 8-step state relocation protocol and the active-disk
+// forced spills (paper §2, §4.1, §5).
+//
+// Like the engines, the coordinator is event-driven and single-threaded:
+// all messages (including its own timer) arrive through the transport's
+// serial handler.
+package coordinator
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// Config parameterizes the coordinator.
+type Config struct {
+	Node partition.NodeID
+	// SplitHost is the node running the split operators (the stream
+	// generator machine); Pause/Remap messages go there.
+	SplitHost partition.NodeID
+	// Engines are the query engine nodes under management.
+	Engines []partition.NodeID
+	// Strategy decides relocations and forced spills.
+	Strategy core.Strategy
+	// Map is the master partition map; relocations update it.
+	Map *partition.Map
+	// LBInterval is the lb_timer period (virtual).
+	LBInterval time.Duration
+}
+
+// engineInfo is the coordinator's view of one engine.
+type engineInfo struct {
+	last       proto.StatsReport
+	haveReport bool
+	prevOutput uint64 // output at the previous strategy evaluation
+	memSeries  *stats.Series
+}
+
+// relocPhase tracks the protocol step of the in-flight relocation.
+type relocPhase int
+
+const (
+	relocIdle relocPhase = iota
+	relocWaitPtV
+	relocWaitMarker
+	relocWaitInstalled
+	relocWaitRemapAck
+	forceWaitSpillDone
+)
+
+// Coordinator is the global adaptation controller.
+type Coordinator struct {
+	cfg   Config
+	clock vclock.Clock
+	ep    transport.Endpoint
+
+	engines map[partition.NodeID]*engineInfo
+	events  *stats.EventLog
+
+	epoch    uint64
+	phase    relocPhase
+	sender   partition.NodeID
+	receiver partition.NodeID
+	parts    []partition.ID
+	started  vclock.Time
+
+	relocations  atomic.Int64
+	forcedSpills atomic.Int64
+
+	quiesced      bool
+	quiesceWaiter partition.NodeID
+
+	ticker  *vclock.Ticker
+	stopped bool
+}
+
+// New builds a coordinator; Attach must be called before Start.
+func New(cfg Config, clock vclock.Clock) (*Coordinator, error) {
+	if cfg.Strategy == nil {
+		return nil, fmt.Errorf("coordinator: nil strategy")
+	}
+	if cfg.Map == nil {
+		return nil, fmt.Errorf("coordinator: nil partition map")
+	}
+	if cfg.LBInterval <= 0 {
+		cfg.LBInterval = 10 * time.Second
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		clock:   clock,
+		engines: make(map[partition.NodeID]*engineInfo),
+		events:  stats.NewEventLog(),
+	}
+	for _, n := range cfg.Engines {
+		c.engines[n] = &engineInfo{memSeries: stats.NewSeries(string(n))}
+	}
+	return c, nil
+}
+
+// Attach joins the coordinator to the network.
+func (c *Coordinator) Attach(net transport.Network) error {
+	ep, err := net.Attach(c.cfg.Node, c.Handle)
+	if err != nil {
+		return err
+	}
+	c.ep = ep
+	return nil
+}
+
+// Start arms the load-balancing timer.
+func (c *Coordinator) Start() error {
+	if c.ep == nil {
+		return fmt.Errorf("coordinator: not attached")
+	}
+	c.ticker = c.clock.NewTicker(c.cfg.LBInterval)
+	self := c.cfg.Node
+	go func() {
+		for range c.ticker.C {
+			if err := c.ep.Send(self, proto.Tick{Kind: proto.TickLB}); err != nil {
+				return
+			}
+		}
+	}()
+	return nil
+}
+
+// Events exposes the coordinator's adaptation event log.
+func (c *Coordinator) Events() *stats.EventLog { return c.events }
+
+// MemSeries returns the recorded memory usage series of an engine.
+func (c *Coordinator) MemSeries(node partition.NodeID) *stats.Series {
+	if info, ok := c.engines[node]; ok {
+		return info.memSeries
+	}
+	return nil
+}
+
+// Relocations reports completed relocations. Safe for concurrent use
+// (e.g. from a monitoring endpoint).
+func (c *Coordinator) Relocations() int { return int(c.relocations.Load()) }
+
+// ForcedSpills reports completed forced spills. Safe for concurrent use.
+func (c *Coordinator) ForcedSpills() int { return int(c.forcedSpills.Load()) }
+
+// Handle is the coordinator's transport handler.
+func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
+	if c.stopped {
+		return
+	}
+	var err error
+	switch m := msg.(type) {
+	case proto.Hello:
+		// Engines are statically configured; Hello is informational.
+	case proto.StatsReport:
+		c.onStats(m)
+	case proto.Tick:
+		err = c.onTick()
+	case proto.PtV:
+		err = c.onPtV(m)
+	case proto.MarkerAck:
+		err = c.onMarkerAck(m)
+	case proto.Installed:
+		err = c.onInstalled(m)
+	case proto.RemapAck:
+		err = c.onRemapAck(m)
+	case proto.SpillDone:
+		c.onSpillDone(m)
+	case proto.Quiesce:
+		err = c.onQuiesce(from)
+	case proto.Stop:
+		c.shutdown()
+	default:
+		err = fmt.Errorf("unexpected message %T from %s", msg, from)
+	}
+	if err != nil {
+		log.Printf("coordinator: %v", err)
+	}
+}
+
+func (c *Coordinator) onStats(m proto.StatsReport) {
+	info, ok := c.engines[m.Node]
+	if !ok {
+		return
+	}
+	info.last = m
+	info.haveReport = true
+	info.memSeries.Add(c.clock.Now(), float64(m.MemBytes))
+}
+
+// onQuiesce stops new adaptations and acknowledges once idle.
+func (c *Coordinator) onQuiesce(from partition.NodeID) error {
+	c.quiesced = true
+	if c.phase == relocIdle {
+		return c.ep.Send(from, proto.QuiesceAck{})
+	}
+	c.quiesceWaiter = from
+	return nil
+}
+
+// becameIdle notifies a pending quiesce waiter.
+func (c *Coordinator) becameIdle() {
+	if c.quiesceWaiter == "" {
+		return
+	}
+	waiter := c.quiesceWaiter
+	c.quiesceWaiter = ""
+	if err := c.ep.Send(waiter, proto.QuiesceAck{}); err != nil {
+		log.Printf("coordinator: quiesce ack: %v", err)
+	}
+}
+
+// onTick evaluates the strategy (Algorithms 1 and 2, events at GC). Only
+// one adaptation runs at a time.
+func (c *Coordinator) onTick() error {
+	if c.phase != relocIdle || c.quiesced {
+		return nil
+	}
+	loads := make([]core.EngineLoad, 0, len(c.engines))
+	for node, info := range c.engines {
+		if !info.haveReport {
+			return nil // wait until every engine has reported once
+		}
+		loads = append(loads, core.EngineLoad{
+			Node:        node,
+			MemBytes:    info.last.MemBytes,
+			Groups:      info.last.Groups,
+			OutputDelta: info.last.Output - info.prevOutput,
+		})
+	}
+	action := c.cfg.Strategy.Decide(loads, c.clock.Now())
+	// Productivity rates are per evaluation period: advance the window.
+	for _, info := range c.engines {
+		info.prevOutput = info.last.Output
+	}
+	if action == nil {
+		return nil
+	}
+	switch {
+	case action.Relocate != nil:
+		return c.startRelocation(action.Relocate)
+	case action.ForceSpill != nil:
+		return c.startForcedSpill(action.ForceSpill)
+	}
+	return nil
+}
+
+// startRelocation runs protocol step 1.
+func (c *Coordinator) startRelocation(r *core.Relocation) error {
+	if _, ok := c.engines[r.Sender]; !ok {
+		return fmt.Errorf("relocation sender %s unknown", r.Sender)
+	}
+	if _, ok := c.engines[r.Receiver]; !ok {
+		return fmt.Errorf("relocation receiver %s unknown", r.Receiver)
+	}
+	c.epoch++
+	c.phase = relocWaitPtV
+	c.sender, c.receiver = r.Sender, r.Receiver
+	c.started = c.clock.Now()
+	return c.ep.Send(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver})
+}
+
+func (c *Coordinator) startForcedSpill(f *core.ForcedSpill) error {
+	if _, ok := c.engines[f.Node]; !ok {
+		return fmt.Errorf("forced-spill target %s unknown", f.Node)
+	}
+	c.phase = forceWaitSpillDone
+	c.sender = f.Node
+	return c.ep.Send(f.Node, proto.ForceSpill{Amount: f.Amount})
+}
+
+// onPtV runs protocol step 3: pause the moving partitions at the split
+// host. An empty list aborts the adaptation.
+func (c *Coordinator) onPtV(m proto.PtV) error {
+	if c.phase != relocWaitPtV || m.Epoch != c.epoch {
+		return nil // stale
+	}
+	if len(m.Partitions) == 0 {
+		c.phase = relocIdle
+		c.becameIdle()
+		return nil
+	}
+	c.parts = m.Partitions
+	c.phase = relocWaitMarker
+	return c.ep.Send(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender})
+}
+
+// onMarkerAck runs protocol step 5: the sender drained its data path;
+// order the state transfer.
+func (c *Coordinator) onMarkerAck(m proto.MarkerAck) error {
+	if c.phase != relocWaitMarker || m.Epoch != c.epoch || m.Node != c.sender {
+		return nil
+	}
+	c.phase = relocWaitInstalled
+	return c.ep.Send(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver})
+}
+
+// onInstalled runs protocol step 7: commit the new ownership to the
+// master map and remap the split host.
+func (c *Coordinator) onInstalled(m proto.Installed) error {
+	if c.phase != relocWaitInstalled || m.Epoch != c.epoch || m.Node != c.receiver {
+		return nil
+	}
+	version, err := c.cfg.Map.Move(c.parts, c.receiver)
+	if err != nil {
+		c.phase = relocIdle
+		c.becameIdle()
+		return fmt.Errorf("commit relocation: %w", err)
+	}
+	c.phase = relocWaitRemapAck
+	return c.ep.Send(c.cfg.SplitHost, proto.Remap{
+		Epoch: c.epoch, Partitions: c.parts, Owner: c.receiver, Version: version,
+	})
+}
+
+// onRemapAck completes the relocation (step 8).
+func (c *Coordinator) onRemapAck(m proto.RemapAck) error {
+	if c.phase != relocWaitRemapAck || m.Epoch != c.epoch {
+		return nil
+	}
+	c.relocations.Add(1)
+	c.events.Add(stats.Event{
+		T: c.clock.Now(), Node: c.sender, Kind: stats.EventRelocation,
+		Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, c.clock.Now().Sub(c.started)),
+	})
+	c.phase = relocIdle
+	c.parts = nil
+	c.becameIdle()
+	return nil
+}
+
+func (c *Coordinator) onSpillDone(m proto.SpillDone) {
+	if c.phase != forceWaitSpillDone || m.Node != c.sender {
+		return
+	}
+	c.forcedSpills.Add(1)
+	c.events.Add(stats.Event{
+		T: c.clock.Now(), Node: m.Node, Kind: stats.EventForcedSpill,
+		Detail: fmt.Sprintf("%d bytes", m.Bytes),
+	})
+	c.phase = relocIdle
+	c.becameIdle()
+}
+
+func (c *Coordinator) shutdown() {
+	c.stopped = true
+	if c.ticker != nil {
+		c.ticker.Stop()
+	}
+}
+
+// Stop halts the coordinator's timer via its own handler.
+func (c *Coordinator) Stop() {
+	if c.ep != nil {
+		_ = c.ep.Send(c.cfg.Node, proto.Stop{})
+	}
+}

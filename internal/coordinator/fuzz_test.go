@@ -1,0 +1,114 @@
+package coordinator
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/proto"
+)
+
+// TestProtocolRobustToRandomMessages bombards the coordinator with
+// randomized, partly nonsensical protocol traffic and verifies two safety
+// properties: the master partition map always assigns every partition to
+// a configured engine, and the coordinator never wedges (it still answers
+// a final quiesce).
+func TestProtocolRobustToRandomMessages(t *testing.T) {
+	r := newRig(t, lazy())
+	rng := rand.New(rand.NewSource(4))
+	engines := []partition.NodeID{"m1", "m2"}
+	peers := map[partition.NodeID]*peer{"m1": r.m1, "m2": r.m2}
+
+	r.report(t, "m1", 1000, 100)
+	r.report(t, "m2", 100, 10)
+
+	for i := 0; i < 400; i++ {
+		from := engines[rng.Intn(len(engines))]
+		epoch := uint64(rng.Intn(4))
+		var msg proto.Message
+		switch rng.Intn(8) {
+		case 0:
+			msg = proto.StatsReport{Node: from, MemBytes: int64(rng.Intn(2000)), Groups: 4, Output: uint64(i)}
+		case 1:
+			msg = proto.Tick{Kind: proto.TickLB}
+		case 2:
+			parts := []partition.ID{partition.ID(rng.Intn(12))} // may be out of range (map has 8)
+			msg = proto.PtV{Epoch: epoch, Node: from, Partitions: parts}
+		case 3:
+			msg = proto.MarkerAck{Epoch: epoch, Node: from}
+		case 4:
+			msg = proto.Installed{Epoch: epoch, Node: from}
+		case 5:
+			msg = proto.RemapAck{Epoch: epoch}
+		case 6:
+			msg = proto.SpillDone{Node: from, Bytes: int64(rng.Intn(1000))}
+		case 7:
+			msg = proto.Hello{Node: from, Kind: proto.KindEngine}
+		}
+		if err := peers[from].ep.Send("gc", msg); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Give the handler a moment to chew through the queue, then check
+	// liveness via quiesce and map safety.
+	time.Sleep(50 * time.Millisecond)
+	r.gen.ep.Send("gc", proto.Quiesce{})
+	// The protocol may be legitimately mid-flight from the random PtVs;
+	// feed it completions until the quiesce ack arrives.
+	deadline := time.After(5 * time.Second)
+	for {
+		// Unblock any phase the random traffic may have reached.
+		for _, from := range engines {
+			for epoch := uint64(1); epoch <= 4; epoch++ {
+				peers[from].ep.Send("gc", proto.MarkerAck{Epoch: epoch, Node: from})
+				peers[from].ep.Send("gc", proto.Installed{Epoch: epoch, Node: from})
+				peers[from].ep.Send("gc", proto.RemapAck{Epoch: epoch})
+				peers[from].ep.Send("gc", proto.SpillDone{Node: from})
+			}
+		}
+		select {
+		case m := <-r.gen.msgs:
+			if _, ok := m.(proto.QuiesceAck); ok {
+				goto done
+			}
+		case <-deadline:
+			t.Fatal("coordinator wedged: no quiesce ack")
+		}
+	}
+done:
+	owners := map[partition.NodeID]bool{"m1": true, "m2": true}
+	for id := 0; id < r.pmap.N(); id++ {
+		o, err := r.pmap.Owner(partition.ID(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !owners[o] {
+			t.Fatalf("partition %d owned by unknown node %q", id, o)
+		}
+	}
+}
+
+// TestQuiesceDuringForcedSpill verifies the quiesce fence also waits for
+// an in-flight forced spill.
+func TestQuiesceDuringForcedSpill(t *testing.T) {
+	strategy := core.NewActiveDisk(core.ActiveDiskConfig{
+		Relocation:     core.RelocationConfig{Threshold: 0.5, MinGap: 0},
+		Lambda:         2,
+		ForcedFraction: 0.5,
+	})
+	r := newRig(t, strategy)
+	r.report(t, "m1", 1000, 1000)
+	r.report(t, "m2", 900, 1)
+	r.tick(t)
+	fs := expect[proto.ForceSpill](t, r.m2)
+	if fs.Amount <= 0 {
+		t.Fatalf("ForceSpill = %+v", fs)
+	}
+	r.gen.ep.Send("gc", proto.Quiesce{})
+	expectNothing(t, r.gen) // still waiting for SpillDone
+	r.m2.ep.Send("gc", proto.SpillDone{Node: "m2", Bytes: fs.Amount})
+	expect[proto.QuiesceAck](t, r.gen)
+}

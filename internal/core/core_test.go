@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		NormalMode:   "normal_mode",
+		SpillMode:    "ss_mode",
+		RelocateMode: "sr_mode",
+		Mode(99):     "unknown_mode",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestProductivity(t *testing.T) {
+	g := GroupStats{Size: 100, Output: 50}
+	if p := g.Productivity(); p != 0.5 {
+		t.Fatalf("Productivity = %v, want 0.5", p)
+	}
+	empty := GroupStats{Size: 0, Output: 10}
+	if p := empty.Productivity(); p != 0 {
+		t.Fatalf("empty group Productivity = %v, want 0", p)
+	}
+}
+
+func TestProductivityRate(t *testing.T) {
+	l := EngineLoad{Groups: 10, OutputDelta: 500}
+	if r := l.ProductivityRate(); r != 50 {
+		t.Fatalf("ProductivityRate = %v, want 50", r)
+	}
+	if r := (EngineLoad{}).ProductivityRate(); r != 0 {
+		t.Fatalf("zero-group rate = %v, want 0", r)
+	}
+}
+
+func relocCfg() RelocationConfig {
+	return RelocationConfig{Threshold: 0.8, MinGap: 45 * time.Second}
+}
+
+func TestDecideRelocationTriggers(t *testing.T) {
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000},
+		{Node: "m2", MemBytes: 200},
+	}
+	r := DecideRelocation(loads, relocCfg(), vclock.Time(time.Minute), vclock.Time(-1<<62))
+	if r == nil {
+		t.Fatal("no relocation decided")
+	}
+	if r.Sender != "m1" || r.Receiver != "m2" {
+		t.Fatalf("pair = %s->%s", r.Sender, r.Receiver)
+	}
+	if r.Amount != 400 {
+		t.Fatalf("amount = %d, want (1000-200)/2 = 400", r.Amount)
+	}
+}
+
+func TestDecideRelocationRespectsThreshold(t *testing.T) {
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000},
+		{Node: "m2", MemBytes: 900}, // ratio 0.9 >= 0.8
+	}
+	if r := DecideRelocation(loads, relocCfg(), vclock.Time(time.Minute), vclock.Time(-1<<62)); r != nil {
+		t.Fatalf("relocation decided at balanced load: %+v", r)
+	}
+}
+
+func TestDecideRelocationRespectsMinGap(t *testing.T) {
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000},
+		{Node: "m2", MemBytes: 100},
+	}
+	last := vclock.Time(time.Minute)
+	now := last.Add(30 * time.Second) // < 45s gap
+	if r := DecideRelocation(loads, relocCfg(), now, last); r != nil {
+		t.Fatalf("relocation decided inside τ_m: %+v", r)
+	}
+	now = last.Add(46 * time.Second)
+	if r := DecideRelocation(loads, relocCfg(), now, last); r == nil {
+		t.Fatal("relocation not decided after τ_m elapsed")
+	}
+}
+
+func TestDecideRelocationEdgeCases(t *testing.T) {
+	now := vclock.Time(time.Hour)
+	past := vclock.Time(-1 << 62)
+	if r := DecideRelocation(nil, relocCfg(), now, past); r != nil {
+		t.Fatal("relocation with no engines")
+	}
+	one := []EngineLoad{{Node: "m1", MemBytes: 100}}
+	if r := DecideRelocation(one, relocCfg(), now, past); r != nil {
+		t.Fatal("relocation with one engine")
+	}
+	idle := []EngineLoad{{Node: "m1"}, {Node: "m2"}}
+	if r := DecideRelocation(idle, relocCfg(), now, past); r != nil {
+		t.Fatal("relocation with zero memory everywhere")
+	}
+}
+
+func TestDecideRelocationHalvesGap(t *testing.T) {
+	// Invariant: after moving the decided amount, both machines sit at
+	// (max+min)/2.
+	loads := []EngineLoad{
+		{Node: "a", MemBytes: 1_000_000},
+		{Node: "b", MemBytes: 300_000},
+		{Node: "c", MemBytes: 600_000},
+	}
+	r := DecideRelocation(loads, relocCfg(), vclock.Time(time.Minute), vclock.Time(-1<<62))
+	if r == nil {
+		t.Fatal("no relocation decided")
+	}
+	if r.Sender != "a" || r.Receiver != "b" {
+		t.Fatalf("pair = %s->%s, want a->b", r.Sender, r.Receiver)
+	}
+	after := map[string]int64{
+		"a": 1_000_000 - r.Amount,
+		"b": 300_000 + r.Amount,
+	}
+	if after["a"] != after["b"] {
+		t.Fatalf("post-move loads unequal: %v", after)
+	}
+}
+
+func TestSpillAmount(t *testing.T) {
+	cfg := SpillConfig{MemThreshold: 1000, Fraction: 0.3}
+	if a := cfg.SpillAmount(900); a != 0 {
+		t.Fatalf("spill below threshold: %d", a)
+	}
+	if a := cfg.SpillAmount(2000); a != 1000 {
+		// 30% of 2000 is 600 but the overflow is 1000, so push 1000.
+		t.Fatalf("SpillAmount(2000) = %d, want 1000", a)
+	}
+	if a := cfg.SpillAmount(1100); a != 330 {
+		t.Fatalf("SpillAmount(1100) = %d, want 330", a)
+	}
+}
+
+func TestSpillAmountNeverExceedsResident(t *testing.T) {
+	cfg := SpillConfig{MemThreshold: 10, Fraction: 5.0}
+	if a := cfg.SpillAmount(100); a != 100 {
+		t.Fatalf("SpillAmount = %d, want clamped to 100", a)
+	}
+}
+
+func TestSpillAmountDisabledThreshold(t *testing.T) {
+	cfg := SpillConfig{MemThreshold: 0, Fraction: 0.3}
+	if a := cfg.SpillAmount(1 << 30); a != 0 {
+		t.Fatalf("spill with disabled threshold: %d", a)
+	}
+}

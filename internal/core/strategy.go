@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/partition"
+	"repro/internal/vclock"
+)
+
+// ForcedSpill is a coordinator-issued spill command (active-disk only):
+// the engine with the lowest average productivity rate must push Amount
+// bytes of its least productive partition groups to disk, freeing cluster
+// memory for productive partitions from other machines.
+type ForcedSpill struct {
+	Node   partition.NodeID
+	Amount int64
+}
+
+// Action is one coarse-grained adaptation decision produced by a Strategy.
+// Exactly one field is non-nil.
+type Action struct {
+	Relocate   *Relocation
+	ForceSpill *ForcedSpill
+}
+
+// String renders the action for event logs.
+func (a Action) String() string {
+	switch {
+	case a.Relocate != nil:
+		r := a.Relocate
+		return fmt.Sprintf("relocate %d bytes %s->%s", r.Amount, r.Sender, r.Receiver)
+	case a.ForceSpill != nil:
+		f := a.ForceSpill
+		return fmt.Sprintf("force-spill %d bytes at %s", f.Amount, f.Node)
+	default:
+		return "no-op"
+	}
+}
+
+// Strategy is the global coordinator's decision procedure, invoked on each
+// statistics evaluation timer (sr_timer / lb_timer) with fresh engine
+// loads. A Strategy may keep state (last relocation time, forced-spill
+// budget) but performs no I/O.
+type Strategy interface {
+	// Decide returns at most one action for this evaluation round.
+	Decide(loads []EngineLoad, now vclock.Time) *Action
+	// Name is the strategy's label in experiment reports.
+	Name() string
+}
+
+// NoAdapt is the baseline strategy: the coordinator never adapts. Local
+// spill (if enabled at the engines) still protects each machine from
+// memory overflow, which makes NoAdapt the paper's "no-relocation" case;
+// with local spill disabled and ample memory it is the "All-Mem" case.
+type NoAdapt struct{}
+
+// Name implements Strategy.
+func (NoAdapt) Name() string { return "no-relocation" }
+
+// Decide implements Strategy.
+func (NoAdapt) Decide([]EngineLoad, vclock.Time) *Action { return nil }
+
+// LazyDisk implements Algorithm 1's coordinator events: state relocation
+// is the only global decision; state spill remains a purely local decision
+// at each engine, taken only when that engine's own memory overflows.
+// Relocation is preferred for as long as any machine in the cluster can
+// hold the states of overloaded machines.
+type LazyDisk struct {
+	Cfg            RelocationConfig
+	lastRelocation vclock.Time
+	relocations    int
+}
+
+// NewLazyDisk returns a lazy-disk strategy with the given relocation knobs.
+func NewLazyDisk(cfg RelocationConfig) *LazyDisk {
+	return &LazyDisk{Cfg: cfg, lastRelocation: vclock.Time(-1 << 62)}
+}
+
+// Name implements Strategy.
+func (s *LazyDisk) Name() string { return "lazy-disk" }
+
+// Relocations reports how many relocations the strategy has triggered.
+func (s *LazyDisk) Relocations() int { return s.relocations }
+
+// Decide implements Strategy.
+func (s *LazyDisk) Decide(loads []EngineLoad, now vclock.Time) *Action {
+	r := DecideRelocation(loads, s.Cfg, now, s.lastRelocation)
+	if r == nil {
+		return nil
+	}
+	s.lastRelocation = now
+	s.relocations++
+	return &Action{Relocate: r}
+}
+
+// ActiveDiskConfig holds the extra knobs of Algorithm 2.
+type ActiveDiskConfig struct {
+	Relocation RelocationConfig
+	// Lambda is the productivity ratio threshold: when R_max/R_min > λ
+	// the coordinator forces the least productive machine to spill.
+	Lambda float64
+	// ForcedFraction is the share of the target machine's resident state
+	// pushed per forced spill.
+	ForcedFraction float64
+	// MaxForcedBytes caps the cumulative amount of state the coordinator
+	// may force to disk — the paper's M_query − M_cluster bound (100 MB
+	// in its experiments). Zero means no cap.
+	MaxForcedBytes int64
+	// MemHighWater gates forced spills on memory pressure: the paper
+	// forces the less productive machine's partitions to disk "but only
+	// if extra memory is needed", so no spill is forced while every
+	// machine sits below this many bytes. Zero disables the gate.
+	MemHighWater int64
+}
+
+// ActiveDisk implements Algorithm 2: relocation is still preferred, but
+// when memory usage is balanced (M_least/M_max >= θ_r) and one machine's
+// average productivity rate is far below the others (R_max/R_min > λ),
+// the coordinator proactively forces that machine to spill, so that the
+// globally productive partitions can occupy the freed memory.
+type ActiveDisk struct {
+	Cfg            ActiveDiskConfig
+	lastRelocation vclock.Time
+	relocations    int
+	forcedSpills   int
+	forcedBytes    int64
+}
+
+// NewActiveDisk returns an active-disk strategy with the given knobs.
+func NewActiveDisk(cfg ActiveDiskConfig) *ActiveDisk {
+	return &ActiveDisk{Cfg: cfg, lastRelocation: vclock.Time(-1 << 62)}
+}
+
+// Name implements Strategy.
+func (s *ActiveDisk) Name() string { return "active-disk" }
+
+// Relocations reports how many relocations the strategy has triggered.
+func (s *ActiveDisk) Relocations() int { return s.relocations }
+
+// ForcedSpills reports how many forced spills the strategy has triggered.
+func (s *ActiveDisk) ForcedSpills() int { return s.forcedSpills }
+
+// ForcedBytes reports the cumulative bytes of forced spill issued.
+func (s *ActiveDisk) ForcedBytes() int64 { return s.forcedBytes }
+
+// Decide implements Strategy.
+func (s *ActiveDisk) Decide(loads []EngineLoad, now vclock.Time) *Action {
+	if r := DecideRelocation(loads, s.Cfg.Relocation, now, s.lastRelocation); r != nil {
+		s.lastRelocation = now
+		s.relocations++
+		return &Action{Relocate: r}
+	}
+	if len(loads) < 2 || s.Cfg.Lambda <= 0 {
+		return nil
+	}
+	if s.Cfg.MemHighWater > 0 {
+		pressured := false
+		for _, l := range loads {
+			if l.MemBytes >= s.Cfg.MemHighWater {
+				pressured = true
+				break
+			}
+		}
+		if !pressured {
+			return nil
+		}
+	}
+	maxR, minR := loads[0], loads[0]
+	for _, l := range loads[1:] {
+		if l.ProductivityRate() > maxR.ProductivityRate() {
+			maxR = l
+		}
+		if l.ProductivityRate() < minR.ProductivityRate() {
+			minR = l
+		}
+	}
+	if maxR.Node == minR.Node || minR.MemBytes <= 0 {
+		return nil
+	}
+	rMin := minR.ProductivityRate()
+	rMax := maxR.ProductivityRate()
+	if rMax <= 0 {
+		return nil
+	}
+	if rMin > 0 && rMax/rMin <= s.Cfg.Lambda {
+		return nil
+	}
+	amount := int64(float64(minR.MemBytes) * s.Cfg.ForcedFraction)
+	if amount <= 0 {
+		return nil
+	}
+	if s.Cfg.MaxForcedBytes > 0 {
+		remaining := s.Cfg.MaxForcedBytes - s.forcedBytes
+		if remaining <= 0 {
+			return nil
+		}
+		if amount > remaining {
+			amount = remaining
+		}
+	}
+	s.forcedSpills++
+	s.forcedBytes += amount
+	return &Action{ForceSpill: &ForcedSpill{Node: minR.Node, Amount: amount}}
+}

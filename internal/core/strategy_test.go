@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestNoAdaptNeverActs(t *testing.T) {
+	s := NoAdapt{}
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1 << 30},
+		{Node: "m2", MemBytes: 1},
+	}
+	if a := s.Decide(loads, vclock.Time(time.Hour)); a != nil {
+		t.Fatalf("NoAdapt acted: %v", a)
+	}
+	if s.Name() != "no-relocation" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+}
+
+func TestLazyDiskRelocates(t *testing.T) {
+	s := NewLazyDisk(relocCfg())
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000},
+		{Node: "m2", MemBytes: 100},
+	}
+	a := s.Decide(loads, vclock.Time(time.Minute))
+	if a == nil || a.Relocate == nil {
+		t.Fatalf("lazy-disk did not relocate: %v", a)
+	}
+	if a.ForceSpill != nil {
+		t.Fatal("lazy-disk issued a forced spill")
+	}
+	if s.Relocations() != 1 {
+		t.Fatalf("Relocations = %d", s.Relocations())
+	}
+}
+
+func TestLazyDiskHonorsMinGapBetweenDecisions(t *testing.T) {
+	s := NewLazyDisk(relocCfg())
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000},
+		{Node: "m2", MemBytes: 100},
+	}
+	now := vclock.Time(time.Minute)
+	if a := s.Decide(loads, now); a == nil {
+		t.Fatal("first decision missing")
+	}
+	if a := s.Decide(loads, now.Add(10*time.Second)); a != nil {
+		t.Fatalf("second decision inside τ_m: %v", a)
+	}
+	if a := s.Decide(loads, now.Add(50*time.Second)); a == nil {
+		t.Fatal("decision after τ_m missing")
+	}
+	if s.Relocations() != 2 {
+		t.Fatalf("Relocations = %d, want 2", s.Relocations())
+	}
+}
+
+func activeCfg() ActiveDiskConfig {
+	return ActiveDiskConfig{
+		Relocation:     relocCfg(),
+		Lambda:         2,
+		ForcedFraction: 0.3,
+		MaxForcedBytes: 1000,
+	}
+}
+
+func TestActiveDiskPrefersRelocation(t *testing.T) {
+	s := NewActiveDisk(activeCfg())
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10, OutputDelta: 1000},
+		{Node: "m2", MemBytes: 100, Groups: 10, OutputDelta: 1},
+	}
+	a := s.Decide(loads, vclock.Time(time.Minute))
+	if a == nil || a.Relocate == nil {
+		t.Fatalf("active-disk did not relocate on imbalanced memory: %v", a)
+	}
+}
+
+func TestActiveDiskForcesSpillOnProductivityGap(t *testing.T) {
+	s := NewActiveDisk(activeCfg())
+	// Memory balanced (ratio 0.9 >= θ_r), productivity ratio 10 > λ=2.
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10, OutputDelta: 1000},
+		{Node: "m2", MemBytes: 900, Groups: 10, OutputDelta: 100},
+	}
+	a := s.Decide(loads, vclock.Time(time.Minute))
+	if a == nil || a.ForceSpill == nil {
+		t.Fatalf("active-disk did not force a spill: %v", a)
+	}
+	if a.ForceSpill.Node != "m2" {
+		t.Fatalf("forced spill at %s, want m2 (least productive)", a.ForceSpill.Node)
+	}
+	if want := int64(900 * 0.3); a.ForceSpill.Amount != want {
+		t.Fatalf("amount = %d, want %d", a.ForceSpill.Amount, want)
+	}
+	if s.ForcedSpills() != 1 {
+		t.Fatalf("ForcedSpills = %d", s.ForcedSpills())
+	}
+}
+
+func TestActiveDiskNoSpillWhenProductivityBalanced(t *testing.T) {
+	s := NewActiveDisk(activeCfg())
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10, OutputDelta: 150},
+		{Node: "m2", MemBytes: 900, Groups: 10, OutputDelta: 100}, // ratio 1.5 <= 2
+	}
+	if a := s.Decide(loads, vclock.Time(time.Minute)); a != nil {
+		t.Fatalf("acted on balanced productivity: %v", a)
+	}
+}
+
+func TestActiveDiskForcedSpillCap(t *testing.T) {
+	cfg := activeCfg()
+	cfg.MaxForcedBytes = 400
+	s := NewActiveDisk(cfg)
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10, OutputDelta: 1000},
+		{Node: "m2", MemBytes: 900, Groups: 10, OutputDelta: 1},
+	}
+	var total int64
+	for i := 0; i < 10; i++ {
+		a := s.Decide(loads, vclock.Time(time.Duration(i)*time.Minute))
+		if a == nil {
+			continue
+		}
+		if a.ForceSpill == nil {
+			t.Fatalf("unexpected action %v", a)
+		}
+		total += a.ForceSpill.Amount
+	}
+	if total != 400 {
+		t.Fatalf("total forced = %d, want capped at 400", total)
+	}
+	if s.ForcedBytes() != 400 {
+		t.Fatalf("ForcedBytes = %d", s.ForcedBytes())
+	}
+}
+
+func TestActiveDiskZeroProductivityFloor(t *testing.T) {
+	s := NewActiveDisk(activeCfg())
+	// minR has zero output: ratio is infinite, spill should trigger.
+	loads := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10, OutputDelta: 500},
+		{Node: "m2", MemBytes: 950, Groups: 10, OutputDelta: 0},
+	}
+	a := s.Decide(loads, vclock.Time(time.Minute))
+	if a == nil || a.ForceSpill == nil || a.ForceSpill.Node != "m2" {
+		t.Fatalf("zero-productivity machine not forced to spill: %v", a)
+	}
+	// Everyone idle: no action.
+	idle := []EngineLoad{
+		{Node: "m1", MemBytes: 1000, Groups: 10},
+		{Node: "m2", MemBytes: 950, Groups: 10},
+	}
+	s2 := NewActiveDisk(activeCfg())
+	if a := s2.Decide(idle, vclock.Time(time.Minute)); a != nil {
+		t.Fatalf("acted on fully idle cluster: %v", a)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	a := Action{Relocate: &Relocation{Sender: "a", Receiver: "b", Amount: 5}}
+	if a.String() == "" || a.String() == "no-op" {
+		t.Fatalf("String = %q", a.String())
+	}
+	f := Action{ForceSpill: &ForcedSpill{Node: "c", Amount: 7}}
+	if f.String() == "" || f.String() == "no-op" {
+		t.Fatalf("String = %q", f.String())
+	}
+	if (Action{}).String() != "no-op" {
+		t.Fatal("empty action String")
+	}
+}

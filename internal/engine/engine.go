@@ -1,0 +1,545 @@
+// Package engine implements a query engine (QE): one cluster machine
+// executing an instance of the partitioned m-way join, together with its
+// local adaptation controller (paper §2). The controller owns the
+// fine-grained decisions: which partition groups to spill on local memory
+// overflow (ss_timer), which groups to hand over when the coordinator
+// requests a relocation (cptv), and the engine side of the 8-step
+// relocation protocol.
+//
+// The engine is event-driven: every input — data batches, control
+// messages, and its own timers (self-addressed Tick messages) — arrives
+// through the transport's serial handler, so the engine never needs
+// internal locking, mirroring a single query processor thread per machine.
+package engine
+
+import (
+	"fmt"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cleanup"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/operator"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/spill"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// resultFlushThreshold bounds how many materialized results are buffered
+// before a ResultData message is pushed to the application server.
+const resultFlushThreshold = 4096
+
+// Config parameterizes a query engine.
+type Config struct {
+	Node        partition.NodeID
+	Coordinator partition.NodeID
+	AppServer   partition.NodeID
+	// Inputs is the number of join inputs (m).
+	Inputs int
+	// Partitions is the partition function's modulus.
+	Partitions int
+	// Spill holds the local overflow threshold and k% fraction.
+	Spill core.SpillConfig
+	// LocalSpill enables the ss_timer overflow check. Disabled for the
+	// paper's All-Mem baseline.
+	LocalSpill bool
+	// Policy selects spill victims (default: less-productive).
+	Policy core.Policy
+	// Store persists spilled segments (default: in-memory).
+	Store spill.Store
+	// Materialize makes the engine ship full results to the application
+	// server instead of counts.
+	Materialize bool
+	// EnumerateResults makes the engine enumerate every result tuple
+	// without shipping it — the realistic cost model (results are
+	// produced and handed to a local consumer) without drowning the
+	// application server, used by the throughput experiments whose
+	// cleanup durations the paper reports.
+	EnumerateResults bool
+	// StatsInterval is the sr_timer period (virtual).
+	StatsInterval time.Duration
+	// SpillCheckInterval is the ss_timer period (virtual).
+	SpillCheckInterval time.Duration
+	// PreFilter, when set, is a stateless operator chain (select/
+	// project) applied to every arriving tuple before it enters the
+	// join's state — the paper's stateless operators sitting in front
+	// of the partitioned operator.
+	PreFilter operator.Operator
+	// Window, when positive, runs the join with a sliding time window
+	// (virtual): arriving tuples only match stored tuples within Window
+	// of their timestamp, and expired state is purged on every stats
+	// tick — the paper's infinite-streams-with-finite-windows case.
+	Window time.Duration
+	// SmoothingAlpha, when positive, switches the local controller to
+	// the paper's amortized productivity model (§2): an exponentially
+	// weighted moving average over per-period Δoutput/Δbytes, updated on
+	// every sr_timer expiry, drives victim and mover selection instead
+	// of the lifetime ratio. Ignored when an explicit Policy is set for
+	// spills (the movers still use the smoothed scores).
+	SmoothingAlpha float64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Policy == nil {
+		out.Policy = core.LessProductivePolicy{}
+	}
+	if out.Store == nil {
+		out.Store = spill.NewMemStore()
+	}
+	if out.StatsInterval <= 0 {
+		out.StatsInterval = 5 * time.Second
+	}
+	if out.SpillCheckInterval <= 0 {
+		out.SpillCheckInterval = 2 * time.Second
+	}
+	return out
+}
+
+// Engine is one query engine instance. All methods except Start/Stop are
+// invoked from the transport handler goroutine.
+type Engine struct {
+	cfg   Config
+	clock vclock.Clock
+	ep    transport.Endpoint
+	op    *join.Operator
+	mgr   *spill.Manager
+	mode  core.Mode
+
+	events  *stats.EventLog
+	tracker *core.ProductivityTracker
+
+	// pendingReloc tracks the in-flight relocation this engine sends.
+	pendingReloc *relocState
+
+	// result accounting
+	reportedOutput uint64
+	resultBuf      []tuple.Result
+	resultPhase    proto.Phase
+
+	tickers []*vclock.Ticker
+	stopped bool
+
+	// lastReport is the most recent statistics snapshot, readable from
+	// other goroutines (monitoring endpoints).
+	lastReport atomic.Pointer[proto.StatsReport]
+}
+
+type relocState struct {
+	epoch    uint64
+	receiver partition.NodeID
+	parts    []partition.ID
+}
+
+// New builds an engine; Attach must be called before Start.
+func New(cfg Config, clock vclock.Clock) *Engine {
+	c := cfg.withDefaults()
+	e := &Engine{cfg: c, clock: clock, events: stats.NewEventLog()}
+	if c.SmoothingAlpha > 0 {
+		e.tracker = core.NewProductivityTracker(c.SmoothingAlpha)
+		if cfg.Policy == nil {
+			e.cfg.Policy = core.SmoothedLessProductive{T: e.tracker}
+			c = e.cfg
+		}
+	}
+	var emit join.EmitFunc
+	switch {
+	case c.Materialize:
+		emit = func(r tuple.Result) { e.bufferResult(r) }
+	case c.EnumerateResults:
+		emit = func(tuple.Result) {}
+	}
+	if c.Window > 0 {
+		e.op = join.NewWindowed(c.Inputs, partition.NewFunc(c.Partitions), c.Window, emit)
+	} else {
+		e.op = join.New(c.Inputs, partition.NewFunc(c.Partitions), emit)
+	}
+	e.mgr = spill.NewManager(e.op, c.Store, c.Policy)
+	return e
+}
+
+// Attach joins the engine to the network.
+func (e *Engine) Attach(net transport.Network) error {
+	ep, err := net.Attach(e.cfg.Node, e.Handle)
+	if err != nil {
+		return err
+	}
+	e.ep = ep
+	return nil
+}
+
+// Start announces the engine to the coordinator and arms its timers. The
+// Hello is informational (engines are statically configured at the
+// coordinator), so a coordinator that is still coming up is retried in
+// the background rather than failing startup.
+func (e *Engine) Start() error {
+	if e.ep == nil {
+		return fmt.Errorf("engine %s: not attached", e.cfg.Node)
+	}
+	hello := proto.Hello{Node: e.cfg.Node, Kind: proto.KindEngine}
+	if err := e.ep.Send(e.cfg.Coordinator, hello); err != nil {
+		go func() {
+			for i := 0; i < 20; i++ {
+				time.Sleep(250 * time.Millisecond)
+				if e.ep.Send(e.cfg.Coordinator, hello) == nil {
+					return
+				}
+			}
+			log.Printf("engine %s: coordinator unreachable for hello", e.cfg.Node)
+		}()
+	}
+	e.armTicker(e.cfg.StatsInterval, proto.TickStats)
+	if e.cfg.LocalSpill {
+		e.armTicker(e.cfg.SpillCheckInterval, proto.TickSpill)
+	}
+	return nil
+}
+
+func (e *Engine) armTicker(period time.Duration, kind string) {
+	tk := e.clock.NewTicker(period)
+	e.tickers = append(e.tickers, tk)
+	self := e.cfg.Node
+	go func() {
+		for range tk.C {
+			if err := e.ep.Send(self, proto.Tick{Kind: kind}); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+// Events exposes the engine's adaptation event log.
+func (e *Engine) Events() *stats.EventLog { return e.events }
+
+// Handle is the engine's transport handler.
+func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
+	if e.stopped {
+		return
+	}
+	var err error
+	switch m := msg.(type) {
+	case proto.Data:
+		err = e.onData(m)
+	case proto.PauseMarker:
+		err = e.ep.Send(e.cfg.Coordinator, proto.MarkerAck{Epoch: m.Epoch, Node: e.cfg.Node})
+	case proto.Tick:
+		err = e.onTick(m)
+	case proto.CptV:
+		err = e.onCptV(m)
+	case proto.SendStates:
+		err = e.onSendStates(m)
+	case proto.StateTransfer:
+		err = e.onStateTransfer(m)
+	case proto.ForceSpill:
+		err = e.onForceSpill(m)
+	case proto.Drain:
+		err = e.onDrain(from, m)
+	case proto.StartCleanup:
+		err = e.onCleanup(from)
+	case proto.Stop:
+		e.shutdown()
+	default:
+		err = fmt.Errorf("unexpected message %T from %s", msg, from)
+	}
+	if err != nil {
+		log.Printf("engine %s: %v", e.cfg.Node, err)
+	}
+}
+
+func (e *Engine) onData(m proto.Data) error {
+	batch, err := tuple.DecodeBatch(m.Payload)
+	if err != nil {
+		return fmt.Errorf("decode batch: %w", err)
+	}
+	if e.cfg.PreFilter == nil {
+		if _, err := e.op.ProcessBatch(&batch); err != nil {
+			return err
+		}
+	} else {
+		for i := range batch.Tuples {
+			t, ok := e.cfg.PreFilter.Apply(batch.Tuples[i])
+			if !ok {
+				continue
+			}
+			if _, err := e.op.Process(t); err != nil {
+				return err
+			}
+		}
+	}
+	e.maybeFlushResults(false)
+	return nil
+}
+
+func (e *Engine) onTick(m proto.Tick) error {
+	switch m.Kind {
+	case proto.TickStats:
+		return e.reportStats()
+	case proto.TickSpill:
+		// Algorithm 1, ss_timer_expired: spill only from normal mode;
+		// in any adaptation mode, wait for the next timer expiry.
+		if e.mode != core.NormalMode || !e.cfg.LocalSpill {
+			return nil
+		}
+		amount := e.cfg.Spill.SpillAmount(e.op.MemBytes())
+		if amount <= 0 {
+			return nil
+		}
+		return e.spill(amount, stats.EventSpill)
+	default:
+		return fmt.Errorf("unknown tick %q", m.Kind)
+	}
+}
+
+func (e *Engine) spill(amount int64, kind string) error {
+	e.mode = core.SpillMode
+	res, err := e.mgr.Spill(amount, e.clock.Now())
+	e.mode = core.NormalMode
+	if err != nil {
+		return err
+	}
+	e.events.Add(stats.Event{
+		T: res.When, Node: e.cfg.Node, Kind: kind,
+		Detail: fmt.Sprintf("%d groups, %d bytes", len(res.Groups), res.Bytes),
+	})
+	return nil
+}
+
+func (e *Engine) reportStats() error {
+	if e.cfg.Window > 0 {
+		e.op.Purge(e.clock.Now().Add(-e.cfg.Window))
+	}
+	if e.tracker != nil {
+		e.tracker.Observe(e.op.Stats())
+	}
+	report := proto.StatsReport{
+		Node:         e.cfg.Node,
+		MemBytes:     e.op.MemBytes(),
+		Groups:       e.op.Groups(),
+		Output:       e.op.Output(),
+		SpillCount:   e.mgr.Count(),
+		SpilledBytes: e.mgr.SpilledBytes(),
+		DiskSegments: e.cfg.Store.SegmentCount(),
+	}
+	e.lastReport.Store(&report)
+	if err := e.ep.Send(e.cfg.Coordinator, report); err != nil {
+		return err
+	}
+	return e.reportResults()
+}
+
+// StatsSnapshot returns the engine's most recent statistics report. It is
+// safe for concurrent use (monitoring endpoints); a zero report means no
+// sr_timer has fired yet.
+func (e *Engine) StatsSnapshot() proto.StatsReport {
+	if r := e.lastReport.Load(); r != nil {
+		return *r
+	}
+	return proto.StatsReport{Node: e.cfg.Node}
+}
+
+func (e *Engine) reportResults() error {
+	e.maybeFlushResults(true)
+	delta := e.op.Output() - e.reportedOutput
+	if delta == 0 {
+		return nil
+	}
+	e.reportedOutput = e.op.Output()
+	return e.ep.Send(e.cfg.AppServer, proto.ResultCount{Node: e.cfg.Node, Delta: delta})
+}
+
+// onCptV implements the engine's cptv event: pick the most productive
+// groups worth the requested amount (they stay active in the receiver's
+// memory) and answer with the list.
+func (e *Engine) onCptV(m proto.CptV) error {
+	e.mode = core.RelocateMode
+	var parts []partition.ID
+	if e.tracker != nil {
+		parts = core.SmoothedMostProductiveMovers(e.tracker, e.op.Stats(), m.Amount)
+	} else {
+		parts = core.MostProductiveMovers(e.op.Stats(), m.Amount)
+	}
+	e.pendingReloc = &relocState{epoch: m.Epoch, receiver: m.Receiver, parts: parts}
+	if len(parts) == 0 {
+		e.mode = core.NormalMode
+		e.pendingReloc = nil
+	}
+	return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: parts})
+}
+
+// onSendStates implements protocol step 5/6: extract the moving groups —
+// resident generation plus their disk segments, which follow the group so
+// cleanup stays local — and ship them to the receiver. If the transfer
+// cannot be sent (receiver unreachable), the extracted state is
+// reinstalled locally: an aborted relocation must never lose state.
+func (e *Engine) onSendStates(m proto.SendStates) error {
+	defer func() {
+		e.mode = core.NormalMode
+		e.pendingReloc = nil
+	}()
+	xfer := proto.StateTransfer{Epoch: m.Epoch}
+	var residents []*join.GroupSnapshot
+	var segments []*join.GroupSnapshot
+	for _, id := range m.Partitions {
+		if snap := e.op.RemoveForRelocation(id); snap != nil {
+			residents = append(residents, snap)
+			xfer.Resident = append(xfer.Resident, join.EncodeSnapshot(snap))
+		}
+		if e.tracker != nil {
+			e.tracker.Forget(id)
+		}
+		segs, err := e.cfg.Store.Remove(id)
+		if err != nil {
+			return fmt.Errorf("extract segments of group %d: %w", id, err)
+		}
+		for _, seg := range segs {
+			segments = append(segments, seg)
+			xfer.Segments = append(xfer.Segments, join.EncodeSnapshot(seg))
+		}
+	}
+	if err := e.ep.Send(m.Receiver, xfer); err != nil {
+		for _, snap := range residents {
+			if ierr := e.op.Install(snap); ierr != nil {
+				return fmt.Errorf("reinstall after failed transfer: %v (transfer: %w)", ierr, err)
+			}
+		}
+		for _, seg := range segments {
+			if werr := e.cfg.Store.Write(seg); werr != nil {
+				return fmt.Errorf("restore segments after failed transfer: %v (transfer: %w)", werr, err)
+			}
+		}
+		return fmt.Errorf("state transfer to %s failed, state reinstalled locally: %w", m.Receiver, err)
+	}
+	return nil
+}
+
+// onStateTransfer implements the receiver side of step 6.
+func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
+	for _, buf := range m.Resident {
+		snap, err := join.DecodeSnapshot(buf)
+		if err != nil {
+			return fmt.Errorf("decode transferred state: %w", err)
+		}
+		if err := e.op.Install(snap); err != nil {
+			return err
+		}
+	}
+	for _, buf := range m.Segments {
+		seg, err := join.DecodeSnapshot(buf)
+		if err != nil {
+			return fmt.Errorf("decode transferred segment: %w", err)
+		}
+		if err := e.cfg.Store.Write(seg); err != nil {
+			return err
+		}
+	}
+	return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
+}
+
+// onForceSpill implements the active-disk start_ss event.
+func (e *Engine) onForceSpill(m proto.ForceSpill) error {
+	var bytes int64
+	if err := func() error {
+		before := e.mgr.SpilledBytes()
+		if err := e.spill(m.Amount, stats.EventForcedSpill); err != nil {
+			return err
+		}
+		bytes = e.mgr.SpilledBytes() - before
+		return nil
+	}(); err != nil {
+		return err
+	}
+	return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: bytes})
+}
+
+func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {
+	if err := e.reportStats(); err != nil {
+		return err
+	}
+	return e.ep.Send(from, proto.DrainAck{Token: m.Token, Node: e.cfg.Node})
+}
+
+// onCleanup runs the disk-phase cleanup over this engine's store and
+// resident state, shipping results (materializing mode) and reporting the
+// outcome to the requester.
+func (e *Engine) onCleanup(from partition.NodeID) error {
+	var emit join.EmitFunc
+	switch {
+	case e.cfg.Materialize:
+		e.resultPhase = proto.PhaseCleanup
+		emit = func(r tuple.Result) { e.bufferResult(r) }
+	case e.cfg.EnumerateResults:
+		emit = func(tuple.Result) {}
+	}
+	st, err := cleanup.Run(e.cfg.Inputs, e.cfg.Store, e.op, e.cfg.Window, emit)
+	done := proto.CleanupDone{
+		Node:      e.cfg.Node,
+		Groups:    st.Groups,
+		Segments:  st.Segments,
+		Tuples:    st.Tuples,
+		Results:   st.Results,
+		ElapsedNs: st.Elapsed.Nanoseconds(),
+	}
+	if err != nil {
+		// Report the failure instead of leaving the requester waiting.
+		done.Error = err.Error()
+	}
+	e.maybeFlushResults(true)
+	if sendErr := e.ep.Send(from, done); sendErr != nil {
+		return sendErr
+	}
+	return err
+}
+
+func (e *Engine) bufferResult(r tuple.Result) {
+	e.resultBuf = append(e.resultBuf, r)
+	if len(e.resultBuf) >= resultFlushThreshold {
+		e.maybeFlushResults(true)
+	}
+}
+
+func (e *Engine) maybeFlushResults(force bool) {
+	if len(e.resultBuf) == 0 || (!force && len(e.resultBuf) < resultFlushThreshold) {
+		return
+	}
+	size := 0
+	for i := range e.resultBuf {
+		size += e.resultBuf[i].EncodedSize()
+	}
+	payload := make([]byte, 0, size)
+	for i := range e.resultBuf {
+		payload = e.resultBuf[i].AppendTo(payload)
+	}
+	e.resultBuf = e.resultBuf[:0]
+	if err := e.ep.Send(e.cfg.AppServer, proto.ResultData{Node: e.cfg.Node, Payload: payload, Phase: e.resultPhase}); err != nil {
+		log.Printf("engine %s: flush results: %v", e.cfg.Node, err)
+	}
+}
+
+func (e *Engine) shutdown() {
+	e.stopped = true
+	for _, tk := range e.tickers {
+		tk.Stop()
+	}
+}
+
+// Stop halts the engine's timers (idempotent, callable from any
+// goroutine once the experiment is over).
+func (e *Engine) Stop() {
+	if e.ep != nil {
+		// Route through the handler for single-threaded shutdown.
+		_ = e.ep.Send(e.cfg.Node, proto.Stop{})
+	}
+}
+
+// Op exposes the join operator for post-run inspection by the harness
+// (only safe after the engine is stopped or drained).
+func (e *Engine) Op() *join.Operator { return e.op }
+
+// SpillManager exposes spill statistics for post-run inspection.
+func (e *Engine) SpillManager() *spill.Manager { return e.mgr }

@@ -1,0 +1,402 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/operator"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/spill"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// peer is a scripted cluster node collecting what the engine sends it.
+type peer struct {
+	ep   transport.Endpoint
+	msgs chan peerMsg
+}
+
+type peerMsg struct {
+	from partition.NodeID
+	msg  proto.Message
+}
+
+func newPeer(t *testing.T, net transport.Network, node partition.NodeID) *peer {
+	t.Helper()
+	p := &peer{msgs: make(chan peerMsg, 256)}
+	ep, err := net.Attach(node, func(from partition.NodeID, msg proto.Message) {
+		p.msgs <- peerMsg{from, msg}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.ep = ep
+	return p
+}
+
+// expect waits for the next message of type T from the peer's inbox.
+func expect[T proto.Message](t *testing.T, p *peer) T {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-p.msgs:
+			if v, ok := m.msg.(T); ok {
+				return v
+			}
+			// Skip unrelated traffic (stats reports etc.).
+		case <-deadline:
+			var zero T
+			t.Fatalf("timed out waiting for %T", zero)
+			return zero
+		}
+	}
+}
+
+// rig assembles an engine plus gc/app/gen peers over inproc transport.
+type rig struct {
+	engine *Engine
+	gc     *peer
+	app    *peer
+	gen    *peer
+	store  spill.Store
+}
+
+func newRig(t *testing.T, mutate func(*Config)) *rig {
+	t.Helper()
+	net := transport.NewInproc()
+	t.Cleanup(func() { net.Close() })
+	store := spill.NewMemStore()
+	cfg := Config{
+		Node:        "m1",
+		Coordinator: "gc",
+		AppServer:   "app",
+		Inputs:      2,
+		Partitions:  4,
+		Store:       store,
+		// Long intervals: tests drive ticks explicitly.
+		StatsInterval:      time.Hour,
+		SpillCheckInterval: time.Hour,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e := New(cfg, vclock.NewManual())
+	if err := e.Attach(net); err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{
+		engine: e,
+		gc:     newPeer(t, net, "gc"),
+		app:    newPeer(t, net, "app"),
+		gen:    newPeer(t, net, "gen"),
+		store:  store,
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Consume the Hello.
+	expect[proto.Hello](t, r.gc)
+	return r
+}
+
+func dataMsg(t *testing.T, tuples ...tuple.Tuple) proto.Data {
+	t.Helper()
+	b := tuple.Batch{Tuples: tuples}
+	return proto.Data{Payload: b.Encode(), MapVersion: 1}
+}
+
+func mk(stream uint8, key, seq uint64) tuple.Tuple {
+	return tuple.Tuple{Stream: stream, Key: key, Seq: seq, Payload: make([]byte, 8)}
+}
+
+// drainEngine fences the engine's handler queue.
+func (r *rig) drain(t *testing.T) {
+	t.Helper()
+	if err := r.gen.ep.Send("m1", proto.Drain{Token: 99}); err != nil {
+		t.Fatal(err)
+	}
+	expect[proto.DrainAck](t, r.gen)
+}
+
+func TestEngineProcessesDataAndReportsStats(t *testing.T) {
+	r := newRig(t, nil)
+	if err := r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2))); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickStats}); err != nil {
+		t.Fatal(err)
+	}
+	report := expect[proto.StatsReport](t, r.gc)
+	if report.Node != "m1" || report.Output != 1 || report.MemBytes == 0 {
+		t.Fatalf("report = %+v", report)
+	}
+	rc := expect[proto.ResultCount](t, r.app)
+	if rc.Delta != 1 {
+		t.Fatalf("result count delta = %d", rc.Delta)
+	}
+	// A second stats tick with no new data reports no new results.
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickStats})
+	expect[proto.StatsReport](t, r.gc)
+	select {
+	case m := <-r.app.msgs:
+		t.Fatalf("unexpected app message %T", m.msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestEngineLocalSpillOnTick(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.LocalSpill = true
+		c.Spill = core.SpillConfig{MemThreshold: 100, Fraction: 0.5}
+	})
+	for i := 0; i < 10; i++ {
+		r.gen.ep.Send("m1", dataMsg(t, mk(0, uint64(i), uint64(i))))
+	}
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickSpill})
+	r.drain(t)
+	if r.engine.SpillManager().Count() != 1 {
+		t.Fatalf("spills = %d, want 1", r.engine.SpillManager().Count())
+	}
+	if r.store.SegmentCount() == 0 {
+		t.Fatal("no segments persisted")
+	}
+	if got := r.engine.Events().Count("spill"); got != 1 {
+		t.Fatalf("spill events = %d", got)
+	}
+}
+
+func TestEngineSpillTickBelowThresholdNoop(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.LocalSpill = true
+		c.Spill = core.SpillConfig{MemThreshold: 1 << 30, Fraction: 0.5}
+	})
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1)))
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickSpill})
+	r.drain(t)
+	if r.engine.SpillManager().Count() != 0 {
+		t.Fatal("spilled below threshold")
+	}
+}
+
+func TestEngineForcedSpill(t *testing.T) {
+	r := newRig(t, nil)
+	for i := 0; i < 10; i++ {
+		r.gen.ep.Send("m1", dataMsg(t, mk(0, uint64(i), uint64(i))))
+	}
+	if err := r.gc.ep.Send("m1", proto.ForceSpill{Amount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	done := expect[proto.SpillDone](t, r.gc)
+	if done.Node != "m1" || done.Bytes < 200 {
+		t.Fatalf("SpillDone = %+v", done)
+	}
+	if got := r.engine.Events().Count("forced-spill"); got != 1 {
+		t.Fatalf("forced-spill events = %d", got)
+	}
+}
+
+func TestEnginePauseMarkerAck(t *testing.T) {
+	r := newRig(t, nil)
+	r.gen.ep.Send("m1", proto.PauseMarker{Epoch: 5})
+	ack := expect[proto.MarkerAck](t, r.gc)
+	if ack.Epoch != 5 || ack.Node != "m1" {
+		t.Fatalf("MarkerAck = %+v", ack)
+	}
+}
+
+func TestEngineRelocationSenderFlow(t *testing.T) {
+	net := transport.NewInproc()
+	defer net.Close()
+	store := spill.NewMemStore()
+	cfg := Config{
+		Node: "m1", Coordinator: "gc", AppServer: "app",
+		Inputs: 2, Partitions: 4, Store: store,
+		StatsInterval: time.Hour, SpillCheckInterval: time.Hour,
+	}
+	sender := New(cfg, vclock.NewManual())
+	if err := sender.Attach(net); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Node = "m2"
+	cfg2.Store = spill.NewMemStore()
+	receiver := New(cfg2, vclock.NewManual())
+	if err := receiver.Attach(net); err != nil {
+		t.Fatal(err)
+	}
+	gc := newPeer(t, net, "gc")
+	newPeer(t, net, "app")
+	gen := newPeer(t, net, "gen")
+	sender.Start()
+	receiver.Start()
+	expect[proto.Hello](t, gc)
+	expect[proto.Hello](t, gc)
+
+	// Load the sender with state in partitions 0 and 1, and spill part of
+	// partition 0 so a disk segment exists to transfer.
+	gen.ep.Send("m1", dataMsg(t, mk(0, 0, 1), mk(1, 0, 2), mk(0, 1, 3), mk(1, 1, 4)))
+	gc.ep.Send("m1", proto.ForceSpill{Amount: 1})
+	expect[proto.SpillDone](t, gc)
+
+	// Step 1-2: cptv -> ptv.
+	gc.ep.Send("m1", proto.CptV{Epoch: 1, Amount: 1 << 20, Receiver: "m2"})
+	ptv := expect[proto.PtV](t, gc)
+	if len(ptv.Partitions) == 0 {
+		t.Fatal("sender offered no partitions")
+	}
+	// Step 5: send states.
+	gc.ep.Send("m1", proto.SendStates{Epoch: 1, Partitions: ptv.Partitions, Receiver: "m2"})
+	installed := expect[proto.Installed](t, gc)
+	if installed.Node != "m2" || installed.Epoch != 1 {
+		t.Fatalf("Installed = %+v", installed)
+	}
+	// Fence both engines before inspecting state.
+	gen.ep.Send("m1", proto.Drain{Token: 1})
+	gen.ep.Send("m2", proto.Drain{Token: 1})
+	expect[proto.DrainAck](t, gen)
+	expect[proto.DrainAck](t, gen)
+
+	// The moved groups (and their segments) are gone from the sender.
+	for _, id := range ptv.Partitions {
+		if snap := sender.Op().ResidentSnapshot(id); snap != nil {
+			t.Fatalf("group %d still resident at sender", id)
+		}
+		if segs, _ := store.Read(id); len(segs) != 0 {
+			t.Fatalf("group %d segments still at sender", id)
+		}
+	}
+	// The receiver joins new tuples against the transferred state: key 0
+	// and key 1 each have a stream-0 tuple resident somewhere.
+	total := sender.Op().MemBytes() + receiver.Op().MemBytes()
+	if total == 0 {
+		t.Fatal("state vanished during relocation")
+	}
+}
+
+func TestEngineCleanupReportsAndShipsResults(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Materialize = true })
+	// Build cross-generation matches: spill after first pair.
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2)))
+	r.gc.ep.Send("m1", proto.ForceSpill{Amount: 1 << 20})
+	expect[proto.SpillDone](t, r.gc)
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 3), mk(1, 1, 4)))
+
+	if err := r.app.ep.Send("m1", proto.StartCleanup{}); err != nil {
+		t.Fatal(err)
+	}
+	done := expect[proto.CleanupDone](t, r.app)
+	// Runtime produced (1,2) and (3,4); cleanup must produce the two
+	// cross-generation matches (1,4) and (3,2).
+	if done.Results != 2 {
+		t.Fatalf("cleanup results = %d, want 2", done.Results)
+	}
+	if done.Segments != 1 || done.Groups != 1 {
+		t.Fatalf("cleanup done = %+v", done)
+	}
+}
+
+func TestEngineMaterializeShipsRuntimeResults(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.Materialize = true })
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2)))
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickStats})
+	rd := expect[proto.ResultData](t, r.app)
+	if rd.Phase != proto.PhaseRuntime {
+		t.Fatalf("phase = %v", rd.Phase)
+	}
+	res, used, err := tuple.DecodeResult(rd.Payload)
+	if err != nil || used != len(rd.Payload) {
+		t.Fatalf("decode: %v", err)
+	}
+	if res.Key != 1 || res.Seqs[0] != 1 || res.Seqs[1] != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestEngineIgnoresUnknownTick(t *testing.T) {
+	r := newRig(t, nil)
+	r.gen.ep.Send("m1", proto.Tick{Kind: "bogus"})
+	r.drain(t) // must not wedge the engine
+}
+
+func TestEngineStopHaltsProcessing(t *testing.T) {
+	r := newRig(t, nil)
+	r.engine.Stop()
+	time.Sleep(20 * time.Millisecond)
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2)))
+	time.Sleep(20 * time.Millisecond)
+	if r.engine.Op().Output() != 0 {
+		t.Fatal("engine processed data after Stop")
+	}
+}
+
+func TestEngineCptVWithNoStateAborts(t *testing.T) {
+	r := newRig(t, nil)
+	r.gc.ep.Send("m1", proto.CptV{Epoch: 2, Amount: 1000, Receiver: "m2"})
+	ptv := expect[proto.PtV](t, r.gc)
+	if len(ptv.Partitions) != 0 {
+		t.Fatalf("empty engine offered partitions: %v", ptv.Partitions)
+	}
+}
+
+func TestEngineStartRequiresAttach(t *testing.T) {
+	e := New(Config{Node: "m1", Inputs: 2, Partitions: 4}, vclock.NewManual())
+	if err := e.Start(); err == nil {
+		t.Fatal("Start before Attach succeeded")
+	}
+}
+
+func TestEnginePreFilterDropsAndRewrites(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.PreFilter = operator.Chain{
+			operator.Select{Label: "even", Pred: func(t *tuple.Tuple) bool { return t.Key%2 == 0 }},
+			operator.Project{Label: "strip", Map: func(t tuple.Tuple) tuple.Tuple { t.Payload = nil; return t }},
+		}
+	})
+	r.gen.ep.Send("m1", dataMsg(t,
+		mk(0, 2, 1), mk(1, 2, 2), // kept: match
+		mk(0, 3, 3), mk(1, 3, 4), // dropped: odd key
+	))
+	r.drain(t)
+	if r.engine.Op().Output() != 1 {
+		t.Fatalf("output = %d, want 1 (odd keys filtered)", r.engine.Op().Output())
+	}
+	// Projection stripped the payloads: only overhead bytes resident.
+	if got := r.engine.Op().MemBytes(); got != 2*56 {
+		t.Fatalf("MemBytes = %d, want %d", got, 2*56)
+	}
+}
+
+func TestEngineSmoothingObservesOnStatsTick(t *testing.T) {
+	r := newRig(t, func(c *Config) { c.SmoothingAlpha = 0.5 })
+	if r.engine.cfg.Policy.Name() != "push-less-productive-ewma" {
+		t.Fatalf("policy = %q", r.engine.cfg.Policy.Name())
+	}
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2)))
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickStats})
+	expect[proto.StatsReport](t, r.gc)
+	// CptV under smoothing uses the smoothed movers; it must still offer
+	// the group.
+	r.gc.ep.Send("m1", proto.CptV{Epoch: 1, Amount: 1 << 20, Receiver: "m2"})
+	ptv := expect[proto.PtV](t, r.gc)
+	if len(ptv.Partitions) != 1 {
+		t.Fatalf("smoothed movers offered %v", ptv.Partitions)
+	}
+}
+
+func TestEngineStatsSnapshotConcurrentRead(t *testing.T) {
+	r := newRig(t, nil)
+	if s := r.engine.StatsSnapshot(); s.Node != "m1" || s.Output != 0 {
+		t.Fatalf("zero snapshot = %+v", s)
+	}
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(1, 1, 2)))
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickStats})
+	expect[proto.StatsReport](t, r.gc)
+	if s := r.engine.StatsSnapshot(); s.Output != 1 || s.MemBytes == 0 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+}

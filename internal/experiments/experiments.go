@@ -1,0 +1,181 @@
+// Package experiments reproduces every figure of the paper's evaluation
+// (§3.2, §4.2, §5.2, §5.4). Each FigNN function runs the corresponding
+// experiment(s) on the cluster harness and returns a Report: the series
+// the paper plots, plus shape claims ("who wins, by roughly what factor")
+// checked against the paper's findings.
+//
+// Absolute numbers differ from the paper's 2004-era Xeon cluster; every
+// workload keeps the paper's parameters in virtual time (30 ms input
+// rate, tuple ranges, join rates, τ_m = 45 s, θ_r values) and scales
+// memory thresholds to the synthetic tuple sizes, as documented in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// RunOpts tunes how experiments execute without changing their shape.
+type RunOpts struct {
+	// Scale is the virtual-time compression factor (default 600: one
+	// virtual minute per 100 ms).
+	Scale float64
+	// DurationFactor shrinks every experiment's virtual duration (and
+	// phase lengths where applicable); 1 runs the paper's durations.
+	// Tests use small factors for speed.
+	DurationFactor float64
+	// StoreDir, when set, uses file-backed segment stores.
+	StoreDir string
+}
+
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Scale <= 0 {
+		o.Scale = 600
+	}
+	if o.DurationFactor <= 0 {
+		o.DurationFactor = 1
+	}
+	return o
+}
+
+// scaleDur shrinks a paper duration by the run options.
+func (o RunOpts) scaleDur(d time.Duration) time.Duration {
+	s := time.Duration(float64(d) * o.DurationFactor)
+	if s < time.Minute {
+		s = time.Minute
+	}
+	return s
+}
+
+// scaleWorkload shrinks the classes' tuple ranges along with the duration
+// so a shortened run spans the same number of multiplicative-factor
+// windows as the paper's run — the workload's shape, not just its length,
+// is preserved. Ranges are floored so every partition keeps a value
+// domain of at least two.
+func (o RunOpts) scaleWorkload(wl *workload.Config) {
+	if o.DurationFactor >= 1 {
+		return
+	}
+	for i := range wl.Classes {
+		c := &wl.Classes[i]
+		k := int(float64(c.TupleRange) * o.DurationFactor)
+		if minK := 2 * wl.Partitions * c.JoinRate; k < minK {
+			k = minK
+		}
+		c.TupleRange = k
+	}
+}
+
+// Claim is one shape assertion checked against the paper.
+type Claim struct {
+	Name     string
+	Paper    string
+	Measured string
+	Pass     bool
+}
+
+// Report is the outcome of one figure's reproduction.
+type Report struct {
+	ID     string
+	Title  string
+	Table  string
+	Claims []Claim
+	Notes  []string
+}
+
+// Passed reports whether every claim held.
+func (r *Report) Passed() bool {
+	for _, c := range r.Claims {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the report for the experiment log.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Table != "" {
+		b.WriteString(r.Table)
+	}
+	for _, c := range r.Claims {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s\n      paper:    %s\n      measured: %s\n", status, c.Name, c.Paper, c.Measured)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// baseWorkload is the paper's §3.1 setup: three-way join, 30 ms input
+// rate per stream, tuple range 30K, join rate 3.
+func baseWorkload() workload.Config {
+	return workload.Config{
+		Streams:      3,
+		Partitions:   120,
+		Classes:      []workload.Class{{Fraction: 1, JoinRate: 3, TupleRange: 30000}},
+		InterArrival: 30 * time.Millisecond,
+		PayloadBytes: 40,
+		Seed:         42,
+	}
+}
+
+// perTupleBytes is the accounted in-memory size of one workload tuple.
+func perTupleBytes(wl workload.Config) int64 {
+	return int64(wl.PayloadBytes) + 56
+}
+
+// projectedStateBytes estimates the total operator state accumulated over
+// the run (every input tuple is retained by a symmetric join).
+func projectedStateBytes(wl workload.Config, duration time.Duration) int64 {
+	perStream := int64(duration / wl.InterArrival)
+	return perStream * int64(wl.Streams) * perTupleBytes(wl)
+}
+
+// claimf builds a Claim from a condition.
+func claimf(name, paper string, pass bool, measuredFormat string, args ...any) Claim {
+	return Claim{Name: name, Paper: paper, Pass: pass, Measured: fmt.Sprintf(measuredFormat, args...)}
+}
+
+// throughputTable samples several runs' cumulative output on a shared
+// minute grid.
+func throughputTable(step, until time.Duration, labeled map[string]*stats.Series, order []string) string {
+	series := make([]*stats.Series, 0, len(order))
+	for _, name := range order {
+		s := labeled[name]
+		renamed := stats.NewSeries(name)
+		for _, p := range s.Points() {
+			renamed.Add(p.T, p.V)
+		}
+		series = append(series, renamed)
+	}
+	return stats.SampleTable(step, until, series...)
+}
+
+// memoryTable samples per-node memory series on a minute grid, in MB.
+func memoryTable(step, until time.Duration, res map[string]*cluster.Result, order []string, nodes []partition.NodeID) string {
+	var series []*stats.Series
+	for _, name := range order {
+		for _, node := range nodes {
+			s := stats.NewSeries(fmt.Sprintf("%s/%s(KB)", name, node))
+			for _, p := range res[name].Memory[node].Points() {
+				s.Add(p.T, p.V/1024)
+			}
+			series = append(series, s)
+		}
+	}
+	return stats.SampleTable(step, until, series...)
+}

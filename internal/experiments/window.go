@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+)
+
+// AblationWindow demonstrates the paper's introduction claim that the
+// techniques "could also be applied to cases with infinite data streams
+// as long as operators have finite window sizes": the same workload runs
+// once unbounded (state grows monotonically for the whole run) and once
+// with a sliding window (expired state is purged, memory plateaus at the
+// window's worth of tuples), with no adaptation needed in the windowed
+// run.
+func AblationWindow(o RunOpts) (*Report, error) {
+	o = o.withDefaults()
+	duration := o.scaleDur(40 * time.Minute)
+	wl := baseWorkload()
+	o.scaleWorkload(&wl)
+	window := duration / 8
+
+	run := func(window time.Duration) (*cluster.Result, error) {
+		return cluster.Run(cluster.Config{
+			Engines:  []partition.NodeID{"m1", "m2"},
+			Workload: wl,
+			Scale:    o.Scale,
+			Duration: duration,
+			Window:   window,
+			StoreDir: o.StoreDir,
+		})
+	}
+	unbounded, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	windowed, err := run(window)
+	if err != nil {
+		return nil, err
+	}
+	results := map[string]*cluster.Result{"unbounded": unbounded, "windowed": windowed}
+	order := []string{"unbounded", "windowed"}
+
+	rep := &Report{ID: "Ablation E", Title: fmt.Sprintf("Sliding window (%v) vs unbounded state growth", window)}
+	rep.Table = memoryTable(duration/8, duration, results, order, []partition.NodeID{"m1", "m2"})
+
+	memAt := func(res *cluster.Result, frac float64) float64 {
+		var sum float64
+		at := time.Duration(float64(duration) * frac)
+		for _, node := range []partition.NodeID{"m1", "m2"} {
+			sum += res.Memory[node].Sample(at, at)[0]
+		}
+		return sum
+	}
+	// Unbounded: memory roughly doubles from half-time to end.
+	// Windowed: memory at the end stays near its half-time level.
+	growthUnbounded := memAt(unbounded, 1) / memAt(unbounded, 0.5)
+	growthWindowed := memAt(windowed, 1) / memAt(windowed, 0.5)
+	rep.Claims = append(rep.Claims,
+		claimf("windowing caps operator state",
+			"infinite streams are processable when operators have finite windows (paper §1)",
+			growthUnbounded > 1.7 && growthWindowed < 1.3,
+			"memory growth half->end: unbounded %.2fx, windowed %.2fx", growthUnbounded, growthWindowed),
+		claimf("windowed memory stays far below unbounded",
+			"expired state is purged instead of accumulating",
+			memAt(windowed, 1) < memAt(unbounded, 1)*0.5,
+			"final resident: windowed %.0f KB vs unbounded %.0f KB", memAt(windowed, 1)/1024, memAt(unbounded, 1)/1024),
+	)
+	rep.Notes = append(rep.Notes, "windowed output is smaller by definition (only in-window matches); exactness against the windowed oracle is covered by the test suite")
+	return rep, nil
+}

@@ -1,0 +1,371 @@
+// Package join implements the symmetric m-way hash join operator used as
+// the representative state-intensive operator, with its state organized as
+// partition groups (paper §2): all per-input partitions sharing a partition
+// ID form one group, the smallest unit of spill and relocation.
+//
+// Each group carries a generation number. The resident hash tables always
+// hold the current generation; a spill extracts the resident tuples as one
+// generation and advances the counter. Because a newly arriving tuple joins
+// exactly the co-resident (same-generation) tuples, the run-time output of
+// a group is precisely the set of matches whose members all share a
+// generation — which is what makes the timestamp-free cleanup of package
+// cleanup exact.
+package join
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// EmitFunc receives each produced join result. A nil EmitFunc puts the
+// operator in count-only mode: matches are counted (and drive all
+// statistics) without being materialized, which the long-running
+// throughput experiments use to avoid drowning in result tuples.
+type EmitFunc func(tuple.Result)
+
+// Operator is one instance of the partitioned m-way symmetric hash join.
+// It is not safe for concurrent use; each query engine drives its instance
+// from a single goroutine, as in the paper's per-machine query engines.
+type Operator struct {
+	inputs    int
+	part      partition.Func
+	emit      EmitFunc
+	window    time.Duration // 0 = unbounded
+	groups    map[partition.ID]*group
+	totalSize int64
+	output    uint64
+	// scratch buffers reused across probes to avoid per-tuple allocation.
+	lists [][]tuple.Tuple
+	seqs  []uint64
+}
+
+// group is the in-memory state of one partition group: per-input hash
+// tables over the join key, restricted to the current generation.
+type group struct {
+	id     partition.ID
+	gen    uint32
+	tables []map[uint64][]tuple.Tuple
+	size   int64
+	cum    int64 // lifetime bytes ever inserted (survives spills)
+	count  int
+	output uint64 // lifetime results produced by this group (P_output)
+	// spilledTs is the maximum timestamp among tuples ever spilled from
+	// this group (windowed mode): resident tuples at or before
+	// spilledTs+window may still owe cross-generation matches to disk
+	// state and must not be purged (they are spilled instead).
+	spilledTs   vclock.Time
+	everSpilled bool
+}
+
+// New returns an m-way join operator over inputs streams partitioned by
+// part. It panics if inputs < 2, as a join needs at least two inputs.
+func New(inputs int, part partition.Func, emit EmitFunc) *Operator {
+	if inputs < 2 {
+		panic(fmt.Sprintf("join: need at least 2 inputs, got %d", inputs))
+	}
+	return &Operator{
+		inputs: inputs,
+		part:   part,
+		emit:   emit,
+		groups: make(map[partition.ID]*group),
+		lists:  make([][]tuple.Tuple, inputs),
+		seqs:   make([]uint64, inputs),
+	}
+}
+
+// Inputs reports the number of join inputs.
+func (o *Operator) Inputs() int { return o.inputs }
+
+// MemBytes reports the total resident operator-state size in bytes.
+func (o *Operator) MemBytes() int64 { return o.totalSize }
+
+// Output reports the total number of results produced so far.
+func (o *Operator) Output() uint64 { return o.output }
+
+// Groups reports the number of partition groups resident in the operator
+// (including groups whose current generation is empty).
+func (o *Operator) Groups() int { return len(o.groups) }
+
+// Process runs one tuple through the join: probe the other inputs'
+// resident tables in the tuple's partition group, emit/count all matches,
+// then insert the tuple into its own table. It returns the number of
+// results produced.
+func (o *Operator) Process(t tuple.Tuple) (uint64, error) {
+	if int(t.Stream) >= o.inputs {
+		return 0, fmt.Errorf("join: tuple for stream %d in %d-way join", t.Stream, o.inputs)
+	}
+	id := o.part.Of(t.Key)
+	g, ok := o.groups[id]
+	if !ok {
+		g = newGroup(id, 0, o.inputs)
+		o.groups[id] = g
+	}
+	produced := o.probe(g, &t)
+	g.output += produced
+	o.output += produced
+
+	if o.window > 0 {
+		// Keep per-key lists timestamp-sorted so window probes can
+		// binary-search their bounds.
+		g.tables[t.Stream][t.Key] = insertOrdered(g.tables[t.Stream][t.Key], t)
+	} else {
+		g.tables[t.Stream][t.Key] = append(g.tables[t.Stream][t.Key], t)
+	}
+	sz := t.MemSize()
+	g.size += sz
+	g.cum += sz
+	g.count++
+	o.totalSize += sz
+	return produced, nil
+}
+
+// probe counts (and, when materializing, emits) the matches of t against
+// the other inputs' resident tuples in group g.
+func (o *Operator) probe(g *group, t *tuple.Tuple) uint64 {
+	count := uint64(1)
+	for i := 0; i < o.inputs; i++ {
+		if i == int(t.Stream) {
+			continue
+		}
+		l := g.tables[i][t.Key]
+		if o.window > 0 {
+			l = windowBounds(l, t.Ts, o.window)
+		}
+		if len(l) == 0 {
+			return 0
+		}
+		o.lists[i] = l
+		count *= uint64(len(l))
+	}
+	if o.emit != nil {
+		o.seqs[t.Stream] = t.Seq
+		o.enumerate(t, 0)
+	}
+	return count
+}
+
+// enumerate walks the cartesian product of the matched lists, emitting one
+// Result per combination. input is the next stream index to bind.
+func (o *Operator) enumerate(t *tuple.Tuple, input int) {
+	if input == o.inputs {
+		seqs := make([]uint64, o.inputs)
+		copy(seqs, o.seqs)
+		o.emit(tuple.Result{Key: t.Key, Seqs: seqs})
+		return
+	}
+	if input == int(t.Stream) {
+		o.enumerate(t, input+1)
+		return
+	}
+	for i := range o.lists[input] {
+		o.seqs[input] = o.lists[input][i].Seq
+		o.enumerate(t, input+1)
+	}
+}
+
+// ProcessBatch runs every tuple of b through the join, returning the total
+// results produced.
+func (o *Operator) ProcessBatch(b *tuple.Batch) (uint64, error) {
+	var total uint64
+	for i := range b.Tuples {
+		n, err := o.Process(b.Tuples[i])
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+func newGroup(id partition.ID, gen uint32, inputs int) *group {
+	tables := make([]map[uint64][]tuple.Tuple, inputs)
+	for i := range tables {
+		tables[i] = make(map[uint64][]tuple.Tuple)
+	}
+	return &group{id: id, gen: gen, tables: tables}
+}
+
+// Stats returns the per-group statistics the local adaptation controller
+// feeds into the spill/move policies, sorted by partition ID for
+// determinism.
+func (o *Operator) Stats() []core.GroupStats {
+	stats := make([]core.GroupStats, 0, len(o.groups))
+	for _, g := range o.groups {
+		stats = append(stats, core.GroupStats{ID: g.id, Size: g.size, CumBytes: g.cum, Output: g.output})
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
+	return stats
+}
+
+// GroupSnapshot is the serializable state of one partition group
+// generation, produced by spill extraction and state relocation.
+type GroupSnapshot struct {
+	ID  partition.ID
+	Gen uint32
+	// Output is the group's lifetime result counter; it travels with the
+	// group during relocation so productivity remains meaningful at the
+	// receiver. Spill extraction leaves the counter in the operator.
+	Output uint64
+	// CumBytes is the group's lifetime inserted-bytes counter, the
+	// productivity metric's denominator; like Output it travels with
+	// relocations.
+	CumBytes int64
+	// SpilledTs / EverSpilled carry the group's purge watermark
+	// (windowed mode): the maximum timestamp ever spilled from the
+	// group. They travel with relocations, like the disk segments whose
+	// pending matches they protect.
+	SpilledTs   vclock.Time
+	EverSpilled bool
+	// Tuples holds the generation's tuples per input stream.
+	Tuples [][]tuple.Tuple
+}
+
+// TupleCount reports the number of tuples across all inputs.
+func (s *GroupSnapshot) TupleCount() int {
+	n := 0
+	for _, l := range s.Tuples {
+		n += len(l)
+	}
+	return n
+}
+
+// MemBytes reports the accounted size of all tuples in the snapshot.
+func (s *GroupSnapshot) MemBytes() int64 {
+	var n int64
+	for _, l := range s.Tuples {
+		for i := range l {
+			n += l[i].MemSize()
+		}
+	}
+	return n
+}
+
+// snapshotTables flattens hash tables into per-input tuple slices with a
+// deterministic order (key, then insertion order).
+func snapshotTables(tables []map[uint64][]tuple.Tuple) [][]tuple.Tuple {
+	out := make([][]tuple.Tuple, len(tables))
+	for i, tab := range tables {
+		keys := make([]uint64, 0, len(tab))
+		for k := range tab {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		var flat []tuple.Tuple
+		for _, k := range keys {
+			flat = append(flat, tab[k]...)
+		}
+		out[i] = flat
+	}
+	return out
+}
+
+// ExtractForSpill removes the resident (current-generation) tuples of the
+// given group and returns them as a snapshot tagged with the generation
+// they belonged to. The group stays registered with an advanced generation
+// and empty tables, so new tuples with the same partition ID accumulate
+// into a fresh generation, as described in paper §3. Extracting a group
+// with no resident tuples returns nil.
+func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
+	g, ok := o.groups[id]
+	if !ok || g.count == 0 {
+		return nil
+	}
+	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+	for _, l := range snap.Tuples {
+		for i := range l {
+			if !g.everSpilled || l[i].Ts > g.spilledTs {
+				g.spilledTs = l[i].Ts
+			}
+			g.everSpilled = true
+		}
+	}
+	snap.SpilledTs = g.spilledTs
+	snap.EverSpilled = g.everSpilled
+	o.totalSize -= g.size
+	g.gen++
+	g.size = 0
+	g.count = 0
+	for i := range g.tables {
+		g.tables[i] = make(map[uint64][]tuple.Tuple)
+	}
+	return snap
+}
+
+// RemoveForRelocation removes the group entirely (resident tuples,
+// generation counter, and lifetime output) and returns its snapshot for
+// transfer to another machine. It returns nil if the group is not
+// resident. Unlike spill extraction the generation is NOT advanced: the
+// receiver continues the same generation, since the transferred tuples
+// stay active in memory.
+func (o *Operator) RemoveForRelocation(id partition.ID) *GroupSnapshot {
+	g, ok := o.groups[id]
+	if !ok {
+		return nil
+	}
+	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+	snap.SpilledTs = g.spilledTs
+	snap.EverSpilled = g.everSpilled
+	o.totalSize -= g.size
+	delete(o.groups, id)
+	return snap
+}
+
+// Install registers a relocated group snapshot at this operator. New
+// arrivals for the partition will be co-resident with (and join against)
+// the installed tuples. Installing over an existing group is an error:
+// the relocation protocol guarantees a group lives on exactly one machine.
+func (o *Operator) Install(snap *GroupSnapshot) error {
+	if len(snap.Tuples) != o.inputs {
+		return fmt.Errorf("join: snapshot has %d inputs, operator has %d", len(snap.Tuples), o.inputs)
+	}
+	if _, ok := o.groups[snap.ID]; ok {
+		return fmt.Errorf("join: group %d already resident", snap.ID)
+	}
+	g := newGroup(snap.ID, snap.Gen, o.inputs)
+	g.output = snap.Output
+	for i, l := range snap.Tuples {
+		for j := range l {
+			t := l[j]
+			g.tables[i][t.Key] = append(g.tables[i][t.Key], t)
+			g.size += t.MemSize()
+			g.count++
+		}
+	}
+	g.cum = snap.CumBytes
+	if g.cum < g.size {
+		g.cum = g.size
+	}
+	g.spilledTs = snap.SpilledTs
+	g.everSpilled = snap.EverSpilled
+	o.totalSize += g.size
+	o.groups[snap.ID] = g
+	return nil
+}
+
+// ResidentSnapshot returns the current-generation state of the group
+// without removing it, used by the cleanup phase to merge the final
+// memory-resident generation with the disk-resident ones. Returns nil if
+// the group is not resident.
+func (o *Operator) ResidentSnapshot(id partition.ID) *GroupSnapshot {
+	g, ok := o.groups[id]
+	if !ok {
+		return nil
+	}
+	return &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+}
+
+// ResidentIDs returns the sorted IDs of all resident groups.
+func (o *Operator) ResidentIDs() []partition.ID {
+	ids := make([]partition.ID, 0, len(o.groups))
+	for id := range o.groups {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,102 @@
+package join
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/partition"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// snapshotMagic identifies an encoded GroupSnapshot ("SPG1").
+const snapshotMagic = 0x53504731
+
+// EncodeSnapshot serializes a group snapshot for the spill store and for
+// state-relocation transfers: a fixed header, per-input tuple lists, and a
+// trailing CRC-32 over everything before it.
+func EncodeSnapshot(s *GroupSnapshot) []byte {
+	size := 4 + 4 + 4 + 8 + 8 + 8 + 1 + 2
+	for _, l := range s.Tuples {
+		size += 4
+		for i := range l {
+			size += l[i].EncodedSize()
+		}
+	}
+	size += 4 // crc
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, snapshotMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.ID))
+	buf = binary.LittleEndian.AppendUint32(buf, s.Gen)
+	buf = binary.LittleEndian.AppendUint64(buf, s.Output)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.CumBytes))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(s.SpilledTs))
+	if s.EverSpilled {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s.Tuples)))
+	for _, l := range s.Tuples {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l)))
+		for i := range l {
+			buf = l[i].AppendTo(buf)
+		}
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeSnapshot parses a snapshot produced by EncodeSnapshot, verifying
+// magic and checksum, so a torn or corrupted spill segment is detected
+// rather than silently yielding wrong cleanup results.
+func DecodeSnapshot(buf []byte) (*GroupSnapshot, error) {
+	if len(buf) < 4+4+4+8+8+8+1+2+4 {
+		return nil, fmt.Errorf("join: snapshot too short: %d bytes", len(buf))
+	}
+	body, sum := buf[:len(buf)-4], binary.LittleEndian.Uint32(buf[len(buf)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, fmt.Errorf("join: snapshot checksum mismatch")
+	}
+	if binary.LittleEndian.Uint32(body) != snapshotMagic {
+		return nil, fmt.Errorf("join: bad snapshot magic %#x", binary.LittleEndian.Uint32(body))
+	}
+	s := &GroupSnapshot{
+		ID:  partition.ID(binary.LittleEndian.Uint32(body[4:])),
+		Gen: binary.LittleEndian.Uint32(body[8:]),
+	}
+	s.Output = binary.LittleEndian.Uint64(body[12:])
+	s.CumBytes = int64(binary.LittleEndian.Uint64(body[20:]))
+	s.SpilledTs = vclock.Time(binary.LittleEndian.Uint64(body[28:]))
+	s.EverSpilled = body[36] == 1
+	inputs := int(binary.LittleEndian.Uint16(body[37:]))
+	rest := body[39:]
+	s.Tuples = make([][]tuple.Tuple, inputs)
+	for i := 0; i < inputs; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("join: truncated snapshot input %d", i)
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		rest = rest[4:]
+		// A corrupt count must not drive a huge allocation; every tuple
+		// needs at least its fixed header's worth of bytes.
+		if n > len(rest)/29+1 {
+			return nil, fmt.Errorf("join: snapshot input %d count %d exceeds remaining bytes", i, n)
+		}
+		if n > 0 {
+			s.Tuples[i] = make([]tuple.Tuple, 0, n)
+		}
+		for j := 0; j < n; j++ {
+			t, used, err := tuple.Decode(rest)
+			if err != nil {
+				return nil, fmt.Errorf("join: snapshot input %d tuple %d: %w", i, j, err)
+			}
+			s.Tuples[i] = append(s.Tuples[i], t)
+			rest = rest[used:]
+		}
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("join: %d trailing bytes in snapshot", len(rest))
+	}
+	return s, nil
+}

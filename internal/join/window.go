@@ -1,0 +1,163 @@
+package join
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// NewWindowed returns an m-way symmetric hash join with a sliding time
+// window: an arriving tuple only matches stored tuples whose virtual
+// timestamps lie within window of its own. With (roughly) timestamp-
+// ordered arrivals this realizes the standard band join semantics of the
+// paper's Query 1 ("bank1.timestamp >= bank2.timestamp + window"): a
+// match is valid iff the span between its earliest and latest member is
+// at most window.
+//
+// Windowing turns the long-running query's monotonic state growth into a
+// plateau — expired tuples can never contribute to future results, so
+// Purge drops them entirely (the "operator-state purging" the paper's
+// related work discusses), which is the intro's "infinite data streams as
+// long as operators have finite window sizes" case.
+func NewWindowed(inputs int, part partition.Func, window time.Duration, emit EmitFunc) *Operator {
+	op := New(inputs, part, emit)
+	op.window = window
+	return op
+}
+
+// Window reports the operator's window (0 = unbounded).
+func (o *Operator) Window() time.Duration { return o.window }
+
+// windowBounds narrows a timestamp-sorted tuple list to those within the
+// window of ts using binary search.
+func windowBounds(l []tuple.Tuple, ts vclock.Time, window time.Duration) []tuple.Tuple {
+	lo := sort.Search(len(l), func(i int) bool { return l[i].Ts >= ts.Add(-window) })
+	hi := sort.Search(len(l), func(i int) bool { return l[i].Ts > ts.Add(window) })
+	return l[lo:hi]
+}
+
+// Purge drops resident tuples with a timestamp strictly before cutoff
+// from all groups and returns how many were dropped. An expired tuple can
+// never join a future arrival, so dropping it cannot lose run-time
+// results; but a tuple may still owe cross-generation cleanup matches to
+// tuples the group spilled earlier. Purge therefore holds back expired
+// tuples whose timestamp is within window of the group's spilled-state
+// watermark — they remain resident until a normal spill evicts them,
+// after which the cleanup phase produces their pending matches. The
+// groups' lifetime counters are untouched: purged data still counts
+// toward the productivity history.
+func (o *Operator) Purge(cutoff vclock.Time) int {
+	purged := 0
+	for _, g := range o.groups {
+		for i := range g.tables {
+			tab := g.tables[i]
+			for key, l := range tab {
+				// Expired prefix [0, n).
+				n := sort.Search(len(l), func(i int) bool { return l[i].Ts >= cutoff })
+				if n == 0 {
+					continue
+				}
+				// Within the prefix, only tuples newer than the spilled
+				// watermark plus the window are free of pending matches.
+				lo := 0
+				if g.everSpilled {
+					safe := g.spilledTs.Add(o.window)
+					lo = sort.Search(n, func(i int) bool { return l[i].Ts > safe })
+				}
+				if lo >= n {
+					continue
+				}
+				for j := lo; j < n; j++ {
+					sz := l[j].MemSize()
+					g.size -= sz
+					o.totalSize -= sz
+				}
+				g.count -= n - lo
+				purged += n - lo
+				rest := make([]tuple.Tuple, 0, len(l)-(n-lo))
+				rest = append(rest, l[:lo]...)
+				rest = append(rest, l[n:]...)
+				if len(rest) == 0 {
+					delete(tab, key)
+				} else {
+					tab[key] = rest
+				}
+			}
+		}
+	}
+	return purged
+}
+
+// insertOrdered appends t to the list, keeping it timestamp-sorted even
+// under slightly out-of-order arrivals (binary insertion into the tail).
+func insertOrdered(l []tuple.Tuple, t tuple.Tuple) []tuple.Tuple {
+	if n := len(l); n == 0 || l[n-1].Ts <= t.Ts {
+		return append(l, t)
+	}
+	i := sort.Search(len(l), func(i int) bool { return l[i].Ts > t.Ts })
+	l = append(l, tuple.Tuple{})
+	copy(l[i+1:], l[i:])
+	l[i] = t
+	return l
+}
+
+// WindowedOracle computes the reference result of a windowed m-way join:
+// all combinations whose member timestamps span at most window.
+func WindowedOracle(inputs int, history []tuple.Tuple, window time.Duration) *tuple.ResultSet {
+	byKey := make(map[uint64][][]tuple.Tuple)
+	for i := range history {
+		t := history[i]
+		ls := byKey[t.Key]
+		if ls == nil {
+			ls = make([][]tuple.Tuple, inputs)
+			byKey[t.Key] = ls
+		}
+		ls[t.Stream] = append(ls[t.Stream], t)
+	}
+	set := tuple.NewResultSet()
+	combo := make([]tuple.Tuple, inputs)
+	for key, ls := range byKey {
+		full := true
+		for _, l := range ls {
+			if len(l) == 0 {
+				full = false
+				break
+			}
+		}
+		if !full {
+			continue
+		}
+		enumerateWindowed(key, ls, combo, 0, window, set)
+	}
+	return set
+}
+
+func enumerateWindowed(key uint64, ls [][]tuple.Tuple, combo []tuple.Tuple, input int, window time.Duration, set *tuple.ResultSet) {
+	if input == len(ls) {
+		minTs, maxTs := combo[0].Ts, combo[0].Ts
+		for _, t := range combo[1:] {
+			if t.Ts < minTs {
+				minTs = t.Ts
+			}
+			if t.Ts > maxTs {
+				maxTs = t.Ts
+			}
+		}
+		if maxTs.Sub(minTs) > window {
+			return
+		}
+		seqs := make([]uint64, len(ls))
+		for i, t := range combo {
+			seqs[i] = t.Seq
+		}
+		set.Add(tuple.Result{Key: key, Seqs: seqs})
+		return
+	}
+	for i := range ls[input] {
+		combo[input] = ls[input][i]
+		enumerateWindowed(key, ls, combo, input+1, window, set)
+	}
+}

@@ -1,0 +1,91 @@
+// Package monitor exposes a node's operational state over HTTP for the
+// multi-process cluster binaries: /healthz for liveness and /stats for a
+// JSON snapshot (memory, output, adaptation counters, recent events).
+// Handlers pull from a caller-provided snapshot function, so the package
+// stays independent of engine/coordinator internals.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is the JSON document served at /stats. Fields that do not
+// apply to a node kind are simply zero.
+type Snapshot struct {
+	Node         string      `json:"node"`
+	Kind         string      `json:"kind"`
+	UptimeSec    float64     `json:"uptime_sec"`
+	MemBytes     int64       `json:"mem_bytes,omitempty"`
+	Groups       int         `json:"groups,omitempty"`
+	Output       uint64      `json:"output,omitempty"`
+	Spills       int         `json:"spills,omitempty"`
+	SpilledBytes int64       `json:"spilled_bytes,omitempty"`
+	Segments     int         `json:"segments,omitempty"`
+	Relocations  int         `json:"relocations,omitempty"`
+	ForcedSpills int         `json:"forced_spills,omitempty"`
+	Events       []EventJSON `json:"events,omitempty"`
+}
+
+// EventJSON is one adaptation event in the /stats document.
+type EventJSON struct {
+	VirtualTime string `json:"t"`
+	Node        string `json:"node"`
+	Kind        string `json:"kind"`
+	Detail      string `json:"detail"`
+}
+
+// Server serves the monitoring endpoints for one node.
+type Server struct {
+	listener net.Listener
+	srv      *http.Server
+	started  time.Time
+	requests atomic.Int64
+}
+
+// Start begins serving /healthz and /stats on addr (":0" picks a free
+// port). snapshot is called on every /stats request; it must be safe for
+// concurrent use.
+func Start(addr string, snapshot func() Snapshot) (*Server, error) {
+	if snapshot == nil {
+		return nil, fmt.Errorf("monitor: nil snapshot function")
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+	}
+	s := &Server{listener: l, started: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		snap := snapshot()
+		snap.UptimeSec = time.Since(s.started).Seconds()
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close
+	return s, nil
+}
+
+// Addr reports the bound address (useful with ":0").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// Requests reports how many HTTP requests have been served.
+func (s *Server) Requests() int64 { return s.requests.Load() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }

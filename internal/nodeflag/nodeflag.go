@@ -1,0 +1,74 @@
+// Package nodeflag parses the node directory flags shared by the
+// multi-process cluster binaries (cmd/engine, cmd/coordinator,
+// cmd/generator, cmd/appserver).
+package nodeflag
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/partition"
+)
+
+// ParseDirectory parses "name=host:port,name=host:port" into a node
+// directory.
+func ParseDirectory(s string) (map[partition.NodeID]string, error) {
+	dir := make(map[partition.NodeID]string)
+	if strings.TrimSpace(s) == "" {
+		return dir, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("nodeflag: bad directory entry %q (want name=addr)", entry)
+		}
+		if _, dup := dir[partition.NodeID(name)]; dup {
+			return nil, fmt.Errorf("nodeflag: duplicate node %q", name)
+		}
+		dir[partition.NodeID(name)] = addr
+	}
+	return dir, nil
+}
+
+// EngineNames returns the sorted engine node names of a directory string
+// in its written order.
+func EngineNames(s string) ([]partition.NodeID, error) {
+	var names []partition.NodeID
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("nodeflag: empty engine list")
+	}
+	seen := make(map[string]bool)
+	for _, entry := range strings.Split(s, ",") {
+		name, _, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("nodeflag: bad engine entry %q", entry)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("nodeflag: duplicate engine %q", name)
+		}
+		seen[name] = true
+		names = append(names, partition.NodeID(name))
+	}
+	return names, nil
+}
+
+// ParseWeights parses "3,1,1" into integer weights.
+func ParseWeights(s string, n int) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("nodeflag: %d weights for %d engines", len(parts), n)
+	}
+	weights := make([]int, n)
+	for i, p := range parts {
+		if _, err := fmt.Sscanf(strings.TrimSpace(p), "%d", &weights[i]); err != nil {
+			return nil, fmt.Errorf("nodeflag: bad weight %q", p)
+		}
+		if weights[i] <= 0 {
+			return nil, fmt.Errorf("nodeflag: non-positive weight %d", weights[i])
+		}
+	}
+	return weights, nil
+}

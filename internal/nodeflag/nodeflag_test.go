@@ -1,0 +1,78 @@
+package nodeflag
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+func TestParseDirectory(t *testing.T) {
+	dir, err := ParseDirectory("m1=127.0.0.1:7101, m2=127.0.0.1:7102")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[partition.NodeID]string{"m1": "127.0.0.1:7101", "m2": "127.0.0.1:7102"}
+	if !reflect.DeepEqual(dir, want) {
+		t.Fatalf("dir = %v", dir)
+	}
+}
+
+func TestParseDirectoryEmpty(t *testing.T) {
+	dir, err := ParseDirectory("  ")
+	if err != nil || len(dir) != 0 {
+		t.Fatalf("dir = %v, err = %v", dir, err)
+	}
+}
+
+func TestParseDirectoryErrors(t *testing.T) {
+	for _, bad := range []string{"m1", "m1=", "=addr", "m1=a,m1=b"} {
+		if _, err := ParseDirectory(bad); err == nil {
+			t.Errorf("ParseDirectory(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	names, err := EngineNames("m1=a,m2=b,m3=c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []partition.NodeID{"m1", "m2", "m3"}
+	if !reflect.DeepEqual(names, want) {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestEngineNamesErrors(t *testing.T) {
+	for _, bad := range []string{"", "m1", "m1=a,m1=b"} {
+		if _, err := EngineNames(bad); err == nil {
+			t.Errorf("EngineNames(%q) succeeded", bad)
+		}
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := ParseWeights("3, 1 ,1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w, []int{3, 1, 1}) {
+		t.Fatalf("weights = %v", w)
+	}
+	if w, err := ParseWeights("", 3); err != nil || w != nil {
+		t.Fatalf("empty weights = %v, %v", w, err)
+	}
+}
+
+func TestParseWeightsErrors(t *testing.T) {
+	if _, err := ParseWeights("1,2", 3); err == nil {
+		t.Error("wrong count accepted")
+	}
+	if _, err := ParseWeights("1,x,2", 3); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	if _, err := ParseWeights("1,0,2", 3); err == nil {
+		t.Error("zero weight accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package partition
+
+import "fmt"
+
+// UniformAssign distributes partitions round-robin over nodes, the default
+// initial placement for a partitioned operator.
+func UniformAssign(nodes []NodeID) func(ID) NodeID {
+	return func(id ID) NodeID { return nodes[int(id)%len(nodes)] }
+}
+
+// WeightedAssign distributes partitions over nodes proportionally to the
+// given weights, reproducing the paper's skewed initial distributions
+// (e.g. Figure 11's 60/20/20 and Figure 12's 2/3 vs 1/6+1/6 splits).
+// Partition IDs are striped so that every contiguous ID range contains the
+// configured mix.
+func WeightedAssign(nodes []NodeID, weights []int) (func(ID) NodeID, error) {
+	if len(nodes) != len(weights) || len(nodes) == 0 {
+		return nil, fmt.Errorf("partition: %d nodes vs %d weights", len(nodes), len(weights))
+	}
+	var total int
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("partition: non-positive weight %d", w)
+		}
+		total += w
+	}
+	// Build one stripe of length total, e.g. weights 3,1,1 -> [A A A B C].
+	stripe := make([]NodeID, 0, total)
+	for i, w := range weights {
+		for j := 0; j < w; j++ {
+			stripe = append(stripe, nodes[i])
+		}
+	}
+	return func(id ID) NodeID { return stripe[int(id)%total] }, nil
+}
+
+// FractionOwnedBy reports the fraction of partitions owned by node,
+// convenient for asserting initial distributions in tests.
+func FractionOwnedBy(m *Map, node NodeID) float64 {
+	return float64(len(m.OwnedBy(node))) / float64(m.N())
+}

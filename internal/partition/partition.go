@@ -1,0 +1,179 @@
+// Package partition implements the partitioning layer of the partitioned
+// parallel join: the hash partition function applied by split operators,
+// and the versioned partition map (partition group ID -> owning node) that
+// the global coordinator updates during state relocation.
+//
+// As in the paper (and in Flux and the early skew-handling literature), the
+// number of partitions is much larger than the number of machines so that
+// adaptation never requires re-hashing: moving a partition group only
+// changes one map entry.
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ID identifies one partition group: all per-input partitions sharing this
+// ID form the unit of spill and relocation.
+type ID uint32
+
+// NodeID names a cluster node (query engine, coordinator, generator, ...).
+type NodeID string
+
+// Func deterministically maps a join key to a partition ID. All split
+// operators for the same partitioned operator must use an identical Func.
+type Func struct {
+	n uint32
+}
+
+// NewFunc returns a partition function over n partitions. It panics if n is
+// zero, since a query without partitions cannot route any tuple.
+func NewFunc(n int) Func {
+	if n <= 0 {
+		panic(fmt.Sprintf("partition: non-positive partition count %d", n))
+	}
+	return Func{n: uint32(n)}
+}
+
+// N reports the number of partitions.
+func (f Func) N() int { return int(f.n) }
+
+// Of returns the partition ID for key. Keys are pre-hashed upstream (the
+// workload generator produces uniformly spread keys), so a modulo suffices
+// and keeps the partition of a key easy to reason about in tests.
+func (f Func) Of(key uint64) ID { return ID(key % uint64(f.n)) }
+
+// Map is a versioned, concurrency-safe assignment of partition IDs to
+// nodes. Every mutation increments the version; data messages carry the
+// version they were routed with so stale routing is detectable.
+type Map struct {
+	mu      sync.RWMutex
+	owner   []NodeID
+	version uint64
+}
+
+// NewMap returns a Map assigning all n partitions according to assign,
+// which may not leave any partition without an owner.
+func NewMap(n int, assign func(ID) NodeID) (*Map, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("partition: non-positive partition count %d", n)
+	}
+	m := &Map{owner: make([]NodeID, n), version: 1}
+	for i := range m.owner {
+		node := assign(ID(i))
+		if node == "" {
+			return nil, fmt.Errorf("partition: partition %d assigned to empty node", i)
+		}
+		m.owner[i] = node
+	}
+	return m, nil
+}
+
+// N reports the number of partitions in the map.
+func (m *Map) N() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.owner)
+}
+
+// Version reports the current map version.
+func (m *Map) Version() uint64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.version
+}
+
+// Owner returns the node owning partition id.
+func (m *Map) Owner(id ID) (NodeID, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if int(id) >= len(m.owner) {
+		return "", fmt.Errorf("partition: id %d out of range (n=%d)", id, len(m.owner))
+	}
+	return m.owner[id], nil
+}
+
+// Move reassigns the listed partitions to node and returns the new version.
+func (m *Map) Move(ids []ID, node NodeID) (uint64, error) {
+	if node == "" {
+		return 0, fmt.Errorf("partition: move to empty node")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, id := range ids {
+		if int(id) >= len(m.owner) {
+			return 0, fmt.Errorf("partition: id %d out of range (n=%d)", id, len(m.owner))
+		}
+	}
+	for _, id := range ids {
+		m.owner[id] = node
+	}
+	m.version++
+	return m.version, nil
+}
+
+// OwnedBy returns the sorted list of partitions currently owned by node.
+func (m *Map) OwnedBy(node NodeID) []ID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var ids []ID
+	for i, o := range m.owner {
+		if o == node {
+			ids = append(ids, ID(i))
+		}
+	}
+	return ids
+}
+
+// Nodes returns the sorted set of nodes owning at least one partition.
+func (m *Map) Nodes() []NodeID {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	set := make(map[NodeID]struct{})
+	for _, o := range m.owner {
+		set[o] = struct{}{}
+	}
+	nodes := make([]NodeID, 0, len(set))
+	for n := range set {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	return nodes
+}
+
+// Snapshot returns a copy of the assignment and its version, for shipping
+// to a remote split operator.
+func (m *Map) Snapshot() ([]NodeID, uint64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	cp := make([]NodeID, len(m.owner))
+	copy(cp, m.owner)
+	return cp, m.version
+}
+
+// Restore replaces the assignment with the given snapshot if its version is
+// newer, reporting whether it was applied.
+func (m *Map) Restore(owner []NodeID, version uint64) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if version <= m.version && m.owner != nil && len(m.owner) == len(owner) {
+		return false
+	}
+	m.owner = make([]NodeID, len(owner))
+	copy(m.owner, owner)
+	m.version = version
+	return true
+}
+
+// Counts reports how many partitions each node owns.
+func (m *Map) Counts() map[NodeID]int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	c := make(map[NodeID]int)
+	for _, o := range m.owner {
+		c[o]++
+	}
+	return c
+}

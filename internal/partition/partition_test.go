@@ -1,0 +1,204 @@
+package partition
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFuncRange(t *testing.T) {
+	f := NewFunc(500)
+	if f.N() != 500 {
+		t.Fatalf("N = %d", f.N())
+	}
+	check := func(key uint64) bool { return int(f.Of(key)) < 500 }
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFuncDeterministic(t *testing.T) {
+	f := NewFunc(37)
+	for key := uint64(0); key < 1000; key++ {
+		if f.Of(key) != f.Of(key) {
+			t.Fatalf("non-deterministic for key %d", key)
+		}
+	}
+}
+
+func TestNewFuncPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFunc(0) did not panic")
+		}
+	}()
+	NewFunc(0)
+}
+
+func newTestMap(t *testing.T, n int, nodes ...NodeID) *Map {
+	t.Helper()
+	m, err := NewMap(n, UniformAssign(nodes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMapUniformAssign(t *testing.T) {
+	m := newTestMap(t, 10, "a", "b")
+	counts := m.Counts()
+	if counts["a"] != 5 || counts["b"] != 5 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got, _ := m.Owner(0); got != "a" {
+		t.Fatalf("Owner(0) = %q", got)
+	}
+	if got, _ := m.Owner(1); got != "b" {
+		t.Fatalf("Owner(1) = %q", got)
+	}
+}
+
+func TestMapMoveBumpsVersion(t *testing.T) {
+	m := newTestMap(t, 10, "a", "b")
+	v0 := m.Version()
+	v1, err := m.Move([]ID{0, 2, 4}, "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v0+1 {
+		t.Fatalf("version %d after move, want %d", v1, v0+1)
+	}
+	for _, id := range []ID{0, 2, 4} {
+		if o, _ := m.Owner(id); o != "b" {
+			t.Fatalf("partition %d owner %q after move", id, o)
+		}
+	}
+	if got := len(m.OwnedBy("b")); got != 8 {
+		t.Fatalf("b owns %d partitions, want 8", got)
+	}
+}
+
+func TestMapMoveRejectsOutOfRange(t *testing.T) {
+	m := newTestMap(t, 4, "a")
+	v := m.Version()
+	if _, err := m.Move([]ID{99}, "a"); err == nil {
+		t.Fatal("out-of-range move accepted")
+	}
+	if m.Version() != v {
+		t.Fatal("failed move changed version")
+	}
+}
+
+func TestMapMoveRejectsEmptyNode(t *testing.T) {
+	m := newTestMap(t, 4, "a")
+	if _, err := m.Move([]ID{0}, ""); err == nil {
+		t.Fatal("move to empty node accepted")
+	}
+}
+
+func TestMapOwnerOutOfRange(t *testing.T) {
+	m := newTestMap(t, 4, "a")
+	if _, err := m.Owner(4); err == nil {
+		t.Fatal("Owner out of range accepted")
+	}
+}
+
+func TestNewMapValidation(t *testing.T) {
+	if _, err := NewMap(0, UniformAssign([]NodeID{"a"})); err == nil {
+		t.Fatal("NewMap(0) accepted")
+	}
+	if _, err := NewMap(3, func(ID) NodeID { return "" }); err == nil {
+		t.Fatal("empty node assignment accepted")
+	}
+}
+
+func TestMapNodes(t *testing.T) {
+	m := newTestMap(t, 6, "c", "a", "b")
+	nodes := m.Nodes()
+	if len(nodes) != 3 || nodes[0] != "a" || nodes[1] != "b" || nodes[2] != "c" {
+		t.Fatalf("Nodes = %v", nodes)
+	}
+}
+
+func TestMapSnapshotRestore(t *testing.T) {
+	m := newTestMap(t, 6, "a", "b")
+	if _, err := m.Move([]ID{0}, "b"); err != nil {
+		t.Fatal(err)
+	}
+	owner, version := m.Snapshot()
+
+	replica := newTestMap(t, 6, "a", "b")
+	if !replica.Restore(owner, version) {
+		t.Fatal("newer snapshot not applied")
+	}
+	if o, _ := replica.Owner(0); o != "b" {
+		t.Fatalf("replica Owner(0) = %q after restore", o)
+	}
+	// A stale snapshot must be ignored.
+	if replica.Restore(owner, version-1) {
+		t.Fatal("stale snapshot applied")
+	}
+}
+
+func TestWeightedAssignFractions(t *testing.T) {
+	assign, err := WeightedAssign([]NodeID{"m1", "m2", "m3"}, []int{3, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMap(500, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := FractionOwnedBy(m, "m1"); math.Abs(f-0.6) > 0.01 {
+		t.Fatalf("m1 fraction = %v, want 0.6", f)
+	}
+	if f := FractionOwnedBy(m, "m2"); math.Abs(f-0.2) > 0.01 {
+		t.Fatalf("m2 fraction = %v, want 0.2", f)
+	}
+}
+
+func TestWeightedAssignStriped(t *testing.T) {
+	assign, err := WeightedAssign([]NodeID{"a", "b"}, []int{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any contiguous window of two partitions contains both nodes.
+	for i := 0; i < 20; i += 2 {
+		if assign(ID(i)) == assign(ID(i+1)) {
+			t.Fatalf("window %d not mixed", i)
+		}
+	}
+}
+
+func TestWeightedAssignValidation(t *testing.T) {
+	if _, err := WeightedAssign([]NodeID{"a"}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := WeightedAssign([]NodeID{"a"}, []int{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := WeightedAssign(nil, nil); err == nil {
+		t.Fatal("empty inputs accepted")
+	}
+}
+
+func TestMapConcurrentAccess(t *testing.T) {
+	m := newTestMap(t, 100, "a", "b")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			if _, err := m.Move([]ID{ID(i % 100)}, "b"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if _, err := m.Owner(ID(i % 100)); err != nil {
+			t.Fatal(err)
+		}
+		m.Counts()
+	}
+	<-done
+}

@@ -1,0 +1,266 @@
+// Package proto defines the messages exchanged between the cluster's
+// nodes: the global coordinator (GC), the query engines (QE), the stream
+// generator node hosting the split operators, and the application server
+// consuming results. Data-path payloads (tuple batches, state snapshots)
+// use the compact binary codecs of packages tuple and join; the message
+// envelopes themselves travel as gob frames over the transport.
+package proto
+
+import (
+	"encoding/gob"
+
+	"repro/internal/partition"
+)
+
+// Kind classifies a cluster node.
+type Kind int
+
+// Node kinds.
+const (
+	KindEngine Kind = iota
+	KindCoordinator
+	KindGenerator
+	KindApp
+)
+
+// String names the kind for logs.
+func (k Kind) String() string {
+	switch k {
+	case KindEngine:
+		return "engine"
+	case KindCoordinator:
+		return "coordinator"
+	case KindGenerator:
+		return "generator"
+	case KindApp:
+		return "appserver"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is any value registered below; transports move Messages opaquely.
+type Message any
+
+// Hello registers a node with the coordinator.
+type Hello struct {
+	Node partition.NodeID
+	Kind Kind
+}
+
+// Data carries an encoded tuple.Batch from a split operator to a query
+// engine, stamped with the partition map version it was routed under.
+type Data struct {
+	Payload    []byte
+	MapVersion uint64
+}
+
+// PauseMarker travels on the data path from the split host to the
+// relocation sender after the affected partitions were paused. Because
+// the transport is FIFO per sender-receiver pair, receiving the marker
+// guarantees the sender engine has processed every earlier tuple for the
+// moving partitions (relocation protocol step 3/4).
+type PauseMarker struct {
+	Epoch uint64
+}
+
+// MarkerAck tells the coordinator the relocation sender drained its data
+// path (step 4).
+type MarkerAck struct {
+	Epoch uint64
+	Node  partition.NodeID
+}
+
+// StatsReport is the light-weight statistic each query engine pushes to
+// the coordinator on its sr_timer: memory usage, group count, and the
+// cumulative result count (the coordinator differentiates it into the
+// productivity rate R).
+type StatsReport struct {
+	Node         partition.NodeID
+	MemBytes     int64
+	Groups       int
+	Output       uint64
+	SpillCount   int
+	SpilledBytes int64
+	DiskSegments int
+}
+
+// ResultCount reports a batch of produced results from an engine to the
+// application server (count-only mode).
+type ResultCount struct {
+	Node  partition.NodeID
+	Delta uint64
+}
+
+// ResultData carries encoded tuple.Result values to the application
+// server (materializing mode, used by exactness tests and examples).
+type ResultData struct {
+	Node    partition.NodeID
+	Payload []byte
+	Phase   Phase
+}
+
+// Phase tags results as produced during the run-time or cleanup phase.
+type Phase int
+
+// Result phases.
+const (
+	PhaseRuntime Phase = iota
+	PhaseCleanup
+)
+
+// CptV asks the relocation sender to compute the partition groups to move
+// (step 1, "cptv" in Algorithms 1 and 2).
+type CptV struct {
+	Epoch    uint64
+	Amount   int64
+	Receiver partition.NodeID
+}
+
+// PtV returns the chosen partition groups to the coordinator (step 2).
+type PtV struct {
+	Epoch      uint64
+	Node       partition.NodeID
+	Partitions []partition.ID
+}
+
+// Pause tells the split host to buffer tuples of the moving partitions
+// and emit a PauseMarker to the current owner (step 3).
+type Pause struct {
+	Epoch      uint64
+	Partitions []partition.ID
+	Owner      partition.NodeID
+}
+
+// SendStates tells the sender to transfer the moving groups to the
+// receiver (step 5).
+type SendStates struct {
+	Epoch      uint64
+	Partitions []partition.ID
+	Receiver   partition.NodeID
+}
+
+// StateTransfer carries the moving partition groups: the resident
+// generation snapshots and any disk-resident segments, each encoded with
+// join.EncodeSnapshot. Disk segments follow the group so cleanup stays
+// local to the group's final owner (step 6).
+type StateTransfer struct {
+	Epoch    uint64
+	Resident [][]byte
+	Segments [][]byte
+}
+
+// Installed tells the coordinator the receiver installed the transferred
+// state (step 6 ack).
+type Installed struct {
+	Epoch uint64
+	Node  partition.NodeID
+}
+
+// Remap updates the split host's partition map to the new owner and
+// releases the buffered tuples (step 7).
+type Remap struct {
+	Epoch      uint64
+	Partitions []partition.ID
+	Owner      partition.NodeID
+	Version    uint64
+}
+
+// RemapAck completes the relocation (step 8).
+type RemapAck struct {
+	Epoch uint64
+}
+
+// ForceSpill is the coordinator's active-disk command: the engine must
+// push Amount bytes of its least productive groups to disk.
+type ForceSpill struct {
+	Amount int64
+}
+
+// SpillDone acknowledges a forced spill.
+type SpillDone struct {
+	Node  partition.NodeID
+	Bytes int64
+}
+
+// StartCleanup tells an engine to run its disk-phase cleanup.
+type StartCleanup struct{}
+
+// CleanupDone reports an engine's cleanup outcome. A non-empty Error
+// means the cleanup aborted (e.g. a corrupted segment failed its
+// checksum) and the counters cover only the work completed before.
+type CleanupDone struct {
+	Node      partition.NodeID
+	Groups    int
+	Segments  int
+	Tuples    int
+	Results   uint64
+	ElapsedNs int64
+	Error     string
+}
+
+// Stop shuts a node down at the end of an experiment.
+type Stop struct{}
+
+// Tick is a node's self-addressed timer message: routing timers through
+// the transport keeps every node single-threaded (timers and messages are
+// processed by the same serial handler).
+type Tick struct {
+	Kind string
+}
+
+// Timer kinds carried by Tick.
+const (
+	TickStats = "stats" // sr_timer: push statistics to the coordinator
+	TickSpill = "spill" // ss_timer: local memory-overflow check
+	TickLB    = "lb"    // lb_timer: coordinator strategy evaluation
+)
+
+// Drain asks an engine to finish processing everything already on its
+// (FIFO) data path and acknowledge; the experiment harness uses it to
+// fence the run-time phase before starting cleanup.
+type Drain struct {
+	Token uint64
+}
+
+// DrainAck acknowledges a Drain.
+type DrainAck struct {
+	Token uint64
+	Node  partition.NodeID
+}
+
+// Quiesce asks the coordinator to stop starting new adaptations and to
+// acknowledge once no adaptation is in flight. The harness fences the
+// run-time phase with it: quiesce, then drain, then cleanup.
+type Quiesce struct{}
+
+// QuiesceAck acknowledges a Quiesce once the coordinator is idle.
+type QuiesceAck struct{}
+
+func init() {
+	gob.Register(Hello{})
+	gob.Register(Data{})
+	gob.Register(PauseMarker{})
+	gob.Register(MarkerAck{})
+	gob.Register(StatsReport{})
+	gob.Register(ResultCount{})
+	gob.Register(ResultData{})
+	gob.Register(CptV{})
+	gob.Register(PtV{})
+	gob.Register(Pause{})
+	gob.Register(SendStates{})
+	gob.Register(StateTransfer{})
+	gob.Register(Installed{})
+	gob.Register(Remap{})
+	gob.Register(RemapAck{})
+	gob.Register(ForceSpill{})
+	gob.Register(SpillDone{})
+	gob.Register(StartCleanup{})
+	gob.Register(CleanupDone{})
+	gob.Register(Stop{})
+	gob.Register(Tick{})
+	gob.Register(Drain{})
+	gob.Register(DrainAck{})
+	gob.Register(Quiesce{})
+	gob.Register(QuiesceAck{})
+}

@@ -1,0 +1,77 @@
+package spill
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/vclock"
+)
+
+// Result summarizes one executed spill process.
+type Result struct {
+	When   vclock.Time
+	Groups []partition.ID
+	Bytes  int64
+	Tuples int
+}
+
+// Manager executes state spills against one join operator instance: it
+// asks the configured policy for victims, extracts their resident
+// generation, and persists the segments. It is driven from the engine's
+// single execution goroutine and is not otherwise synchronized.
+type Manager struct {
+	op     *join.Operator
+	store  Store
+	policy core.Policy
+
+	spills  []Result
+	spilled int64
+}
+
+// NewManager returns a Manager spilling from op into store using policy.
+func NewManager(op *join.Operator, store Store, policy core.Policy) *Manager {
+	return &Manager{op: op, store: store, policy: policy}
+}
+
+// Policy reports the manager's victim selection policy.
+func (m *Manager) Policy() core.Policy { return m.policy }
+
+// Store reports the segment store.
+func (m *Manager) Store() Store { return m.store }
+
+// Spill pushes at least amount bytes of resident state to the store (or
+// everything resident, if less) and returns what was spilled. A zero or
+// negative amount is a no-op.
+func (m *Manager) Spill(amount int64, now vclock.Time) (Result, error) {
+	res := Result{When: now}
+	if amount <= 0 {
+		return res, nil
+	}
+	victims := m.policy.SelectVictims(m.op.Stats(), amount)
+	for _, id := range victims {
+		snap := m.op.ExtractForSpill(id)
+		if snap == nil {
+			continue
+		}
+		if err := m.store.Write(snap); err != nil {
+			return res, fmt.Errorf("spill: persist group %d: %w", id, err)
+		}
+		res.Groups = append(res.Groups, id)
+		res.Bytes += snap.MemBytes()
+		res.Tuples += snap.TupleCount()
+	}
+	m.spills = append(m.spills, res)
+	m.spilled += res.Bytes
+	return res, nil
+}
+
+// Count reports how many spill processes have run.
+func (m *Manager) Count() int { return len(m.spills) }
+
+// SpilledBytes reports the cumulative bytes pushed to disk.
+func (m *Manager) SpilledBytes() int64 { return m.spilled }
+
+// History returns all spill results in execution order.
+func (m *Manager) History() []Result { return m.spills }

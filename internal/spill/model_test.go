@@ -1,0 +1,91 @@
+package spill
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/partition"
+)
+
+// TestStoreAgainstModel drives random Write/Read/Remove sequences against
+// both Store implementations and a trivial in-memory model, checking that
+// contents, counts, and generation ordering always agree.
+func TestStoreAgainstModel(t *testing.T) {
+	for name, mk := range map[string]func() Store{
+		"mem": func() Store { return NewMemStore() },
+		"file": func() Store {
+			fs, err := NewFileStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fs
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(31))
+			store := mk()
+			model := make(map[partition.ID][]uint32) // group -> sorted gens
+			nextGen := make(map[partition.ID]uint32)
+
+			for step := 0; step < 300; step++ {
+				id := partition.ID(rng.Intn(6))
+				switch rng.Intn(4) {
+				case 0, 1: // write the group's next generation
+					gen := nextGen[id]
+					nextGen[id]++
+					if err := store.Write(mkSnap(id, gen, 1+rng.Intn(5))); err != nil {
+						t.Fatal(err)
+					}
+					// Insert keeping the model sorted.
+					gens := append(model[id], gen)
+					for i := len(gens) - 1; i > 0 && gens[i-1] > gens[i]; i-- {
+						gens[i-1], gens[i] = gens[i], gens[i-1]
+					}
+					model[id] = gens
+				case 2: // read and compare
+					segs, err := store.Read(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					var got []uint32
+					for _, s := range segs {
+						got = append(got, s.Gen)
+					}
+					if !reflect.DeepEqual(got, model[id]) {
+						t.Fatalf("step %d: Read(%d) gens %v, model %v", step, id, got, model[id])
+					}
+				case 3: // remove
+					segs, err := store.Remove(id)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(segs) != len(model[id]) {
+						t.Fatalf("step %d: Remove(%d) returned %d segs, model %d", step, id, len(segs), len(model[id]))
+					}
+					delete(model, id)
+					if len(model[id]) == 0 {
+						delete(model, id)
+					}
+				}
+				// Global invariants.
+				wantCount := 0
+				for _, gens := range model {
+					wantCount += len(gens)
+				}
+				if store.SegmentCount() != wantCount {
+					t.Fatalf("step %d: SegmentCount %d, model %d", step, store.SegmentCount(), wantCount)
+				}
+				if got, want := len(store.Groups()), len(model); got != want {
+					t.Fatalf("step %d: %d groups, model %d", step, got, want)
+				}
+				if wantCount > 0 && store.Bytes() <= 0 {
+					t.Fatalf("step %d: Bytes = %d with %d segments", step, store.Bytes(), wantCount)
+				}
+				if wantCount == 0 && store.Bytes() != 0 {
+					t.Fatalf("step %d: Bytes = %d with empty store", step, store.Bytes())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,260 @@
+package spill
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/tuple"
+)
+
+func mkSnap(id partition.ID, gen uint32, n int) *join.GroupSnapshot {
+	s := &join.GroupSnapshot{ID: id, Gen: gen, Output: uint64(gen) * 10, Tuples: make([][]tuple.Tuple, 2)}
+	for i := 0; i < n; i++ {
+		s.Tuples[i%2] = append(s.Tuples[i%2], tuple.Tuple{
+			Stream: uint8(i % 2), Key: uint64(id), Seq: uint64(i), Payload: []byte{byte(i)},
+		})
+	}
+	return s
+}
+
+func testStores(t *testing.T) map[string]Store {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMemStore(), "file": fs}
+}
+
+func TestStoreWriteRead(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			want := mkSnap(3, 1, 5)
+			if err := s.Write(want); err != nil {
+				t.Fatal(err)
+			}
+			segs, err := s.Read(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(segs) != 1 {
+				t.Fatalf("read %d segments", len(segs))
+			}
+			if !reflect.DeepEqual(segs[0], want) {
+				t.Fatalf("round trip mismatch:\n%+v\n%+v", segs[0], want)
+			}
+			if s.SegmentCount() != 1 || s.Bytes() <= 0 {
+				t.Fatalf("count=%d bytes=%d", s.SegmentCount(), s.Bytes())
+			}
+		})
+	}
+}
+
+func TestStoreGenerationOrder(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			// Write out of order; Read must return generation order.
+			for _, gen := range []uint32{2, 0, 1} {
+				if err := s.Write(mkSnap(7, gen, 2)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			segs, err := s.Read(7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, seg := range segs {
+				if seg.Gen != uint32(i) {
+					t.Fatalf("segment %d has gen %d", i, seg.Gen)
+				}
+			}
+		})
+	}
+}
+
+func TestStoreRemove(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			s.Write(mkSnap(1, 0, 2))
+			s.Write(mkSnap(1, 1, 2))
+			s.Write(mkSnap(2, 0, 2))
+			out, err := s.Remove(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(out) != 2 {
+				t.Fatalf("removed %d segments", len(out))
+			}
+			if got := s.Groups(); len(got) != 1 || got[0] != 2 {
+				t.Fatalf("Groups = %v", got)
+			}
+			if s.SegmentCount() != 1 {
+				t.Fatalf("SegmentCount = %d", s.SegmentCount())
+			}
+			if segs, _ := s.Read(1); len(segs) != 0 {
+				t.Fatalf("removed group still readable: %d segments", len(segs))
+			}
+		})
+	}
+}
+
+func TestStoreGroupsSorted(t *testing.T) {
+	for name, s := range testStores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, id := range []partition.ID{9, 1, 5} {
+				s.Write(mkSnap(id, 0, 1))
+			}
+			got := s.Groups()
+			want := []partition.ID{1, 5, 9}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("Groups = %v, want %v", got, want)
+			}
+		})
+	}
+}
+
+func TestFileStoreReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := mkSnap(4, 2, 3)
+	if err := s1.Write(want); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SegmentCount() != 1 {
+		t.Fatalf("reopened count = %d", s2.SegmentCount())
+	}
+	segs, err := s2.Read(4)
+	if err != nil || len(segs) != 1 {
+		t.Fatalf("reopened read: %v, %d segments", err, len(segs))
+	}
+	if !reflect.DeepEqual(segs[0], want) {
+		t.Fatal("reopened segment differs")
+	}
+}
+
+func TestFileStoreDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Write(mkSnap(1, 0, 3))
+	entries, _ := os.ReadDir(dir)
+	path := dir + "/" + entries[0].Name()
+	buf, _ := os.ReadFile(path)
+	buf[len(buf)/2] ^= 0xff
+	os.WriteFile(path, buf, 0o644)
+	if _, err := s.Read(1); err == nil {
+		t.Fatal("corrupted segment read without error")
+	}
+}
+
+func TestSnapshotCodecRejectsGarbage(t *testing.T) {
+	if _, err := join.DecodeSnapshot([]byte("nope")); err == nil {
+		t.Fatal("short garbage accepted")
+	}
+	buf := join.EncodeSnapshot(mkSnap(1, 0, 2))
+	buf[0] ^= 0xff
+	if _, err := join.DecodeSnapshot(buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func buildOperator(t *testing.T) *join.Operator {
+	t.Helper()
+	op := join.New(2, partition.NewFunc(4), nil)
+	for i := 0; i < 40; i++ {
+		_, err := op.Process(tuple.Tuple{
+			Stream: uint8(i % 2), Key: uint64(i % 8), Seq: uint64(i), Payload: make([]byte, 16),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return op
+}
+
+func TestManagerSpillReducesMemory(t *testing.T) {
+	op := buildOperator(t)
+	m := NewManager(op, NewMemStore(), core.LessProductivePolicy{})
+	before := op.MemBytes()
+	target := before / 2
+	res, err := m.Spill(target, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes < target {
+		t.Fatalf("spilled %d bytes, target %d", res.Bytes, target)
+	}
+	if op.MemBytes() != before-res.Bytes {
+		t.Fatalf("MemBytes = %d, want %d", op.MemBytes(), before-res.Bytes)
+	}
+	if m.Count() != 1 || m.SpilledBytes() != res.Bytes {
+		t.Fatalf("Count=%d SpilledBytes=%d", m.Count(), m.SpilledBytes())
+	}
+	if len(m.History()) != 1 {
+		t.Fatalf("History len = %d", len(m.History()))
+	}
+}
+
+func TestManagerSpillEverything(t *testing.T) {
+	op := buildOperator(t)
+	m := NewManager(op, NewMemStore(), core.LargestPolicy{})
+	if _, err := m.Spill(1<<40, 0); err != nil {
+		t.Fatal(err)
+	}
+	if op.MemBytes() != 0 {
+		t.Fatalf("MemBytes = %d after full spill", op.MemBytes())
+	}
+}
+
+func TestManagerSpillZeroAmountNoop(t *testing.T) {
+	op := buildOperator(t)
+	m := NewManager(op, NewMemStore(), core.LessProductivePolicy{})
+	res, err := m.Spill(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Bytes != 0 || len(res.Groups) != 0 {
+		t.Fatalf("zero-amount spill pushed %d bytes", res.Bytes)
+	}
+	if m.SpilledBytes() != 0 {
+		t.Fatalf("SpilledBytes = %d", m.SpilledBytes())
+	}
+}
+
+func TestManagerSegmentsReadableAfterSpill(t *testing.T) {
+	op := buildOperator(t)
+	store := NewMemStore()
+	m := NewManager(op, store, core.LessProductivePolicy{})
+	res, err := m.Spill(op.MemBytes(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int
+	for _, id := range store.Groups() {
+		segs, err := store.Read(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, seg := range segs {
+			total += seg.TupleCount()
+		}
+	}
+	if total != res.Tuples {
+		t.Fatalf("store holds %d tuples, spill reported %d", total, res.Tuples)
+	}
+}

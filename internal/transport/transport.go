@@ -1,0 +1,40 @@
+// Package transport moves proto messages between cluster nodes. Two
+// implementations share one contract:
+//
+//   - inproc: goroutine/channel based, for tests and fast experiments;
+//   - tcp: length-prefixed gob frames over real sockets on localhost, for
+//     the multi-process cluster binaries.
+//
+// Contract: delivery is FIFO per (sender, receiver) pair, and each node's
+// handler is invoked serially (one message at a time), which gives every
+// node the single-threaded execution model the engines rely on. The
+// relocation protocol's pause-marker barrier depends on the FIFO property.
+package transport
+
+import (
+	"repro/internal/partition"
+	"repro/internal/proto"
+)
+
+// Handler consumes one inbound message. Handlers run serially per node.
+type Handler func(from partition.NodeID, msg proto.Message)
+
+// Endpoint is a node's attachment to the network.
+type Endpoint interface {
+	// Node reports the endpoint's node ID.
+	Node() partition.NodeID
+	// Send delivers msg to the named node. Send may block for
+	// backpressure but not for the receiver's processing of msg.
+	Send(to partition.NodeID, msg proto.Message) error
+	// Close detaches the endpoint; pending messages may be dropped.
+	Close() error
+}
+
+// Network creates endpoints. Implementations: NewInproc, NewTCP.
+type Network interface {
+	// Attach registers node with the network and starts delivering its
+	// inbound messages to h.
+	Attach(node partition.NodeID, h Handler) (Endpoint, error)
+	// Close shuts the whole network down.
+	Close() error
+}

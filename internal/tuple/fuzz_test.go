@@ -1,0 +1,65 @@
+package tuple
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode ensures the tuple codec never panics or over-reads on
+// arbitrary input, and that accepted inputs round-trip.
+func FuzzDecode(f *testing.F) {
+	seed := Tuple{Stream: 1, Key: 2, Seq: 3, Ts: 4, Payload: []byte("abc")}
+	f.Add(seed.AppendTo(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tp, used, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("Decode consumed %d of %d bytes", used, len(data))
+		}
+		re := tp.AppendTo(nil)
+		if !bytes.Equal(re, data[:used]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:used])
+		}
+	})
+}
+
+// FuzzDecodeBatch ensures the batch codec is total and that accepted
+// batches re-encode identically.
+func FuzzDecodeBatch(f *testing.F) {
+	b := Batch{Tuples: []Tuple{{Key: 1, Payload: []byte("x")}, {Stream: 2, Seq: 9}}}
+	f.Add(b.Encode())
+	f.Add([]byte{})
+	f.Add([]byte{0x02, 0x00, 0x00, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		batch, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(batch.Encode(), data) {
+			t.Fatal("batch re-encode mismatch")
+		}
+	})
+}
+
+// FuzzDecodeResult covers the result codec.
+func FuzzDecodeResult(f *testing.F) {
+	r := Result{Key: 7, Seqs: []uint64{1, 2, 3}}
+	f.Add(r.AppendTo(nil))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, used, err := DecodeResult(data)
+		if err != nil {
+			return
+		}
+		if used <= 0 || used > len(data) {
+			t.Fatalf("DecodeResult consumed %d of %d bytes", used, len(data))
+		}
+		if !bytes.Equal(res.AppendTo(nil), data[:used]) {
+			t.Fatal("result re-encode mismatch")
+		}
+	})
+}

@@ -1,0 +1,147 @@
+// Package tuple defines the stream tuple model used throughout the system:
+// input tuples flowing from the stream sources into partitioned join
+// instances, and join result tuples flowing to the application server.
+//
+// Memory accounting in the adaptation controllers is defined over these
+// tuples (see MemSize), mirroring the paper's byte-level operator-state
+// thresholds.
+package tuple
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// Tuple is a single stream element. Key carries the (already normalized)
+// join column value; Stream identifies which input of the m-way join the
+// tuple belongs to; Seq is a per-stream monotonically increasing sequence
+// number that gives every tuple a stable identity (used by the exactness
+// tests and the result model); Ts is the virtual arrival timestamp.
+type Tuple struct {
+	Stream  uint8
+	Key     uint64
+	Seq     uint64
+	Ts      vclock.Time
+	Payload []byte
+}
+
+// headerSize is the encoded size of the fixed tuple fields:
+// stream(1) + key(8) + seq(8) + ts(8) + payload length(4).
+const headerSize = 1 + 8 + 8 + 8 + 4
+
+// structOverhead approximates the in-memory bookkeeping cost of one resident
+// tuple beyond its payload bytes (struct fields, slice header, hash-bucket
+// share). It only needs to be a consistent per-tuple constant for the
+// thresholds and policies to behave like the paper's.
+const structOverhead = 56
+
+// MemSize reports the accounted in-memory size of the tuple in bytes.
+func (t *Tuple) MemSize() int64 { return structOverhead + int64(len(t.Payload)) }
+
+// EncodedSize reports the exact number of bytes AppendTo will write.
+func (t *Tuple) EncodedSize() int { return headerSize + len(t.Payload) }
+
+// AppendTo appends the binary encoding of t to dst and returns the extended
+// slice. The encoding is little-endian and self-delimiting.
+func (t *Tuple) AppendTo(dst []byte) []byte {
+	dst = append(dst, t.Stream)
+	dst = binary.LittleEndian.AppendUint64(dst, t.Key)
+	dst = binary.LittleEndian.AppendUint64(dst, t.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(t.Ts))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(t.Payload)))
+	return append(dst, t.Payload...)
+}
+
+// Decode parses one tuple from the front of buf, returning the tuple and
+// the number of bytes consumed.
+func Decode(buf []byte) (Tuple, int, error) {
+	if len(buf) < headerSize {
+		return Tuple{}, 0, fmt.Errorf("tuple: short buffer: %d bytes", len(buf))
+	}
+	var t Tuple
+	t.Stream = buf[0]
+	t.Key = binary.LittleEndian.Uint64(buf[1:])
+	t.Seq = binary.LittleEndian.Uint64(buf[9:])
+	t.Ts = vclock.Time(binary.LittleEndian.Uint64(buf[17:]))
+	plen := int(binary.LittleEndian.Uint32(buf[25:]))
+	if len(buf) < headerSize+plen {
+		return Tuple{}, 0, fmt.Errorf("tuple: truncated payload: need %d bytes, have %d", headerSize+plen, len(buf))
+	}
+	if plen > 0 {
+		t.Payload = make([]byte, plen)
+		copy(t.Payload, buf[headerSize:headerSize+plen])
+	}
+	return t, headerSize + plen, nil
+}
+
+// String renders a short human-readable form for logs and test failures.
+func (t Tuple) String() string {
+	return fmt.Sprintf("t{s%d k%d #%d @%s}", t.Stream, t.Key, t.Seq, t.Ts)
+}
+
+// Batch is an ordered group of tuples moved as one data message.
+type Batch struct {
+	Tuples []Tuple
+}
+
+// MemSize reports the accounted size of all tuples in the batch.
+func (b *Batch) MemSize() int64 {
+	var n int64
+	for i := range b.Tuples {
+		n += b.Tuples[i].MemSize()
+	}
+	return n
+}
+
+// Encode serializes the batch: a uint32 count followed by each tuple.
+func (b *Batch) Encode() []byte {
+	size := 4
+	for i := range b.Tuples {
+		size += b.Tuples[i].EncodedSize()
+	}
+	dst := make([]byte, 0, size)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Tuples)))
+	for i := range b.Tuples {
+		dst = b.Tuples[i].AppendTo(dst)
+	}
+	return dst
+}
+
+// DecodeBatch parses a batch produced by Encode.
+func DecodeBatch(buf []byte) (Batch, error) {
+	if len(buf) < 4 {
+		return Batch{}, fmt.Errorf("tuple: short batch buffer: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	// Validate the count against the buffer before allocating: a corrupt
+	// header must not drive a multi-gigabyte allocation.
+	if maxPossible := len(buf) / headerSize; n > maxPossible {
+		return Batch{}, fmt.Errorf("tuple: batch count %d exceeds buffer capacity %d", n, maxPossible)
+	}
+	b := Batch{Tuples: make([]Tuple, 0, n)}
+	for i := 0; i < n; i++ {
+		t, used, err := Decode(buf)
+		if err != nil {
+			return Batch{}, fmt.Errorf("tuple: batch element %d: %w", i, err)
+		}
+		b.Tuples = append(b.Tuples, t)
+		buf = buf[used:]
+	}
+	if len(buf) != 0 {
+		return Batch{}, fmt.Errorf("tuple: %d trailing bytes after batch", len(buf))
+	}
+	return b, nil
+}
+
+// ID identifies a tuple by its stream and sequence number. Result identity
+// and exactness checks are defined over IDs, not payloads.
+type ID struct {
+	Stream uint8
+	Seq    uint64
+}
+
+// IDOf returns the identity of t.
+func IDOf(t *Tuple) ID { return ID{Stream: t.Stream, Seq: t.Seq} }

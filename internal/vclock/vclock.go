@@ -1,0 +1,233 @@
+// Package vclock provides virtual time for the query processing system.
+//
+// The paper's experiments run for tens of virtual minutes with
+// millisecond-scale inter-arrival times and multi-second adaptation timers.
+// To reproduce those experiments quickly, every component reads time through
+// a Clock. A ScaledClock compresses wall time by a constant factor so that
+// all paper durations can be kept verbatim (30 ms input rate, 45 s minimal
+// relocation gap, 40 min runs) while the experiment completes in seconds.
+// A ManualClock provides fully deterministic time for unit tests.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Time is an instant of virtual time, expressed as a duration since the
+// start of the experiment (virtual epoch).
+type Time time.Duration
+
+// Sub returns the virtual duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Add returns the virtual instant t+d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Minutes reports t in fractional virtual minutes.
+func (t Time) Minutes() float64 { return time.Duration(t).Minutes() }
+
+// Seconds reports t in fractional virtual seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// String formats the instant as a duration since the virtual epoch.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Clock supplies virtual time. All durations passed to a Clock are virtual
+// durations; implementations translate them to wall time as appropriate.
+type Clock interface {
+	// Now returns the current virtual time.
+	Now() Time
+	// Sleep blocks for virtual duration d.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the virtual time after virtual
+	// duration d has elapsed.
+	After(d time.Duration) <-chan Time
+	// NewTicker returns a ticker firing every virtual duration d.
+	NewTicker(d time.Duration) *Ticker
+}
+
+// Ticker delivers virtual-time ticks at a fixed virtual interval.
+// Stop must be called to release resources.
+type Ticker struct {
+	// C delivers the virtual time of each tick.
+	C    <-chan Time
+	stop func()
+}
+
+// Stop turns off the ticker. It does not close C.
+func (t *Ticker) Stop() { t.stop() }
+
+// Scaled is a Clock whose virtual time advances Factor times faster than
+// wall time. Factor 1 is real time.
+type Scaled struct {
+	factor float64
+	start  time.Time
+}
+
+// NewScaled returns a Clock compressing wall time by factor (virtual =
+// wall * factor). It panics if factor is not positive.
+func NewScaled(factor float64) *Scaled {
+	if factor <= 0 {
+		panic(fmt.Sprintf("vclock: non-positive scale factor %v", factor))
+	}
+	return &Scaled{factor: factor, start: time.Now()}
+}
+
+// Factor reports the compression factor.
+func (c *Scaled) Factor() float64 { return c.factor }
+
+// Now implements Clock.
+func (c *Scaled) Now() Time {
+	return Time(float64(time.Since(c.start)) * c.factor)
+}
+
+// wall converts a virtual duration to the wall duration it occupies.
+func (c *Scaled) wall(d time.Duration) time.Duration {
+	w := time.Duration(float64(d) / c.factor)
+	if w <= 0 && d > 0 {
+		w = 1
+	}
+	return w
+}
+
+// Sleep implements Clock.
+func (c *Scaled) Sleep(d time.Duration) { time.Sleep(c.wall(d)) }
+
+// After implements Clock.
+func (c *Scaled) After(d time.Duration) <-chan Time {
+	ch := make(chan Time, 1)
+	time.AfterFunc(c.wall(d), func() { ch <- c.Now() })
+	return ch
+}
+
+// NewTicker implements Clock.
+func (c *Scaled) NewTicker(d time.Duration) *Ticker {
+	wt := time.NewTicker(c.wall(d))
+	ch := make(chan Time, 1)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-wt.C:
+				select {
+				case ch <- c.Now():
+				default: // receiver is slow; drop the tick like time.Ticker
+				}
+			case <-done:
+				return
+			}
+		}
+	}()
+	return &Ticker{C: ch, stop: func() {
+		wt.Stop()
+		close(done)
+	}}
+}
+
+// Manual is a deterministic Clock whose time only moves when Advance is
+// called. Sleepers and timers fire synchronously during Advance, which makes
+// adaptation logic unit-testable without real concurrency delays.
+type Manual struct {
+	mu      sync.Mutex
+	now     Time
+	waiters []*manualWaiter
+}
+
+type manualWaiter struct {
+	at   Time
+	ch   chan Time
+	tick time.Duration // 0 for one-shot
+	dead bool
+}
+
+// NewManual returns a Manual clock starting at virtual time 0.
+func NewManual() *Manual { return &Manual{} }
+
+// Now implements Clock.
+func (c *Manual) Now() Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves virtual time forward by d, firing any timers and tickers
+// whose deadlines are reached, in deadline order.
+func (c *Manual) Advance(d time.Duration) {
+	c.mu.Lock()
+	target := c.now.Add(d)
+	for {
+		var next *manualWaiter
+		for _, w := range c.waiters {
+			if w.dead || w.at > target {
+				continue
+			}
+			if next == nil || w.at < next.at {
+				next = w
+			}
+		}
+		if next == nil {
+			break
+		}
+		c.now = next.at
+		select {
+		case next.ch <- c.now:
+		default:
+		}
+		if next.tick > 0 {
+			next.at = next.at.Add(next.tick)
+		} else {
+			next.dead = true
+		}
+	}
+	c.now = target
+	c.compact()
+	c.mu.Unlock()
+}
+
+// compact removes dead waiters; callers must hold mu.
+func (c *Manual) compact() {
+	live := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.dead {
+			live = append(live, w)
+		}
+	}
+	c.waiters = live
+}
+
+// Sleep implements Clock. With a Manual clock, Sleep blocks until another
+// goroutine advances time past the deadline.
+func (c *Manual) Sleep(d time.Duration) { <-c.After(d) }
+
+// After implements Clock.
+func (c *Manual) After(d time.Duration) <-chan Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &manualWaiter{at: c.now.Add(d), ch: make(chan Time, 1)}
+	if d <= 0 {
+		w.ch <- c.now
+		w.dead = true
+		return w.ch
+	}
+	c.waiters = append(c.waiters, w)
+	return w.ch
+}
+
+// NewTicker implements Clock.
+func (c *Manual) NewTicker(d time.Duration) *Ticker {
+	if d <= 0 {
+		panic("vclock: non-positive ticker interval")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := &manualWaiter{at: c.now.Add(d), ch: make(chan Time, 1), tick: d}
+	c.waiters = append(c.waiters, w)
+	return &Ticker{C: w.ch, stop: func() {
+		c.mu.Lock()
+		w.dead = true
+		c.compact()
+		c.mu.Unlock()
+	}}
+}

@@ -1,0 +1,177 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestManualNowStartsAtZero(t *testing.T) {
+	c := NewManual()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("Now() = %v, want 0", got)
+	}
+}
+
+func TestManualAdvance(t *testing.T) {
+	c := NewManual()
+	c.Advance(3 * time.Second)
+	if got := c.Now(); got != Time(3*time.Second) {
+		t.Fatalf("Now() = %v, want 3s", got)
+	}
+	c.Advance(500 * time.Millisecond)
+	if got := c.Now(); got != Time(3500*time.Millisecond) {
+		t.Fatalf("Now() = %v, want 3.5s", got)
+	}
+}
+
+func TestManualAfterFiresAtDeadline(t *testing.T) {
+	c := NewManual()
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired early")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case at := <-ch:
+		if at != Time(10*time.Second) {
+			t.Fatalf("fired at %v, want 10s", at)
+		}
+	default:
+		t.Fatal("timer did not fire at deadline")
+	}
+}
+
+func TestManualAfterNonPositiveFiresImmediately(t *testing.T) {
+	c := NewManual()
+	select {
+	case <-c.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestManualTicker(t *testing.T) {
+	c := NewManual()
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	c.Advance(time.Second)
+	if at := <-tk.C; at != Time(time.Second) {
+		t.Fatalf("first tick at %v, want 1s", at)
+	}
+	c.Advance(time.Second)
+	if at := <-tk.C; at != Time(2*time.Second) {
+		t.Fatalf("second tick at %v, want 2s", at)
+	}
+}
+
+func TestManualTickerDropsWhenReceiverSlow(t *testing.T) {
+	c := NewManual()
+	tk := c.NewTicker(time.Second)
+	defer tk.Stop()
+	// Two intervals elapse without a receive; only one tick is buffered.
+	c.Advance(5 * time.Second)
+	<-tk.C
+	select {
+	case <-tk.C:
+		t.Fatal("ticker buffered more than one tick")
+	default:
+	}
+}
+
+func TestManualTickerStop(t *testing.T) {
+	c := NewManual()
+	tk := c.NewTicker(time.Second)
+	tk.Stop()
+	c.Advance(3 * time.Second)
+	select {
+	case <-tk.C:
+		t.Fatal("tick after Stop")
+	default:
+	}
+}
+
+func TestManualMultipleTimersFireInOrder(t *testing.T) {
+	c := NewManual()
+	late := c.After(2 * time.Second)
+	early := c.After(1 * time.Second)
+	c.Advance(3 * time.Second)
+	atEarly := <-early
+	atLate := <-late
+	if atEarly != Time(time.Second) || atLate != Time(2*time.Second) {
+		t.Fatalf("fired at %v and %v, want 1s and 2s", atEarly, atLate)
+	}
+}
+
+func TestScaledAdvancesFasterThanWall(t *testing.T) {
+	c := NewScaled(1000)
+	time.Sleep(2 * time.Millisecond)
+	if got := c.Now(); got < Time(time.Second) {
+		t.Fatalf("Now() = %v, want at least 1s of virtual time", got)
+	}
+}
+
+func TestScaledSleepCompressesWallTime(t *testing.T) {
+	c := NewScaled(1000)
+	start := time.Now()
+	c.Sleep(time.Second) // should take ~1ms of wall time
+	if wall := time.Since(start); wall > 500*time.Millisecond {
+		t.Fatalf("Sleep(1s virtual) took %v of wall time", wall)
+	}
+}
+
+func TestScaledAfter(t *testing.T) {
+	c := NewScaled(1000)
+	select {
+	case <-c.After(10 * time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("After did not fire within wall-time budget")
+	}
+}
+
+func TestScaledTicker(t *testing.T) {
+	c := NewScaled(1000)
+	tk := c.NewTicker(100 * time.Millisecond) // 0.1ms wall, clamped to >=1ns
+	defer tk.Stop()
+	select {
+	case <-tk.C:
+	case <-time.After(time.Second):
+		t.Fatal("ticker did not tick")
+	}
+}
+
+func TestScaledPanicsOnNonPositiveFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewScaled(0) did not panic")
+		}
+	}()
+	NewScaled(0)
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	a := Time(90 * time.Second)
+	b := Time(30 * time.Second)
+	if d := a.Sub(b); d != time.Minute {
+		t.Fatalf("Sub = %v, want 1m", d)
+	}
+	if got := b.Add(time.Minute); got != a {
+		t.Fatalf("Add = %v, want %v", got, a)
+	}
+	if m := a.Minutes(); m != 1.5 {
+		t.Fatalf("Minutes = %v, want 1.5", m)
+	}
+	if s := b.Seconds(); s != 30 {
+		t.Fatalf("Seconds = %v, want 30", s)
+	}
+	if str := b.String(); str != "30s" {
+		t.Fatalf("String = %q, want 30s", str)
+	}
+}

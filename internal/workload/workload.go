@@ -1,0 +1,332 @@
+// Package workload synthesizes the paper's input streams (§3.1). The
+// central knob is the join multiplicative factor increase rate ("join
+// rate") r over a tuple range k: after every k tuples on a stream, the
+// average number of tuples sharing a join value grows by r. The generator
+// realizes this by giving each partition a fixed value domain that is
+// cycled, so each value reappears at a constant rate — the join factor
+// (and thus operator state and output rate) grows monotonically, exactly
+// the long-running behaviour the paper studies.
+//
+// Partitions are grouped into classes with their own join rate and tuple
+// range (Figures 7, 13, 14), and time-phased weights skew how many tuples
+// each partition receives (the alternating 10x pattern of Figures 9/10).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// Class describes one partition class.
+type Class struct {
+	// Fraction of all partitions belonging to this class. Fractions
+	// must sum to 1.
+	Fraction float64
+	// JoinRate is r: the per-tuple-range increase of the join
+	// multiplicative factor for this class's partitions.
+	JoinRate int
+	// TupleRange is k: the number of stream tuples forming one range.
+	TupleRange int
+}
+
+// Phase is one period of a time-varying partition skew. Weight[i] scales
+// how many tuples partition i receives relative to the others during the
+// phase.
+type Phase struct {
+	Duration time.Duration
+	Weight   []float64
+}
+
+// Config parameterizes a synthetic workload.
+type Config struct {
+	// Streams is the number of join inputs (m).
+	Streams int
+	// Partitions is the number of partition groups (much larger than
+	// the machine count, per the paper).
+	Partitions int
+	// Classes partition the partitions; nil means one class.
+	Classes []Class
+	// InterArrival is the virtual time between consecutive tuples of
+	// one stream (the paper's 30 ms input rate).
+	InterArrival time.Duration
+	// PayloadBytes pads each tuple to model realistic state sizes.
+	PayloadBytes int
+	// Seed makes the generated streams reproducible.
+	Seed int64
+	// Phases is an optional cyclic skew schedule. After the last phase
+	// the schedule repeats from phase CycleFrom.
+	Phases []Phase
+	// CycleFrom is the phase index the schedule loops back to.
+	CycleFrom int
+}
+
+// DefaultConfig returns the paper's base setup: a 3-way join, 30 ms
+// inter-arrival, tuple range 30K, join rate 3.
+func DefaultConfig() Config {
+	return Config{
+		Streams:      3,
+		Partitions:   120,
+		Classes:      []Class{{Fraction: 1, JoinRate: 3, TupleRange: 30000}},
+		InterArrival: 30 * time.Millisecond,
+		PayloadBytes: 40,
+		Seed:         1,
+	}
+}
+
+// Generator produces the tuples of all streams deterministically.
+// It is not safe for concurrent use.
+type Generator struct {
+	cfg  Config
+	rngs []*rand.Rand // one source per stream, so each stream's
+	// sequence is independent of how calls interleave across streams
+	domain  []uint64   // per partition: value domain size d_p
+	counts  [][]uint64 // per stream, per partition: tuples delivered
+	seqs    []uint64   // per stream: next sequence number
+	phases  []phaseCum
+	payload []byte
+}
+
+type phaseCum struct {
+	until  time.Duration // cumulative end of the phase within one cycle
+	prefix []float64     // cumulative partition weights for sampling
+	total  float64
+}
+
+// New validates cfg and returns a Generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Streams < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 streams, got %d", cfg.Streams)
+	}
+	if cfg.Partitions <= 0 {
+		return nil, fmt.Errorf("workload: non-positive partition count %d", cfg.Partitions)
+	}
+	if cfg.InterArrival <= 0 {
+		return nil, fmt.Errorf("workload: non-positive inter-arrival %v", cfg.InterArrival)
+	}
+	if len(cfg.Classes) == 0 {
+		cfg.Classes = []Class{{Fraction: 1, JoinRate: 3, TupleRange: 30000}}
+	}
+	var fsum float64
+	for i, c := range cfg.Classes {
+		if c.JoinRate <= 0 || c.TupleRange <= 0 {
+			return nil, fmt.Errorf("workload: class %d has non-positive rate/range", i)
+		}
+		fsum += c.Fraction
+	}
+	if fsum < 0.999 || fsum > 1.001 {
+		return nil, fmt.Errorf("workload: class fractions sum to %v, want 1", fsum)
+	}
+	g := &Generator{
+		cfg:     cfg,
+		rngs:    make([]*rand.Rand, cfg.Streams),
+		domain:  make([]uint64, cfg.Partitions),
+		counts:  make([][]uint64, cfg.Streams),
+		seqs:    make([]uint64, cfg.Streams),
+		payload: make([]byte, cfg.PayloadBytes),
+	}
+	for s := range g.counts {
+		g.counts[s] = make([]uint64, cfg.Partitions)
+		g.rngs[s] = rand.New(rand.NewSource(cfg.Seed + int64(s)*0x9e3779b9))
+	}
+	// Assign classes to partitions striped, so any machine's share of
+	// partitions contains the configured class mix unless an experiment
+	// deliberately aligns classes with machines (Figures 13/14 do that
+	// by constructing the partition map accordingly).
+	classOf := stripeClasses(cfg.Classes, cfg.Partitions)
+	for p := 0; p < cfg.Partitions; p++ {
+		c := cfg.Classes[classOf[p]]
+		// The class's partitions receive ~TupleRange/Partitions tuples
+		// per range window; dividing by the join rate gives the value
+		// domain size that makes each value recur JoinRate times per
+		// window.
+		d := c.TupleRange / (cfg.Partitions * c.JoinRate)
+		if d < 1 {
+			d = 1
+		}
+		g.domain[p] = uint64(d)
+	}
+	if err := g.buildPhases(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// stripeClasses maps each partition to a class index, interleaved.
+func stripeClasses(classes []Class, n int) []int {
+	out := make([]int, n)
+	// Largest remainder apportionment over a stripe of the full count,
+	// then positions striped: partition p gets class by p's position in
+	// a repeating pattern proportional to fractions.
+	quota := make([]int, len(classes))
+	assigned := 0
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	var rems []rem
+	for i, c := range classes {
+		exact := c.Fraction * float64(n)
+		quota[i] = int(exact)
+		assigned += quota[i]
+		rems = append(rems, rem{i, exact - float64(quota[i])})
+	}
+	sort.Slice(rems, func(a, b int) bool { return rems[a].frac > rems[b].frac })
+	for i := 0; assigned < n; i++ {
+		quota[rems[i%len(rems)].idx]++
+		assigned++
+	}
+	// Interleave: repeatedly take one partition from the class with the
+	// highest remaining quota share.
+	remaining := append([]int(nil), quota...)
+	for p := 0; p < n; p++ {
+		best, bestVal := 0, -1.0
+		for i := range remaining {
+			if quota[i] == 0 {
+				continue
+			}
+			v := float64(remaining[i]) / float64(quota[i])
+			if v > bestVal {
+				best, bestVal = i, v
+			}
+		}
+		out[p] = best
+		remaining[best]--
+	}
+	return out
+}
+
+func (g *Generator) buildPhases() error {
+	if len(g.cfg.Phases) == 0 {
+		return nil
+	}
+	if g.cfg.CycleFrom < 0 || g.cfg.CycleFrom >= len(g.cfg.Phases) {
+		return fmt.Errorf("workload: CycleFrom %d out of range", g.cfg.CycleFrom)
+	}
+	var cum time.Duration
+	for i, ph := range g.cfg.Phases {
+		if ph.Duration <= 0 {
+			return fmt.Errorf("workload: phase %d has non-positive duration", i)
+		}
+		if len(ph.Weight) != g.cfg.Partitions {
+			return fmt.Errorf("workload: phase %d has %d weights, want %d", i, len(ph.Weight), g.cfg.Partitions)
+		}
+		prefix := make([]float64, g.cfg.Partitions)
+		var total float64
+		for p, w := range ph.Weight {
+			if w < 0 {
+				return fmt.Errorf("workload: phase %d has negative weight", i)
+			}
+			total += w
+			prefix[p] = total
+		}
+		if total <= 0 {
+			return fmt.Errorf("workload: phase %d has zero total weight", i)
+		}
+		cum += ph.Duration
+		g.phases = append(g.phases, phaseCum{until: cum, prefix: prefix, total: total})
+	}
+	return nil
+}
+
+// phaseAt returns the active phase for virtual time t, or nil when the
+// distribution is uniform.
+func (g *Generator) phaseAt(t vclock.Time) *phaseCum {
+	if len(g.phases) == 0 {
+		return nil
+	}
+	d := time.Duration(t)
+	cycleLen := g.phases[len(g.phases)-1].until
+	if d >= cycleLen {
+		// Loop the schedule from CycleFrom.
+		var head time.Duration
+		if g.cfg.CycleFrom > 0 {
+			head = g.phases[g.cfg.CycleFrom-1].until
+		}
+		loop := cycleLen - head
+		d = head + (d-cycleLen)%loop
+	}
+	for i := range g.phases {
+		if d < g.phases[i].until {
+			return &g.phases[i]
+		}
+	}
+	return &g.phases[len(g.phases)-1]
+}
+
+// pick samples the partition for stream's next tuple at virtual time t.
+func (g *Generator) pick(stream int, t vclock.Time) partition.ID {
+	rng := g.rngs[stream]
+	ph := g.phaseAt(t)
+	if ph == nil {
+		return partition.ID(rng.Intn(g.cfg.Partitions))
+	}
+	x := rng.Float64() * ph.total
+	i := sort.SearchFloat64s(ph.prefix, x)
+	if i >= g.cfg.Partitions {
+		i = g.cfg.Partitions - 1
+	}
+	return partition.ID(i)
+}
+
+// Next produces the next tuple of the given stream, arriving at virtual
+// time ts. Keys are constructed so that key mod Partitions is the
+// partition ID and every partition cycles its own value domain.
+func (g *Generator) Next(stream int, ts vclock.Time) tuple.Tuple {
+	p := g.pick(stream, ts)
+	idx := g.counts[stream][p] % g.domain[p]
+	g.counts[stream][p]++
+	key := uint64(p) + uint64(g.cfg.Partitions)*idx
+	seq := g.seqs[stream]
+	g.seqs[stream]++
+	var payload []byte
+	if len(g.payload) > 0 {
+		payload = make([]byte, len(g.payload))
+	}
+	return tuple.Tuple{
+		Stream:  uint8(stream),
+		Key:     key,
+		Seq:     seq,
+		Ts:      ts,
+		Payload: payload,
+	}
+}
+
+// Config reports the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// PartitionFunc returns the partition function matching the generator's
+// key construction.
+func (g *Generator) PartitionFunc() partition.Func {
+	return partition.NewFunc(g.cfg.Partitions)
+}
+
+// Emitted reports how many tuples have been generated per stream.
+func (g *Generator) Emitted(stream int) uint64 { return g.seqs[stream] }
+
+// UniformWeights returns an all-ones weight vector.
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// BoostWeights returns a weight vector giving factor to the partitions in
+// boosted and 1 elsewhere — the building block of the Figure 9/10
+// alternating 10x input pattern.
+func BoostWeights(n int, boosted []partition.ID, factor float64) []float64 {
+	w := UniformWeights(n)
+	for _, p := range boosted {
+		if int(p) < n {
+			w[p] = factor
+		}
+	}
+	return w
+}

@@ -1,0 +1,271 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/partition"
+	"repro/internal/vclock"
+)
+
+func baseConfig() Config {
+	return Config{
+		Streams:      3,
+		Partitions:   10,
+		Classes:      []Class{{Fraction: 1, JoinRate: 2, TupleRange: 100}},
+		InterArrival: time.Millisecond,
+		PayloadBytes: 8,
+		Seed:         1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Streams = 1 },
+		func(c *Config) { c.Partitions = 0 },
+		func(c *Config) { c.InterArrival = 0 },
+		func(c *Config) { c.Classes = []Class{{Fraction: 0.5, JoinRate: 1, TupleRange: 10}} },
+		func(c *Config) { c.Classes = []Class{{Fraction: 1, JoinRate: 0, TupleRange: 10}} },
+		func(c *Config) { c.Classes = []Class{{Fraction: 1, JoinRate: 1, TupleRange: 0}} },
+	}
+	for i, mutate := range bad {
+		cfg := baseConfig()
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(baseConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestKeysLandInTheirPartition(t *testing.T) {
+	g, err := New(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := g.PartitionFunc()
+	for i := 0; i < 1000; i++ {
+		tp := g.Next(0, vclock.Time(i))
+		if int(pf.Of(tp.Key)) >= baseConfig().Partitions {
+			t.Fatalf("key %d outside partition range", tp.Key)
+		}
+	}
+}
+
+func TestSequencesMonotonicPerStream(t *testing.T) {
+	g, _ := New(baseConfig())
+	for s := 0; s < 3; s++ {
+		for i := uint64(0); i < 50; i++ {
+			tp := g.Next(s, 0)
+			if tp.Seq != i {
+				t.Fatalf("stream %d tuple %d has seq %d", s, i, tp.Seq)
+			}
+			if tp.Stream != uint8(s) {
+				t.Fatalf("stream field = %d, want %d", tp.Stream, s)
+			}
+		}
+		if g.Emitted(s) != 50 {
+			t.Fatalf("Emitted(%d) = %d", s, g.Emitted(s))
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	g1, _ := New(baseConfig())
+	g2, _ := New(baseConfig())
+	for i := 0; i < 200; i++ {
+		a, b := g1.Next(0, vclock.Time(i)), g2.Next(0, vclock.Time(i))
+		if a.Key != b.Key || a.Seq != b.Seq {
+			t.Fatalf("tuple %d differs across same-seed generators", i)
+		}
+	}
+}
+
+func TestJoinFactorGrowsAtConfiguredRate(t *testing.T) {
+	// With tuple range k=100, join rate r=2 and 10 partitions, each
+	// partition's domain holds 100/(10*2)=5 values; after one range
+	// window (100 tuples) each value should have appeared ~2 times, and
+	// after w windows ~2w times: the join multiplicative factor rises
+	// by r per window, the paper's definition.
+	cfg := baseConfig()
+	g, _ := New(cfg)
+	counts := make(map[uint64]int)
+	const windows = 8
+	for i := 0; i < windows*100; i++ {
+		tp := g.Next(0, vclock.Time(i))
+		counts[tp.Key]++
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += float64(c)
+	}
+	avg := sum / float64(len(counts))
+	want := float64(windows * 2)
+	if math.Abs(avg-want)/want > 0.30 {
+		t.Fatalf("average multiplicative factor %.1f after %d windows, want ~%.1f", avg, windows, want)
+	}
+}
+
+func TestClassesGetDistinctDomains(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Partitions = 12
+	cfg.Classes = []Class{
+		{Fraction: 0.5, JoinRate: 4, TupleRange: 120}, // domain 120/(12*4)=2 (rounds via int div)
+		{Fraction: 0.5, JoinRate: 1, TupleRange: 120}, // domain 10
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, d := range g.domain {
+		switch {
+		case d <= 3:
+			small++
+		case d >= 8:
+			large++
+		}
+	}
+	if small != 6 || large != 6 {
+		t.Fatalf("domains %v: %d small, %d large, want 6/6", g.domain, small, large)
+	}
+}
+
+func TestStripeClassesApportionment(t *testing.T) {
+	classes := []Class{{Fraction: 1.0 / 3}, {Fraction: 1.0 / 3}, {Fraction: 1.0 / 3}}
+	out := stripeClasses(classes, 9)
+	counts := map[int]int{}
+	for _, c := range out {
+		counts[c]++
+	}
+	for c := 0; c < 3; c++ {
+		if counts[c] != 3 {
+			t.Fatalf("class %d got %d partitions: %v", c, counts[c], out)
+		}
+	}
+	// Striping: the first three partitions cover all three classes.
+	seen := map[int]bool{}
+	for _, c := range out[:3] {
+		seen[c] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("first window not mixed: %v", out[:3])
+	}
+}
+
+func TestPhaseSkewShiftsLoad(t *testing.T) {
+	cfg := baseConfig()
+	n := cfg.Partitions
+	setA := []partition.ID{0, 1, 2, 3, 4}
+	setB := []partition.ID{5, 6, 7, 8, 9}
+	cfg.Phases = []Phase{
+		{Duration: time.Minute, Weight: BoostWeights(n, setA, 10)},
+		{Duration: time.Minute, Weight: BoostWeights(n, setB, 10)},
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countIn := func(from, to time.Duration) (a, b int) {
+		for i := 0; i < 4000; i++ {
+			ts := vclock.Time(from) + vclock.Time((to-from)*time.Duration(i)/4000)
+			tp := g.Next(0, ts)
+			p := tp.Key % uint64(n)
+			if p < 5 {
+				a++
+			} else {
+				b++
+			}
+		}
+		return
+	}
+	a1, b1 := countIn(0, time.Minute)
+	if float64(a1) < 5*float64(b1) {
+		t.Fatalf("phase 1: set A got %d, set B %d; want ~10x skew", a1, b1)
+	}
+	a2, b2 := countIn(time.Minute, 2*time.Minute)
+	if float64(b2) < 5*float64(a2) {
+		t.Fatalf("phase 2: set A got %d, set B %d; want inverted skew", a2, b2)
+	}
+}
+
+func TestPhaseScheduleCycles(t *testing.T) {
+	cfg := baseConfig()
+	n := cfg.Partitions
+	cfg.Phases = []Phase{
+		{Duration: 5 * time.Minute, Weight: BoostWeights(n, []partition.ID{0}, 100)},
+		{Duration: 10 * time.Minute, Weight: BoostWeights(n, []partition.ID{9}, 100)},
+		{Duration: 10 * time.Minute, Weight: BoostWeights(n, []partition.ID{0}, 100)},
+	}
+	cfg.CycleFrom = 1
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=26min the schedule has looped back to phase 1 (boost 9):
+	// cycle len 25min, head 5min, loop 20min; 26 -> 5+1 = phase 1.
+	ph := g.phaseAt(vclock.Time(26 * time.Minute))
+	if ph == nil {
+		t.Fatal("no phase at 26min")
+	}
+	if ph.prefix[9]-ph.prefix[8] < 50 {
+		t.Fatalf("expected partition 9 boosted at 26min")
+	}
+	// At t=46min: 5 + (46-25)%20 = 5+1 -> phase 1 again.
+	ph = g.phaseAt(vclock.Time(46 * time.Minute))
+	if ph.prefix[9]-ph.prefix[8] < 50 {
+		t.Fatalf("expected partition 9 boosted at 46min")
+	}
+	// At t=16min: phase 2 (boost 0).
+	ph = g.phaseAt(vclock.Time(16 * time.Minute))
+	if ph.prefix[0] < 50 {
+		t.Fatalf("expected partition 0 boosted at 16min")
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Phases = []Phase{{Duration: 0, Weight: UniformWeights(cfg.Partitions)}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero-duration phase accepted")
+	}
+	cfg = baseConfig()
+	cfg.Phases = []Phase{{Duration: time.Minute, Weight: []float64{1}}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("wrong weight length accepted")
+	}
+	cfg = baseConfig()
+	cfg.Phases = []Phase{{Duration: time.Minute, Weight: make([]float64, cfg.Partitions)}}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("zero total weight accepted")
+	}
+	cfg = baseConfig()
+	cfg.Phases = []Phase{{Duration: time.Minute, Weight: UniformWeights(cfg.Partitions)}}
+	cfg.CycleFrom = 5
+	if _, err := New(cfg); err == nil {
+		t.Fatal("out-of-range CycleFrom accepted")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPayloadSize(t *testing.T) {
+	cfg := baseConfig()
+	cfg.PayloadBytes = 64
+	g, _ := New(cfg)
+	if tp := g.Next(0, 0); len(tp.Payload) != 64 {
+		t.Fatalf("payload %d bytes", len(tp.Payload))
+	}
+	cfg.PayloadBytes = 0
+	g, _ = New(cfg)
+	if tp := g.Next(0, 0); tp.Payload != nil {
+		t.Fatalf("expected nil payload")
+	}
+}

@@ -1,0 +1,244 @@
+// Micro-benchmarks for the system's hot paths, complementing the figure
+// benchmarks: per-tuple join cost, codecs, spill store throughput, and
+// the cleanup merge.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cleanup"
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/spill"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+
+	"repro/internal/proto"
+)
+
+func benchTuple(i int) tuple.Tuple {
+	return tuple.Tuple{
+		Stream:  uint8(i % 3),
+		Key:     uint64(i % 1000),
+		Seq:     uint64(i),
+		Ts:      vclock.Time(i),
+		Payload: make([]byte, 40),
+	}
+}
+
+func BenchmarkJoinProcessCountOnly(b *testing.B) {
+	op := join.New(3, partition.NewFunc(120), nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := op.Process(benchTuple(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJoinProcessMaterializing(b *testing.B) {
+	var sink uint64
+	op := join.New(3, partition.NewFunc(120), func(r tuple.Result) { sink += r.Seqs[0] })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := op.Process(benchTuple(i % 50_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
+func BenchmarkTupleEncode(b *testing.B) {
+	t := benchTuple(1)
+	buf := make([]byte, 0, t.EncodedSize())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = t.AppendTo(buf[:0])
+	}
+}
+
+func BenchmarkTupleDecode(b *testing.B) {
+	t := benchTuple(1)
+	buf := t.AppendTo(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tuple.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBatchRoundTrip(b *testing.B) {
+	var batch tuple.Batch
+	for i := 0; i < 256; i++ {
+		batch.Tuples = append(batch.Tuples, benchTuple(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := batch.Encode()
+		if _, err := tuple.DecodeBatch(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// buildSnapshot makes a realistic ~1000-tuple group snapshot.
+func buildSnapshot() *join.GroupSnapshot {
+	op := join.New(3, partition.NewFunc(1), nil)
+	for i := 0; i < 1000; i++ {
+		op.Process(benchTuple(i))
+	}
+	return op.ResidentSnapshot(0)
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	snap := buildSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		join.EncodeSnapshot(snap)
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	buf := join.EncodeSnapshot(buildSnapshot())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := join.DecodeSnapshot(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFileStoreWriteRead(b *testing.B) {
+	store, err := spill.NewFileStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := buildSnapshot()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Gen = uint32(i)
+		if err := store.Write(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, err := store.Read(0); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCleanupMerge(b *testing.B) {
+	// Three generations of 300 tuples each over 30 keys.
+	mkGen := func(gen uint32) *join.GroupSnapshot {
+		s := &join.GroupSnapshot{ID: 0, Gen: gen, Tuples: make([][]tuple.Tuple, 3)}
+		for i := 0; i < 300; i++ {
+			t := benchTuple(i)
+			t.Key = uint64(i % 30)
+			t.Seq = uint64(gen)*1000 + uint64(i)
+			s.Tuples[t.Stream] = append(s.Tuples[t.Stream], t)
+		}
+		return s
+	}
+	gens := []*join.GroupSnapshot{mkGen(0), mkGen(1), mkGen(2)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cleanup.Group(3, gens, 0, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolicySelectVictims(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	groups := make([]core.GroupStats, 500)
+	for i := range groups {
+		groups[i] = core.GroupStats{
+			ID:     partition.ID(i),
+			Size:   int64(rng.Intn(100_000)),
+			Output: uint64(rng.Intn(1_000_000)),
+		}
+	}
+	policy := core.LessProductivePolicy{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		policy.SelectVictims(groups, 1_000_000)
+	}
+}
+
+func BenchmarkPartitionMapMove(b *testing.B) {
+	m, err := partition.NewMap(500, partition.UniformAssign([]partition.NodeID{"a", "b"}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids := []partition.ID{1, 3, 5, 7, 9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node := partition.NodeID("a")
+		if i%2 == 0 {
+			node = "b"
+		}
+		if _, err := m.Move(ids, node); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInprocTransport(b *testing.B) {
+	net := transport.NewInproc()
+	defer net.Close()
+	done := make(chan struct{}, 1024)
+	if _, err := net.Attach("sink", func(partition.NodeID, proto.Message) { done <- struct{}{} }); err != nil {
+		b.Fatal(err)
+	}
+	src, err := net.Attach("src", func(partition.NodeID, proto.Message) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send("sink", proto.Data{Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
+
+func BenchmarkTCPTransport(b *testing.B) {
+	net := transport.NewTCP(map[partition.NodeID]string{
+		"src": "127.0.0.1:0", "sink": "127.0.0.1:0",
+	})
+	defer net.Close()
+	done := make(chan struct{}, 1024)
+	if _, err := net.Attach("sink", func(partition.NodeID, proto.Message) { done <- struct{}{} }); err != nil {
+		b.Fatal(err)
+	}
+	src, err := net.Attach("src", func(partition.NodeID, proto.Message) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(len(payload)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := src.Send("sink", proto.Data{Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+		<-done
+	}
+}
