@@ -1,0 +1,20 @@
+# Tier-1 verification for the repo: vet, build, race-test.
+# `make check` is what CI and the roadmap's tier-1 gate run.
+
+GO ?= go
+
+.PHONY: check vet build test test-race
+
+check: vet build test-race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...

@@ -14,6 +14,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/transport"
@@ -24,6 +26,7 @@ func main() {
 	var (
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
 		logEvery = flag.Duration("log-every", 5*time.Second, "throughput logging period (wall)")
+		monAddr  = flag.String("monitor", "", "HTTP monitoring address serving /healthz, /stats, and /metrics (empty disables)")
 	)
 	flag.Parse()
 
@@ -31,10 +34,29 @@ func main() {
 	dir := map[partition.NodeID]string{cluster.AppServerNode: *listen}
 	net := transport.NewTCP(dir)
 	defer net.Close()
+	reg := obs.NewRegistry()
+	reg.Help("distq_appserver_results_total", "result tuples received from the engines")
+	net.Instrument(cluster.AppServerNode, transport.NewMetrics(reg, "appserver"))
+	if *monAddr != "" {
+		mon, err := monitor.StartServer(monitor.Config{
+			Addr: *monAddr,
+			Snapshot: func() monitor.Snapshot {
+				return monitor.Snapshot{Kind: "appserver", Output: total.Load()}
+			},
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		log.Printf("appserver monitoring on http://%s/metrics", mon.Addr())
+	}
+	results := reg.Counter("distq_appserver_results_total")
 	_, err := net.Attach(cluster.AppServerNode, func(from partition.NodeID, msg proto.Message) {
 		switch m := msg.(type) {
 		case proto.ResultCount:
 			total.Add(m.Delta)
+			results.Add(float64(m.Delta))
 		case proto.ResultData:
 			// Materializing engines ship encoded results; count them.
 			var n uint64
@@ -48,6 +70,7 @@ func main() {
 				n++
 			}
 			total.Add(n)
+			results.Add(float64(n))
 		}
 	})
 	if err != nil {

@@ -99,6 +99,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	net.Instrument(cluster.CoordinatorNode, transport.NewMetrics(gc.Registry(), "coordinator"))
 	if err := gc.Attach(net); err != nil {
 		log.Fatal(err)
 	}
@@ -106,24 +107,29 @@ func main() {
 		log.Fatal(err)
 	}
 	if *monAddr != "" {
-		mon, err := monitor.Start(*monAddr, func() monitor.Snapshot {
-			snap := monitor.Snapshot{
-				Kind:         "coordinator",
-				Relocations:  gc.Relocations(),
-				ForcedSpills: gc.ForcedSpills(),
-			}
-			for _, ev := range gc.Events().All() {
-				snap.Events = append(snap.Events, monitor.EventJSON{
-					VirtualTime: ev.T.String(), Node: string(ev.Node), Kind: ev.Kind, Detail: ev.Detail,
-				})
-			}
-			return snap
+		mon, err := monitor.StartServer(monitor.Config{
+			Addr: *monAddr,
+			Snapshot: func() monitor.Snapshot {
+				snap := monitor.Snapshot{
+					Kind:         "coordinator",
+					Relocations:  gc.Relocations(),
+					ForcedSpills: gc.ForcedSpills(),
+				}
+				for _, ev := range gc.Events().All() {
+					snap.Events = append(snap.Events, monitor.EventJSON{
+						VirtualTime: ev.T.String(), Node: string(ev.Node), Kind: ev.Kind, Detail: ev.Detail,
+					})
+				}
+				return snap
+			},
+			Registry: gc.Registry(),
+			Tracer:   gc.Tracer(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer mon.Close()
-		log.Printf("coordinator monitoring on http://%s/stats", mon.Addr())
+		log.Printf("coordinator monitoring on http://%s/stats (metrics at /metrics)", mon.Addr())
 	}
 	log.Printf("coordinator listening on %s, strategy %s, %d engines", *listen, strat.Name(), len(engineNames))
 

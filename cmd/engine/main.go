@@ -109,6 +109,7 @@ func main() {
 		Policy:      policy,
 		Store:       store,
 	}, vclock.NewScaled(*scale))
+	net.Instrument(partition.NodeID(*node), transport.NewMetrics(e.Registry(), "engine"))
 	if err := e.Attach(net); err != nil {
 		log.Fatal(err)
 	}
@@ -125,24 +126,29 @@ func main() {
 		log.Fatal(err)
 	}
 	if *monAddr != "" {
-		mon, err := monitor.Start(*monAddr, func() monitor.Snapshot {
-			r := e.StatsSnapshot()
-			return monitor.Snapshot{
-				Node:         *node,
-				Kind:         "engine",
-				MemBytes:     r.MemBytes,
-				Groups:       r.Groups,
-				Output:       r.Output,
-				Spills:       r.SpillCount,
-				SpilledBytes: r.SpilledBytes,
-				Segments:     r.DiskSegments,
-			}
+		mon, err := monitor.StartServer(monitor.Config{
+			Addr: *monAddr,
+			Snapshot: func() monitor.Snapshot {
+				r := e.StatsSnapshot()
+				return monitor.Snapshot{
+					Node:         *node,
+					Kind:         "engine",
+					MemBytes:     r.MemBytes,
+					Groups:       r.Groups,
+					Output:       r.Output,
+					Spills:       r.SpillCount,
+					SpilledBytes: r.SpilledBytes,
+					Segments:     r.DiskSegments,
+				}
+			},
+			Registry: e.Registry(),
+			Tracer:   e.Tracer(),
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer mon.Close()
-		log.Printf("engine %s monitoring on http://%s/stats", *node, mon.Addr())
+		log.Printf("engine %s monitoring on http://%s/stats (metrics at /metrics)", *node, mon.Addr())
 	}
 	log.Printf("engine %s listening on %s (gc=%s app=%s)", *node, *listen, *gcAddr, *appAddr)
 

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/monitor"
 	"repro/internal/nodeflag"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/split"
@@ -42,6 +44,7 @@ func main() {
 		seed         = flag.Int64("seed", 42, "workload seed")
 		record       = flag.String("record", "", "record the fed tuples into a trace file")
 		replay       = flag.String("replay", "", "replay a recorded trace instead of the synthetic workload")
+		monAddr      = flag.String("monitor", "", "HTTP monitoring address serving /healthz, /stats, and /metrics (empty disables)")
 	)
 	flag.Parse()
 
@@ -86,6 +89,20 @@ func main() {
 	clock := vclock.NewScaled(*scale)
 	net := transport.NewTCP(dir)
 	defer net.Close()
+	reg := obs.NewRegistry()
+	net.Instrument(cluster.GeneratorNode, transport.NewMetrics(reg, "generator"))
+	if *monAddr != "" {
+		mon, err := monitor.StartServer(monitor.Config{
+			Addr:     *monAddr,
+			Snapshot: func() monitor.Snapshot { return monitor.Snapshot{Kind: "generator"} },
+			Registry: reg,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer mon.Close()
+		log.Printf("generator monitoring on http://%s/metrics", mon.Addr())
+	}
 
 	drainCh := make(chan proto.DrainAck, 64)
 	quiesceCh := make(chan struct{}, 1)

@@ -7,6 +7,7 @@
 //	runexp -fig 7 -factor 0.2       # one figure at 20% duration
 //	runexp -fig 12 -scale 1200      # faster virtual clock
 //	runexp -fig 5 -store /tmp/spill # file-backed segment stores
+//	runexp -fig 9 -report runs.jsonl # machine-readable JSONL run report
 package main
 
 import (
@@ -44,6 +45,7 @@ func main() {
 		scale  = flag.Float64("scale", 600, "virtual time compression factor")
 		factor = flag.Float64("factor", 1, "duration factor (1 = paper durations)")
 		store  = flag.String("store", "", "directory for file-backed spill stores (default in-memory)")
+		report = flag.String("report", "", "write a machine-readable JSONL run report (counters, spans, metrics) to this file")
 	)
 	flag.Parse()
 
@@ -53,6 +55,7 @@ func main() {
 
 	selected := 0
 	failed := 0
+	var reports []*experiments.Report
 	for _, f := range figures {
 		if !all && !contains(want, f.id) {
 			continue
@@ -65,6 +68,7 @@ func main() {
 			continue
 		}
 		fmt.Println(rep.String())
+		reports = append(reports, rep)
 		if !rep.Passed() {
 			failed++
 		}
@@ -72,6 +76,13 @@ func main() {
 	if selected == 0 {
 		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
 		os.Exit(2)
+	}
+	if *report != "" {
+		if err := experiments.WriteRunReportFile(*report, reports...); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "run report written to %s\n", *report)
 	}
 	if failed > 0 {
 		fmt.Fprintf(os.Stderr, "%d figure(s) failed their shape claims\n", failed)

@@ -12,11 +12,13 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"repro/internal/coordinator"
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/spill"
@@ -169,6 +171,37 @@ type Result struct {
 	Duplicates int
 	// BufferedPeak is the split host's maximal pause-buffer size.
 	BufferedPeak int
+	// Spans merges every node's recorded spans (coordinator relocation /
+	// forced-spill spans, engine spill / transfer / cleanup spans),
+	// ordered by virtual start time.
+	Spans []obs.SpanData
+	// Metrics merges every node's metric registry; each value carries a
+	// "node" label identifying its origin.
+	Metrics []obs.MetricValue
+}
+
+// RelocationSpans filters Spans down to the coordinator's complete
+// 8-step relocation spans.
+func (r *Result) RelocationSpans() []obs.SpanData {
+	var out []obs.SpanData
+	for _, s := range r.Spans {
+		if s.Name == obs.SpanRelocation {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// appendNodeMetrics exports reg tagging every value with its node.
+func appendNodeMetrics(dst []obs.MetricValue, node string, reg *obs.Registry) []obs.MetricValue {
+	for _, mv := range reg.Export() {
+		if mv.Labels == nil {
+			mv.Labels = make(map[string]string, 1)
+		}
+		mv.Labels["node"] = node
+		dst = append(dst, mv)
+	}
+	return dst
 }
 
 // Run executes one experiment.
@@ -220,6 +253,12 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Record transport metrics into each node's registry when the
+	// network supports instrumentation (both built-in transports do).
+	instr, _ := net.(transport.Instrumentable)
+	if instr != nil {
+		instr.Instrument(CoordinatorNode, transport.NewMetrics(coord.Registry(), "coordinator"))
+	}
 	if err := coord.Attach(net); err != nil {
 		return nil, err
 	}
@@ -252,6 +291,9 @@ func Run(cfg Config) (*Result, error) {
 			StatsInterval:      cfg.StatsInterval,
 			SpillCheckInterval: cfg.SpillCheckInterval,
 		}, clock)
+		if instr != nil {
+			instr.Instrument(node, transport.NewMetrics(e.Registry(), "engine"))
+		}
 		if err := e.Attach(net); err != nil {
 			return nil, err
 		}
@@ -325,6 +367,13 @@ func Run(cfg Config) (*Result, error) {
 	res.Events = append(res.Events, coord.Events().All()...)
 	res.Relocations = coord.Relocations()
 	res.ForcedSpills = coord.ForcedSpills()
+	res.Spans = append(res.Spans, coord.Tracer().Spans()...)
+	res.Metrics = appendNodeMetrics(res.Metrics, string(CoordinatorNode), coord.Registry())
+	for _, node := range cfg.Engines {
+		res.Spans = append(res.Spans, engines[node].Tracer().Spans()...)
+		res.Metrics = appendNodeMetrics(res.Metrics, string(node), engines[node].Registry())
+	}
+	sort.SliceStable(res.Spans, func(i, j int) bool { return res.Spans[i].Start < res.Spans[j].Start })
 	res.BufferedPeak = feeder.router.BufferedPeak()
 	if cfg.Materialize {
 		res.RuntimeSet = app.runtimeSet

@@ -12,10 +12,11 @@ package coordinator
 import (
 	"fmt"
 	"log"
-	"sync/atomic"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/stats"
@@ -74,9 +75,15 @@ type Coordinator struct {
 	receiver partition.NodeID
 	parts    []partition.ID
 	started  vclock.Time
+	span     *obs.Span
 
-	relocations  atomic.Int64
-	forcedSpills atomic.Int64
+	reg           *obs.Registry
+	tracer        *obs.Tracer
+	mRelocations  *obs.Counter
+	mAborted      *obs.Counter
+	mForcedSpills *obs.Counter
+	mTicks        *obs.Counter
+	mRelocVSecs   *obs.Histogram
 
 	quiesced      bool
 	quiesceWaiter partition.NodeID
@@ -101,12 +108,33 @@ func New(cfg Config, clock vclock.Clock) (*Coordinator, error) {
 		clock:   clock,
 		engines: make(map[partition.NodeID]*engineInfo),
 		events:  stats.NewEventLog(),
+		reg:     obs.NewRegistry(),
+		tracer:  obs.NewTracer(0),
 	}
 	for _, n := range cfg.Engines {
 		c.engines[n] = &engineInfo{memSeries: stats.NewSeries(string(n))}
 	}
+	c.reg.Help("distq_coordinator_relocations_total", "completed state relocations")
+	c.reg.Help("distq_coordinator_relocations_aborted_total", "relocations aborted before completion")
+	c.reg.Help("distq_coordinator_forced_spills_total", "completed forced (coordinator-ordered) spills")
+	c.reg.Help("distq_coordinator_lb_ticks_total", "load-balancing timer expirations")
+	c.reg.Help("distq_coordinator_relocation_duration_vseconds", "virtual duration of completed relocations, CptV to RemapAck")
+	c.reg.Help("distq_coordinator_engine_mem_bytes", "per-engine memory usage from the latest stats report")
+	c.mRelocations = c.reg.Counter("distq_coordinator_relocations_total")
+	c.mAborted = c.reg.Counter("distq_coordinator_relocations_aborted_total")
+	c.mForcedSpills = c.reg.Counter("distq_coordinator_forced_spills_total")
+	c.mTicks = c.reg.Counter("distq_coordinator_lb_ticks_total")
+	c.mRelocVSecs = c.reg.Histogram("distq_coordinator_relocation_duration_vseconds", obs.VirtualDurationBuckets)
 	return c, nil
 }
+
+// Registry exposes the coordinator's metrics registry (monitoring
+// endpoints, transport instrumentation).
+func (c *Coordinator) Registry() *obs.Registry { return c.reg }
+
+// Tracer exposes the coordinator's span tracer; every adaptation is
+// recorded there as one span.
+func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
 
 // Attach joins the coordinator to the network.
 func (c *Coordinator) Attach(net transport.Network) error {
@@ -148,10 +176,10 @@ func (c *Coordinator) MemSeries(node partition.NodeID) *stats.Series {
 
 // Relocations reports completed relocations. Safe for concurrent use
 // (e.g. from a monitoring endpoint).
-func (c *Coordinator) Relocations() int { return int(c.relocations.Load()) }
+func (c *Coordinator) Relocations() int { return int(c.mRelocations.Value()) }
 
 // ForcedSpills reports completed forced spills. Safe for concurrent use.
-func (c *Coordinator) ForcedSpills() int { return int(c.forcedSpills.Load()) }
+func (c *Coordinator) ForcedSpills() int { return int(c.mForcedSpills.Value()) }
 
 // Handle is the coordinator's transport handler.
 func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
@@ -196,6 +224,7 @@ func (c *Coordinator) onStats(m proto.StatsReport) {
 	info.last = m
 	info.haveReport = true
 	info.memSeries.Add(c.clock.Now(), float64(m.MemBytes))
+	c.reg.Gauge("distq_coordinator_engine_mem_bytes", obs.L("engine", string(m.Node))).Set(float64(m.MemBytes))
 }
 
 // onQuiesce stops new adaptations and acknowledges once idle.
@@ -223,6 +252,7 @@ func (c *Coordinator) becameIdle() {
 // onTick evaluates the strategy (Algorithms 1 and 2, events at GC). Only
 // one adaptation runs at a time.
 func (c *Coordinator) onTick() error {
+	c.mTicks.Inc()
 	if c.phase != relocIdle || c.quiesced {
 		return nil
 	}
@@ -267,6 +297,12 @@ func (c *Coordinator) startRelocation(r *core.Relocation) error {
 	c.phase = relocWaitPtV
 	c.sender, c.receiver = r.Sender, r.Receiver
 	c.started = c.clock.Now()
+	c.span = c.tracer.Start(obs.SpanRelocation, string(c.cfg.Node), c.started)
+	c.span.SetAttr("epoch", strconv.FormatUint(c.epoch, 10))
+	c.span.SetAttr("sender", string(r.Sender))
+	c.span.SetAttr("receiver", string(r.Receiver))
+	c.span.SetAttr("amount_bytes", strconv.FormatInt(r.Amount, 10))
+	c.span.Step(obs.StepCptV, c.started)
 	return c.ep.Send(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver})
 }
 
@@ -276,6 +312,9 @@ func (c *Coordinator) startForcedSpill(f *core.ForcedSpill) error {
 	}
 	c.phase = forceWaitSpillDone
 	c.sender = f.Node
+	c.span = c.tracer.Start(obs.SpanForcedSpill, string(c.cfg.Node), c.clock.Now())
+	c.span.SetAttr("node", string(f.Node))
+	c.span.SetAttr("amount_bytes", strconv.FormatInt(f.Amount, 10))
 	return c.ep.Send(f.Node, proto.ForceSpill{Amount: f.Amount})
 }
 
@@ -285,14 +324,28 @@ func (c *Coordinator) onPtV(m proto.PtV) error {
 	if c.phase != relocWaitPtV || m.Epoch != c.epoch {
 		return nil // stale
 	}
+	now := c.clock.Now()
+	c.span.Step(obs.StepPtV, now)
 	if len(m.Partitions) == 0 {
-		c.phase = relocIdle
-		c.becameIdle()
+		c.abortAdaptation(now, "empty ptv")
 		return nil
 	}
 	c.parts = m.Partitions
 	c.phase = relocWaitMarker
+	c.span.SetAttr("partitions", strconv.Itoa(len(m.Partitions)))
+	c.span.Step(obs.StepPause, now)
 	return c.ep.Send(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender})
+}
+
+// abortAdaptation closes the in-flight span as aborted and returns the
+// coordinator to idle.
+func (c *Coordinator) abortAdaptation(vt vclock.Time, reason string) {
+	c.span.Abort(vt, reason)
+	c.span = nil
+	c.mAborted.Inc()
+	c.phase = relocIdle
+	c.parts = nil
+	c.becameIdle()
 }
 
 // onMarkerAck runs protocol step 5: the sender drained its data path;
@@ -301,7 +354,10 @@ func (c *Coordinator) onMarkerAck(m proto.MarkerAck) error {
 	if c.phase != relocWaitMarker || m.Epoch != c.epoch || m.Node != c.sender {
 		return nil
 	}
+	now := c.clock.Now()
+	c.span.Step(obs.StepMarkerAck, now)
 	c.phase = relocWaitInstalled
+	c.span.Step(obs.StepSendStates, now)
 	return c.ep.Send(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver})
 }
 
@@ -311,13 +367,15 @@ func (c *Coordinator) onInstalled(m proto.Installed) error {
 	if c.phase != relocWaitInstalled || m.Epoch != c.epoch || m.Node != c.receiver {
 		return nil
 	}
+	now := c.clock.Now()
+	c.span.Step(obs.StepInstalled, now)
 	version, err := c.cfg.Map.Move(c.parts, c.receiver)
 	if err != nil {
-		c.phase = relocIdle
-		c.becameIdle()
+		c.abortAdaptation(now, "map commit: "+err.Error())
 		return fmt.Errorf("commit relocation: %w", err)
 	}
 	c.phase = relocWaitRemapAck
+	c.span.Step(obs.StepRemap, now)
 	return c.ep.Send(c.cfg.SplitHost, proto.Remap{
 		Epoch: c.epoch, Partitions: c.parts, Owner: c.receiver, Version: version,
 	})
@@ -328,10 +386,15 @@ func (c *Coordinator) onRemapAck(m proto.RemapAck) error {
 	if c.phase != relocWaitRemapAck || m.Epoch != c.epoch {
 		return nil
 	}
-	c.relocations.Add(1)
+	now := c.clock.Now()
+	c.span.Step(obs.StepRemapAck, now)
+	c.span.End(now)
+	c.span = nil
+	c.mRelocations.Inc()
+	c.mRelocVSecs.ObserveDuration(now.Sub(c.started))
 	c.events.Add(stats.Event{
-		T: c.clock.Now(), Node: c.sender, Kind: stats.EventRelocation,
-		Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, c.clock.Now().Sub(c.started)),
+		T: now, Node: c.sender, Kind: stats.EventRelocation,
+		Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, now.Sub(c.started)),
 	})
 	c.phase = relocIdle
 	c.parts = nil
@@ -343,7 +406,10 @@ func (c *Coordinator) onSpillDone(m proto.SpillDone) {
 	if c.phase != forceWaitSpillDone || m.Node != c.sender {
 		return
 	}
-	c.forcedSpills.Add(1)
+	c.span.SetAttr("spilled_bytes", strconv.FormatInt(m.Bytes, 10))
+	c.span.End(c.clock.Now())
+	c.span = nil
+	c.mForcedSpills.Inc()
 	c.events.Add(stats.Event{
 		T: c.clock.Now(), Node: m.Node, Kind: stats.EventForcedSpill,
 		Detail: fmt.Sprintf("%d bytes", m.Bytes),

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cleanup"
 	"repro/internal/core"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/operator"
 	"repro/internal/partition"
 	"repro/internal/proto"
@@ -115,6 +116,9 @@ type Engine struct {
 	events  *stats.EventLog
 	tracker *core.ProductivityTracker
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
 	// pendingReloc tracks the in-flight relocation this engine sends.
 	pendingReloc *relocState
 
@@ -140,7 +144,21 @@ type relocState struct {
 // New builds an engine; Attach must be called before Start.
 func New(cfg Config, clock vclock.Clock) *Engine {
 	c := cfg.withDefaults()
-	e := &Engine{cfg: c, clock: clock, events: stats.NewEventLog()}
+	e := &Engine{
+		cfg:    c,
+		clock:  clock,
+		events: stats.NewEventLog(),
+		reg:    obs.NewRegistry(),
+		tracer: obs.NewTracer(0),
+	}
+	e.reg.Help("distq_engine_spills_total", "spill cycles, by kind (local|forced)")
+	e.reg.Help("distq_engine_spill_bytes_total", "bytes moved to disk by spills, by kind")
+	e.reg.Help("distq_engine_mem_bytes", "resident state size at the last sr_timer")
+	e.reg.Help("distq_engine_groups", "resident partition groups at the last sr_timer")
+	e.reg.Help("distq_engine_disk_segments", "disk segments in the store at the last sr_timer")
+	e.reg.Help("distq_engine_output_results", "cumulative join results produced")
+	e.reg.Help("distq_engine_relocations_out_total", "state transfers shipped to another engine")
+	e.reg.Help("distq_engine_relocations_in_total", "state transfers installed from another engine")
 	if c.SmoothingAlpha > 0 {
 		e.tracker = core.NewProductivityTracker(c.SmoothingAlpha)
 		if cfg.Policy == nil {
@@ -216,6 +234,14 @@ func (e *Engine) armTicker(period time.Duration, kind string) {
 
 // Events exposes the engine's adaptation event log.
 func (e *Engine) Events() *stats.EventLog { return e.events }
+
+// Registry exposes the engine's metrics registry (monitoring endpoints,
+// transport instrumentation).
+func (e *Engine) Registry() *obs.Registry { return e.reg }
+
+// Tracer exposes the engine's span tracer (spill, cleanup, and the
+// engine-side halves of relocations).
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Handle is the engine's transport handler.
 func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
@@ -297,12 +323,26 @@ func (e *Engine) onTick(m proto.Tick) error {
 }
 
 func (e *Engine) spill(amount int64, kind string) error {
+	spanKind := "local"
+	if kind == stats.EventForcedSpill {
+		spanKind = "forced"
+	}
+	span := e.tracer.Start(obs.SpanSpill, string(e.cfg.Node), e.clock.Now())
+	span.SetAttr("kind", spanKind)
+	span.SetAttr("requested_bytes", fmt.Sprintf("%d", amount))
 	e.mode = core.SpillMode
 	res, err := e.mgr.Spill(amount, e.clock.Now())
 	e.mode = core.NormalMode
 	if err != nil {
+		span.Abort(e.clock.Now(), err.Error())
 		return err
 	}
+	span.SetAttr("groups", fmt.Sprintf("%d", len(res.Groups)))
+	span.SetAttr("spilled_bytes", fmt.Sprintf("%d", res.Bytes))
+	span.End(e.clock.Now())
+	kl := obs.L("kind", spanKind)
+	e.reg.Counter("distq_engine_spills_total", kl).Inc()
+	e.reg.Counter("distq_engine_spill_bytes_total", kl).Add(float64(res.Bytes))
 	e.events.Add(stats.Event{
 		T: res.When, Node: e.cfg.Node, Kind: kind,
 		Detail: fmt.Sprintf("%d groups, %d bytes", len(res.Groups), res.Bytes),
@@ -327,6 +367,10 @@ func (e *Engine) reportStats() error {
 		DiskSegments: e.cfg.Store.SegmentCount(),
 	}
 	e.lastReport.Store(&report)
+	e.reg.Gauge("distq_engine_mem_bytes").Set(float64(report.MemBytes))
+	e.reg.Gauge("distq_engine_groups").Set(float64(report.Groups))
+	e.reg.Gauge("distq_engine_disk_segments").Set(float64(report.DiskSegments))
+	e.reg.Gauge("distq_engine_output_results").Set(float64(report.Output))
 	if err := e.ep.Send(e.cfg.Coordinator, report); err != nil {
 		return err
 	}
@@ -382,6 +426,10 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 		e.mode = core.NormalMode
 		e.pendingReloc = nil
 	}()
+	span := e.tracer.Start(obs.SpanRelocationSend, string(e.cfg.Node), e.clock.Now())
+	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
+	span.SetAttr("receiver", string(m.Receiver))
+	span.SetAttr("partitions", fmt.Sprintf("%d", len(m.Partitions)))
 	xfer := proto.StateTransfer{Epoch: m.Epoch}
 	var residents []*join.GroupSnapshot
 	var segments []*join.GroupSnapshot
@@ -395,6 +443,7 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 		}
 		segs, err := e.cfg.Store.Remove(id)
 		if err != nil {
+			span.Abort(e.clock.Now(), err.Error())
 			return fmt.Errorf("extract segments of group %d: %w", id, err)
 		}
 		for _, seg := range segs {
@@ -403,6 +452,7 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 		}
 	}
 	if err := e.ep.Send(m.Receiver, xfer); err != nil {
+		span.Abort(e.clock.Now(), "transfer send: "+err.Error())
 		for _, snap := range residents {
 			if ierr := e.op.Install(snap); ierr != nil {
 				return fmt.Errorf("reinstall after failed transfer: %v (transfer: %w)", ierr, err)
@@ -415,29 +465,43 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 		}
 		return fmt.Errorf("state transfer to %s failed, state reinstalled locally: %w", m.Receiver, err)
 	}
+	span.SetAttr("resident_groups", fmt.Sprintf("%d", len(residents)))
+	span.SetAttr("segments", fmt.Sprintf("%d", len(segments)))
+	span.End(e.clock.Now())
+	e.reg.Counter("distq_engine_relocations_out_total").Inc()
 	return nil
 }
 
 // onStateTransfer implements the receiver side of step 6.
 func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
+	span := e.tracer.Start(obs.SpanRelocationReceive, string(e.cfg.Node), e.clock.Now())
+	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
+	span.SetAttr("resident_groups", fmt.Sprintf("%d", len(m.Resident)))
+	span.SetAttr("segments", fmt.Sprintf("%d", len(m.Segments)))
 	for _, buf := range m.Resident {
 		snap, err := join.DecodeSnapshot(buf)
 		if err != nil {
+			span.Abort(e.clock.Now(), err.Error())
 			return fmt.Errorf("decode transferred state: %w", err)
 		}
 		if err := e.op.Install(snap); err != nil {
+			span.Abort(e.clock.Now(), err.Error())
 			return err
 		}
 	}
 	for _, buf := range m.Segments {
 		seg, err := join.DecodeSnapshot(buf)
 		if err != nil {
+			span.Abort(e.clock.Now(), err.Error())
 			return fmt.Errorf("decode transferred segment: %w", err)
 		}
 		if err := e.cfg.Store.Write(seg); err != nil {
+			span.Abort(e.clock.Now(), err.Error())
 			return err
 		}
 	}
+	span.End(e.clock.Now())
+	e.reg.Counter("distq_engine_relocations_in_total").Inc()
 	return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
 }
 
@@ -468,6 +532,7 @@ func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {
 // resident state, shipping results (materializing mode) and reporting the
 // outcome to the requester.
 func (e *Engine) onCleanup(from partition.NodeID) error {
+	span := e.tracer.Start(obs.SpanCleanup, string(e.cfg.Node), e.clock.Now())
 	var emit join.EmitFunc
 	switch {
 	case e.cfg.Materialize:
@@ -477,6 +542,14 @@ func (e *Engine) onCleanup(from partition.NodeID) error {
 		emit = func(tuple.Result) {}
 	}
 	st, err := cleanup.Run(e.cfg.Inputs, e.cfg.Store, e.op, e.cfg.Window, emit)
+	span.SetAttr("groups", fmt.Sprintf("%d", st.Groups))
+	span.SetAttr("segments", fmt.Sprintf("%d", st.Segments))
+	span.SetAttr("results", fmt.Sprintf("%d", st.Results))
+	if err != nil {
+		span.Abort(e.clock.Now(), err.Error())
+	} else {
+		span.End(e.clock.Now())
+	}
 	done := proto.CleanupDone{
 		Node:      e.cfg.Node,
 		Groups:    st.Groups,

@@ -88,6 +88,9 @@ type Report struct {
 	Table  string
 	Claims []Claim
 	Notes  []string
+	// Runs holds the machine-readable record of each cluster run behind
+	// the figure (see AddRun / WriteRunReport).
+	Runs []RunRecord
 }
 
 // Passed reports whether every claim held.

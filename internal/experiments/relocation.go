@@ -90,6 +90,9 @@ func Fig09(o RunOpts) (*Report, error) {
 
 	rep := &Report{ID: "Figure 9", Title: "Relocation threshold θ_r under alternating 10x input skew (2 machines)"}
 	rep.Table = throughputTableFromResults(duration, results, order)
+	for _, name := range order {
+		rep.AddRun(name, results[name])
+	}
 
 	final := func(name string) float64 { return results[name].Throughput.Last() }
 	var minThr, maxThr float64
@@ -133,6 +136,8 @@ func Fig10(o RunOpts) (*Report, error) {
 	}
 	results := map[string]*cluster.Result{"with-relocation": withReloc, "no-relocation": noReloc}
 	rep := &Report{ID: "Figure 10", Title: "Memory usage with vs without state relocation (θ_r = 90%)"}
+	rep.AddRun("with-relocation", withReloc)
+	rep.AddRun("no-relocation", noReloc)
 	rep.Table = memoryTable(duration/8, duration, results,
 		[]string{"no-relocation", "with-relocation"}, []partition.NodeID{"m1", "m2"})
 
@@ -212,6 +217,9 @@ func Fig11(o RunOpts) (*Report, error) {
 
 	rep := &Report{ID: "Figure 11", Title: "Relocation vs spill (3 machines, 60/20/20 initial distribution)"}
 	rep.Table = throughputTableFromResults(duration, results, order)
+	for _, name := range order {
+		rep.AddRun(name, results[name])
+	}
 
 	spillsNo := noReloc.LocalSpills["m1"] + noReloc.LocalSpills["m2"] + noReloc.LocalSpills["m3"]
 	spillsWith := withReloc.LocalSpills["m1"] + withReloc.LocalSpills["m2"] + withReloc.LocalSpills["m3"]

@@ -59,6 +59,9 @@ func Fig05(o RunOpts) (*Report, error) {
 
 	rep := &Report{ID: "Figure 5", Title: "Varying k% push volume: impact on run-time throughput (1 machine, 3-way join)"}
 	rep.Table = throughputTableFromResults(duration, results, order)
+	for _, name := range order {
+		rep.AddRun(name, results[name])
+	}
 
 	final := func(name string) float64 { return results[name].Throughput.Last() }
 	rep.Claims = append(rep.Claims,
@@ -94,6 +97,9 @@ func Fig06(o RunOpts) (*Report, error) {
 	}
 	rep := &Report{ID: "Figure 6", Title: "Varying k% push volume: impact on memory usage"}
 	rep.Table = memoryTable(duration/8, duration, results, order, []partition.NodeID{"m1"})
+	for _, name := range order {
+		rep.AddRun(name, results[name])
+	}
 
 	threshold := projectedStateBytes(baseWorkload(), duration) * 35 / 100
 	spills := func(name string) int { return results[name].LocalSpills["m1"] }
@@ -158,6 +164,9 @@ func Fig07(o RunOpts) (*Report, error) {
 
 	rep := &Report{ID: "Figure 7", Title: "Throughput-oriented spill: productivity metric vs its inverse"}
 	rep.Table = throughputTableFromResults(duration, results, order)
+	for _, name := range order {
+		rep.AddRun(name, results[name])
+	}
 
 	lessOut, moreOut := less.Throughput.Last(), more.Throughput.Last()
 	gain := 0.0

@@ -1,34 +1,41 @@
 // Package monitor exposes a node's operational state over HTTP for the
-// multi-process cluster binaries: /healthz for liveness and /stats for a
-// JSON snapshot (memory, output, adaptation counters, recent events).
-// Handlers pull from a caller-provided snapshot function, so the package
-// stays independent of engine/coordinator internals.
+// multi-process cluster binaries: /healthz for liveness, /stats for a
+// JSON snapshot (memory, output, adaptation counters, recent events and
+// spans), and /metrics for Prometheus text exposition of the node's
+// obs.Registry. Handlers pull from a caller-provided snapshot function,
+// so the package stays independent of engine/coordinator internals.
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Snapshot is the JSON document served at /stats. Fields that do not
 // apply to a node kind are simply zero.
 type Snapshot struct {
-	Node         string      `json:"node"`
-	Kind         string      `json:"kind"`
-	UptimeSec    float64     `json:"uptime_sec"`
-	MemBytes     int64       `json:"mem_bytes,omitempty"`
-	Groups       int         `json:"groups,omitempty"`
-	Output       uint64      `json:"output,omitempty"`
-	Spills       int         `json:"spills,omitempty"`
-	SpilledBytes int64       `json:"spilled_bytes,omitempty"`
-	Segments     int         `json:"segments,omitempty"`
-	Relocations  int         `json:"relocations,omitempty"`
-	ForcedSpills int         `json:"forced_spills,omitempty"`
-	Events       []EventJSON `json:"events,omitempty"`
+	Node         string         `json:"node"`
+	Kind         string         `json:"kind"`
+	UptimeSec    float64        `json:"uptime_sec"`
+	MemBytes     int64          `json:"mem_bytes,omitempty"`
+	Groups       int            `json:"groups,omitempty"`
+	Output       uint64         `json:"output,omitempty"`
+	Spills       int            `json:"spills,omitempty"`
+	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
+	Segments     int            `json:"segments,omitempty"`
+	Relocations  int            `json:"relocations,omitempty"`
+	ForcedSpills int            `json:"forced_spills,omitempty"`
+	HTTPRequests int64          `json:"http_requests,omitempty"`
+	Events       []EventJSON    `json:"events,omitempty"`
+	Spans        []obs.SpanData `json:"spans,omitempty"`
 }
 
 // EventJSON is one adaptation event in the /stats document.
@@ -39,24 +46,50 @@ type EventJSON struct {
 	Detail      string `json:"detail"`
 }
 
+// Config parameterizes a monitoring server.
+type Config struct {
+	// Addr is the HTTP listen address (":0" picks a free port).
+	Addr string
+	// Snapshot is called on every /stats request; it must be safe for
+	// concurrent use.
+	Snapshot func() Snapshot
+	// Registry, when set, is served at /metrics in Prometheus text
+	// format.
+	Registry *obs.Registry
+	// Tracer, when set, contributes its most recent spans to /stats.
+	Tracer *obs.Tracer
+	// RecentSpans bounds the spans embedded in /stats (default 32).
+	RecentSpans int
+}
+
 // Server serves the monitoring endpoints for one node.
 type Server struct {
 	listener net.Listener
 	srv      *http.Server
 	started  time.Time
 	requests atomic.Int64
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
-// Start begins serving /healthz and /stats on addr (":0" picks a free
-// port). snapshot is called on every /stats request; it must be safe for
-// concurrent use.
+// Start begins serving /healthz and /stats on addr, without metrics or
+// spans. Kept as a convenience wrapper around StartServer.
 func Start(addr string, snapshot func() Snapshot) (*Server, error) {
-	if snapshot == nil {
+	return StartServer(Config{Addr: addr, Snapshot: snapshot})
+}
+
+// StartServer begins serving the monitoring endpoints described by cfg.
+func StartServer(cfg Config) (*Server, error) {
+	if cfg.Snapshot == nil {
 		return nil, fmt.Errorf("monitor: nil snapshot function")
 	}
-	l, err := net.Listen("tcp", addr)
+	if cfg.RecentSpans <= 0 {
+		cfg.RecentSpans = 32
+	}
+	l, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
-		return nil, fmt.Errorf("monitor: listen %s: %w", addr, err)
+		return nil, fmt.Errorf("monitor: listen %s: %w", cfg.Addr, err)
 	}
 	s := &Server{listener: l, started: time.Now()}
 	mux := http.NewServeMux()
@@ -67,12 +100,27 @@ func Start(addr string, snapshot func() Snapshot) (*Server, error) {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
-		snap := snapshot()
+		snap := cfg.Snapshot()
 		snap.UptimeSec = time.Since(s.started).Seconds()
+		snap.HTTPRequests = s.requests.Load()
+		if cfg.Tracer != nil {
+			snap.Spans = cfg.Tracer.Recent(cfg.RecentSpans)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if cfg.Registry == nil {
+			http.Error(w, "no metrics registry configured", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := cfg.Registry.WritePrometheus(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -87,5 +135,16 @@ func (s *Server) Addr() string { return s.listener.Addr().String() }
 // Requests reports how many HTTP requests have been served.
 func (s *Server) Requests() int64 { return s.requests.Load() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// Close stops the server, letting in-flight scrapes finish (bounded).
+// It is idempotent and safe to call concurrently.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			// Requests still in flight after the deadline: cut them off.
+			s.closeErr = s.srv.Close()
+		}
+	})
+	return s.closeErr
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+// Span names used across the system.
+const (
+	// SpanRelocation covers one 8-step relocation, recorded at the
+	// coordinator from CptV send to RemapAck (or abort).
+	SpanRelocation = "relocation"
+	// SpanRelocationSend / SpanRelocationReceive are the engine-side
+	// views of one relocation (sender extraction, receiver install).
+	SpanRelocationSend    = "relocation_send"
+	SpanRelocationReceive = "relocation_receive"
+	// SpanSpill covers one spill cycle (attr kind = local|forced).
+	SpanSpill = "spill"
+	// SpanForcedSpill covers the coordinator's force-spill exchange.
+	SpanForcedSpill = "forced_spill"
+	// SpanCleanup covers one disk-phase cleanup run.
+	SpanCleanup = "cleanup"
+)
+
+// Relocation protocol step names, in protocol order (PROTOCOL.md). A
+// completed relocation span carries exactly these eight steps with
+// non-decreasing virtual timestamps.
+const (
+	StepCptV       = "cptv_sent"    // 1: GC → sender
+	StepPtV        = "ptv_received" // 2: sender → GC
+	StepPause      = "pause_sent"   // 3: GC → split host
+	StepMarkerAck  = "marker_ack"   // 4: marker fence acknowledged
+	StepSendStates = "send_states"  // 5: GC orders the state transfer
+	StepInstalled  = "installed"    // 6: receiver installed the state
+	StepRemap      = "remap_sent"   // 7: GC remaps the split host
+	StepRemapAck   = "remap_ack"    // 8: resume; relocation complete
+)
+
+// RelocationSteps lists the eight step names in protocol order.
+var RelocationSteps = []string{
+	StepCptV, StepPtV, StepPause, StepMarkerAck,
+	StepSendStates, StepInstalled, StepRemap, StepRemapAck,
+}
+
+// Attribute values for the status attr.
+const (
+	StatusOK      = "ok"
+	StatusAborted = "aborted"
+)
+
+// StepData is one recorded protocol transition within a span.
+type StepData struct {
+	Name string      `json:"name"`
+	VT   vclock.Time `json:"vt_ns"`
+	Wall time.Time   `json:"wall"`
+}
+
+// SpanData is the immutable snapshot of a span, JSON-encodable for the
+// /stats endpoint and the JSONL run reports. Virtual times are
+// nanoseconds since the virtual epoch.
+type SpanData struct {
+	ID        uint64            `json:"id"`
+	Name      string            `json:"name"`
+	Node      string            `json:"node"`
+	Start     vclock.Time       `json:"start_vt_ns"`
+	End       vclock.Time       `json:"end_vt_ns"`
+	WallStart time.Time         `json:"wall_start"`
+	WallEnd   time.Time         `json:"wall_end"`
+	Complete  bool              `json:"complete"`
+	Attrs     map[string]string `json:"attrs,omitempty"`
+	Steps     []StepData        `json:"steps,omitempty"`
+}
+
+// Duration is the span's virtual duration (zero while incomplete).
+func (d SpanData) Duration() time.Duration {
+	if !d.Complete {
+		return 0
+	}
+	return d.End.Sub(d.Start)
+}
+
+// Step returns the named step and whether it was recorded.
+func (d SpanData) Step(name string) (StepData, bool) {
+	for _, s := range d.Steps {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return StepData{}, false
+}
+
+// clone deep-copies the snapshot.
+func (d SpanData) clone() SpanData {
+	out := d
+	if d.Attrs != nil {
+		out.Attrs = make(map[string]string, len(d.Attrs))
+		for k, v := range d.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	out.Steps = append([]StepData(nil), d.Steps...)
+	return out
+}
+
+// Tracer records spans into a bounded ring of recent spans. All methods
+// are safe for concurrent use; a nil *Tracer is a valid no-op tracer
+// (Start returns a nil span whose methods no-op), so components can run
+// untraced without guarding every call site.
+type Tracer struct {
+	mu     sync.Mutex
+	cap    int
+	spans  []*Span // oldest first; active and finished
+	nextID uint64
+}
+
+// DefaultTracerCapacity bounds the recent-span ring.
+const DefaultTracerCapacity = 256
+
+// NewTracer returns a tracer keeping up to capacity recent spans
+// (DefaultTracerCapacity if capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{cap: capacity}
+}
+
+// Start opens a span at virtual time vt. The returned span is mutated by
+// its owner (typically a node's serial handler goroutine) and snapshotted
+// concurrently through the tracer.
+func (t *Tracer) Start(name, node string, vt vclock.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	s := &Span{t: t, d: SpanData{
+		ID:        t.nextID,
+		Name:      name,
+		Node:      node,
+		Start:     vt,
+		WallStart: time.Now(),
+	}}
+	t.spans = append(t.spans, s)
+	if len(t.spans) > t.cap {
+		t.spans = append(t.spans[:0], t.spans[len(t.spans)-t.cap:]...)
+	}
+	return s
+}
+
+// Spans snapshots every retained span, oldest first.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	for i, s := range t.spans {
+		out[i] = s.d.clone()
+	}
+	return out
+}
+
+// Recent snapshots the newest n retained spans, oldest first.
+func (t *Tracer) Recent(n int) []SpanData {
+	all := t.Spans()
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Span is one in-flight or finished operation. Mutating methods are
+// synchronized through the owning tracer so concurrent snapshot reads
+// (monitoring scrapes) are race-free. All methods no-op on a nil span.
+type Span struct {
+	t *Tracer
+	d SpanData
+}
+
+// Step records a protocol transition at virtual time vt.
+func (s *Span) Step(name string, vt vclock.Time) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	s.d.Steps = append(s.d.Steps, StepData{Name: name, VT: vt, Wall: time.Now()})
+}
+
+// SetAttr attaches a key/value attribute.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.d.Attrs == nil {
+		s.d.Attrs = make(map[string]string)
+	}
+	s.d.Attrs[key] = value
+}
+
+// End closes the span at virtual time vt with status ok (unless an
+// earlier Abort set a status).
+func (s *Span) End(vt vclock.Time) {
+	if s == nil {
+		return
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.d.Complete {
+		return
+	}
+	s.d.End = vt
+	s.d.WallEnd = time.Now()
+	s.d.Complete = true
+	if s.d.Attrs == nil {
+		s.d.Attrs = make(map[string]string)
+	}
+	if _, ok := s.d.Attrs["status"]; !ok {
+		s.d.Attrs["status"] = StatusOK
+	}
+}
+
+// Abort closes the span at vt marking it aborted with a reason.
+func (s *Span) Abort(vt vclock.Time, reason string) {
+	if s == nil {
+		return
+	}
+	s.SetAttr("status", StatusAborted)
+	if reason != "" {
+		s.SetAttr("reason", reason)
+	}
+	s.End(vt)
+}
+
+// Data snapshots the span's current state.
+func (s *Span) Data() SpanData {
+	if s == nil {
+		return SpanData{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return s.d.clone()
+}

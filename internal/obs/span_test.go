@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	sp := tr.Start(SpanRelocation, "gc", vclock.Time(1*time.Second))
+	sp.SetAttr("sender", "m1")
+	for i, step := range RelocationSteps {
+		sp.Step(step, vclock.Time(time.Duration(i+1)*time.Second))
+	}
+	sp.End(vclock.Time(9 * time.Second))
+
+	spans := tr.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("%d spans", len(spans))
+	}
+	d := spans[0]
+	if !d.Complete || d.Attrs["status"] != StatusOK || d.Attrs["sender"] != "m1" {
+		t.Fatalf("span = %+v", d)
+	}
+	if len(d.Steps) != 8 {
+		t.Fatalf("%d steps, want 8", len(d.Steps))
+	}
+	for i := 1; i < len(d.Steps); i++ {
+		if d.Steps[i].VT < d.Steps[i-1].VT {
+			t.Fatalf("steps not monotone: %v", d.Steps)
+		}
+	}
+	if d.Duration() != 8*time.Second {
+		t.Fatalf("duration = %v", d.Duration())
+	}
+	if st, ok := d.Step(StepMarkerAck); !ok || st.VT != vclock.Time(4*time.Second) {
+		t.Fatalf("marker_ack step = %v %v", st, ok)
+	}
+	if d.WallEnd.Before(d.WallStart) {
+		t.Fatal("wall times reversed")
+	}
+}
+
+func TestSpanAbort(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.Start(SpanRelocation, "gc", 0)
+	sp.Abort(vclock.Time(time.Second), "empty ptv")
+	d := tr.Spans()[0]
+	if d.Attrs["status"] != StatusAborted || d.Attrs["reason"] != "empty ptv" || !d.Complete {
+		t.Fatalf("aborted span = %+v", d)
+	}
+	// End after Abort must not overwrite the status or end time.
+	sp.End(vclock.Time(2 * time.Second))
+	if d := tr.Spans()[0]; d.End != vclock.Time(time.Second) || d.Attrs["status"] != StatusAborted {
+		t.Fatalf("End after Abort mutated span: %+v", d)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		tr.Start(SpanSpill, "m1", vclock.Time(time.Duration(i)))
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("%d retained, want 3", len(spans))
+	}
+	if spans[0].ID != 3 || spans[2].ID != 5 {
+		t.Fatalf("wrong spans retained: %v %v", spans[0].ID, spans[2].ID)
+	}
+	if got := tr.Recent(2); len(got) != 2 || got[1].ID != 5 {
+		t.Fatalf("Recent(2) = %+v", got)
+	}
+}
+
+func TestNilTracerAndSpan(t *testing.T) {
+	var tr *Tracer
+	sp := tr.Start("x", "n", 0)
+	sp.Step("s", 0)
+	sp.SetAttr("k", "v")
+	sp.End(0)
+	sp.Abort(0, "r")
+	if tr.Spans() != nil || tr.Recent(5) != nil {
+		t.Fatal("nil tracer returned spans")
+	}
+	if d := sp.Data(); d.Name != "" {
+		t.Fatal("nil span has data")
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	tr := NewTracer(0)
+	sp := tr.Start(SpanSpill, "m2", vclock.Time(time.Minute))
+	sp.Step("persist", vclock.Time(time.Minute+time.Second))
+	sp.End(vclock.Time(2 * time.Minute))
+	buf, err := json.Marshal(tr.Spans())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []SpanData
+	if err := json.Unmarshal(buf, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Node != "m2" || back[0].Start != vclock.Time(time.Minute) || len(back[0].Steps) != 1 {
+		t.Fatalf("round trip = %+v", back[0])
+	}
+}
+
+// TestTracerConcurrentScrape mirrors the monitoring setup: one goroutine
+// mutates spans while others snapshot. Run with -race.
+func TestTracerConcurrentScrape(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					tr.Spans()
+					tr.Recent(4)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		sp := tr.Start(SpanSpill, "m1", vclock.Time(time.Duration(i)))
+		sp.Step("a", vclock.Time(time.Duration(i)))
+		sp.SetAttr("i", "x")
+		sp.End(vclock.Time(time.Duration(i + 1)))
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -69,13 +69,20 @@ func (s *Series) Len() int {
 // At returns the last observation at or before t (last observation
 // carried forward), or 0 if none exists.
 func (s *Series) At(t vclock.Time) float64 {
+	v, _ := s.AtOK(t)
+	return v
+}
+
+// AtOK is At distinguishing "no observation yet" (ok = false) from an
+// observed value of 0.
+func (s *Series) AtOK(t vclock.Time) (float64, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	i := sort.Search(len(s.pts), func(i int) bool { return s.pts[i].T > t })
 	if i == 0 {
-		return 0
+		return 0, false
 	}
-	return s.pts[i-1].V
+	return s.pts[i-1].V, true
 }
 
 // Last returns the final observation, or 0 for an empty series.
@@ -200,23 +207,25 @@ func FormatTable(header []string, rows [][]string) string {
 }
 
 // SampleTable renders several series on a shared virtual-minute grid:
-// the first column is the minute mark, one column per series.
+// the first column is the minute mark, one column per series. Grid
+// points before a series' first observation render as "-" rather than a
+// fabricated 0.
 func SampleTable(step, until time.Duration, series ...*Series) string {
 	header := []string{"v-min"}
-	var cols [][]float64
 	for _, s := range series {
 		header = append(header, s.Name())
-		cols = append(cols, s.Sample(step, until))
 	}
 	var rows [][]string
-	i := 0
 	for t := step; t <= until; t += step {
 		row := []string{fmt.Sprintf("%.1f", t.Minutes())}
-		for _, c := range cols {
-			row = append(row, fmt.Sprintf("%.0f", c[i]))
+		for _, s := range series {
+			if v, ok := s.AtOK(vclock.Time(t)); ok {
+				row = append(row, fmt.Sprintf("%.0f", v))
+			} else {
+				row = append(row, "-")
+			}
 		}
 		rows = append(rows, row)
-		i++
 	}
 	return FormatTable(header, rows)
 }

@@ -127,3 +127,26 @@ func TestSeriesConcurrentAdd(t *testing.T) {
 		t.Fatalf("Len = %d", s.Len())
 	}
 }
+
+func TestAtOKDistinguishesMissingFromZero(t *testing.T) {
+	s := NewSeries("x")
+	if _, ok := s.AtOK(ts(time.Minute)); ok {
+		t.Fatal("empty series reported an observation")
+	}
+	s.Add(ts(time.Minute), 0)
+	if v, ok := s.AtOK(ts(30 * time.Second)); ok || v != 0 {
+		t.Fatalf("before first observation: %v, %v", v, ok)
+	}
+	if v, ok := s.AtOK(ts(2 * time.Minute)); !ok || v != 0 {
+		t.Fatalf("observed zero: %v, %v", v, ok)
+	}
+}
+
+func TestSampleTableRendersMissingAsDash(t *testing.T) {
+	a := NewSeries("a")
+	a.Add(ts(2*time.Minute), 7)
+	out := SampleTable(time.Minute, 2*time.Minute, a)
+	if !strings.Contains(out, "-") || !strings.Contains(out, "7") {
+		t.Fatalf("table:\n%s", out)
+	}
+}

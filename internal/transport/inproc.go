@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/partition"
 	"repro/internal/proto"
@@ -16,6 +17,9 @@ const inprocQueueDepth = 8192
 type envelope struct {
 	from partition.NodeID
 	msg  proto.Message
+	// size is the message's wire footprint: exact frame bytes on TCP,
+	// approxSize on the in-process transport. Only used for metrics.
+	size int
 }
 
 // Inproc is an in-process Network: each attached node gets a buffered
@@ -23,21 +27,34 @@ type envelope struct {
 // serially and delivery is FIFO per sender-receiver pair (in fact, FIFO
 // in global enqueue order per receiver).
 type Inproc struct {
-	mu     sync.RWMutex
-	nodes  map[partition.NodeID]*inprocEndpoint
-	closed bool
+	mu      sync.RWMutex
+	nodes   map[partition.NodeID]*inprocEndpoint
+	metrics map[partition.NodeID]*Metrics
+	closed  bool
 }
 
 // NewInproc returns an empty in-process network.
 func NewInproc() *Inproc {
-	return &Inproc{nodes: make(map[partition.NodeID]*inprocEndpoint)}
+	return &Inproc{
+		nodes:   make(map[partition.NodeID]*inprocEndpoint),
+		metrics: make(map[partition.NodeID]*Metrics),
+	}
+}
+
+// Instrument implements Instrumentable: future Attach(node, ...) records
+// transport metrics for node into m.
+func (n *Inproc) Instrument(node partition.NodeID, m *Metrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics[node] = m
 }
 
 type inprocEndpoint struct {
-	net   *Inproc
-	node  partition.NodeID
-	queue chan envelope
-	done  chan struct{}
+	net     *Inproc
+	node    partition.NodeID
+	queue   chan envelope
+	done    chan struct{}
+	metrics *Metrics
 
 	// sendMu guards queue against close-during-send: senders hold the
 	// read lock while enqueueing, Close takes the write lock to flip
@@ -64,14 +81,16 @@ func (n *Inproc) Attach(node partition.NodeID, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: node %s already attached", node)
 	}
 	ep := &inprocEndpoint{
-		net:   n,
-		node:  node,
-		queue: make(chan envelope, inprocQueueDepth),
-		done:  make(chan struct{}),
+		net:     n,
+		node:    node,
+		queue:   make(chan envelope, inprocQueueDepth),
+		done:    make(chan struct{}),
+		metrics: n.metrics[node],
 	}
 	n.nodes[node] = ep
 	go func() {
 		for env := range ep.queue {
+			ep.metrics.received(env.msg, env.size)
 			h(env.from, env.msg)
 		}
 		close(ep.done)
@@ -105,12 +124,21 @@ func (e *inprocEndpoint) Send(to partition.NodeID, msg proto.Message) error {
 	if !ok {
 		return fmt.Errorf("transport: unknown node %s", to)
 	}
+	var start time.Time
+	size := 0
+	if e.metrics != nil {
+		start = time.Now()
+		size = approxSize(msg)
+	}
 	dst.sendMu.RLock()
 	defer dst.sendMu.RUnlock()
 	if dst.dead {
 		return fmt.Errorf("transport: node %s detached", to)
 	}
-	dst.queue <- envelope{from: e.node, msg: msg}
+	dst.queue <- envelope{from: e.node, msg: msg, size: size}
+	if e.metrics != nil {
+		e.metrics.sent(msg, size, time.Since(start))
+	}
 	return nil
 }
 

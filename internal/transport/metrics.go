@@ -1,0 +1,103 @@
+package transport
+
+import (
+	"reflect"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/proto"
+)
+
+// Metrics records a node's transport activity into an obs.Registry:
+// per-message-type send/receive counters, byte counters, and a
+// send-latency histogram (wall seconds; Send latency includes any
+// backpressure blocking). Metric names follow the scheme
+// distq_<node_kind>_transport_<name>. A nil *Metrics is a valid no-op.
+type Metrics struct {
+	reg    *obs.Registry
+	prefix string
+}
+
+// NewMetrics builds transport metrics for one node, e.g.
+// NewMetrics(reg, "engine") → distq_engine_transport_send_total{type=...}.
+func NewMetrics(reg *obs.Registry, nodeKind string) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	m := &Metrics{reg: reg, prefix: "distq_" + nodeKind + "_transport_"}
+	reg.Help(m.prefix+"send_total", "messages sent, by message type")
+	reg.Help(m.prefix+"send_bytes_total", "bytes sent, by message type")
+	reg.Help(m.prefix+"recv_total", "messages received, by message type")
+	reg.Help(m.prefix+"recv_bytes_total", "bytes received, by message type")
+	reg.Help(m.prefix+"send_seconds", "Send call latency (wall), by message type")
+	return m
+}
+
+// MsgType names a proto message for metric labels ("Data", "CptV", ...).
+func MsgType(msg proto.Message) string {
+	if msg == nil {
+		return "nil"
+	}
+	t := reflect.TypeOf(msg)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if name := t.Name(); name != "" {
+		return name
+	}
+	return t.String()
+}
+
+// sent records one outbound message.
+func (m *Metrics) sent(msg proto.Message, bytes int, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	l := obs.L("type", MsgType(msg))
+	m.reg.Counter(m.prefix+"send_total", l).Inc()
+	m.reg.Counter(m.prefix+"send_bytes_total", l).Add(float64(bytes))
+	m.reg.Histogram(m.prefix+"send_seconds", obs.LatencyBuckets, l).ObserveDuration(elapsed)
+}
+
+// received records one inbound message.
+func (m *Metrics) received(msg proto.Message, bytes int) {
+	if m == nil {
+		return
+	}
+	l := obs.L("type", MsgType(msg))
+	m.reg.Counter(m.prefix+"recv_total", l).Inc()
+	m.reg.Counter(m.prefix+"recv_bytes_total", l).Add(float64(bytes))
+}
+
+// Instrumentable is the optional interface networks implement to record
+// transport metrics for a node. Instrument must be called before the
+// node's Attach.
+type Instrumentable interface {
+	Instrument(node partition.NodeID, m *Metrics)
+}
+
+// approxSize estimates a message's wire footprint for the in-process
+// transport, which never serializes: the dominant payloads are counted
+// exactly, everything else uses a flat envelope estimate. The TCP
+// transport reports exact frame sizes instead.
+func approxSize(msg proto.Message) int {
+	const envelope = 64
+	switch m := msg.(type) {
+	case proto.Data:
+		return envelope + len(m.Payload)
+	case proto.ResultData:
+		return envelope + len(m.Payload)
+	case proto.StateTransfer:
+		n := envelope
+		for _, b := range m.Resident {
+			n += len(b)
+		}
+		for _, b := range m.Segments {
+			n += len(b)
+		}
+		return n
+	default:
+		return envelope
+	}
+}

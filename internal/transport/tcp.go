@@ -10,6 +10,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/partition"
 	"repro/internal/proto"
@@ -34,6 +35,7 @@ type tcpEnvelope struct {
 type TCP struct {
 	mu        sync.RWMutex
 	directory map[partition.NodeID]string
+	metrics   map[partition.NodeID]*Metrics
 	endpoints []*tcpEndpoint
 	closed    bool
 }
@@ -44,7 +46,15 @@ func NewTCP(directory map[partition.NodeID]string) *TCP {
 	for k, v := range directory {
 		dir[k] = v
 	}
-	return &TCP{directory: dir}
+	return &TCP{directory: dir, metrics: make(map[partition.NodeID]*Metrics)}
+}
+
+// Instrument implements Instrumentable: future Attach(node, ...) records
+// transport metrics for node into m.
+func (n *TCP) Instrument(node partition.NodeID, m *Metrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.metrics[node] = m
 }
 
 // AddNode extends the directory (e.g. after binding an ephemeral port).
@@ -68,6 +78,7 @@ type tcpEndpoint struct {
 	listener net.Listener
 	queue    chan envelope
 	done     chan struct{}
+	metrics  *Metrics
 
 	// enqMu guards queue against close-during-enqueue: reader goroutines
 	// hold the read lock while enqueueing, Close takes the write lock to
@@ -98,6 +109,7 @@ func (n *TCP) Attach(node partition.NodeID, h Handler) (Endpoint, error) {
 		return nil, fmt.Errorf("transport: network closed")
 	}
 	addr, ok := n.directory[node]
+	metrics := n.metrics[node]
 	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: node %s not in directory", node)
@@ -114,6 +126,7 @@ func (n *TCP) Attach(node partition.NodeID, h Handler) (Endpoint, error) {
 		queue:    make(chan envelope, inprocQueueDepth),
 		done:     make(chan struct{}),
 		conns:    make(map[partition.NodeID]*tcpConn),
+		metrics:  metrics,
 	}
 	n.mu.Lock()
 	n.endpoints = append(n.endpoints, ep)
@@ -121,6 +134,7 @@ func (n *TCP) Attach(node partition.NodeID, h Handler) (Endpoint, error) {
 	go ep.acceptLoop()
 	go func() {
 		for env := range ep.queue {
+			ep.metrics.received(env.msg, env.size)
 			h(env.from, env.msg)
 		}
 		close(ep.done)
@@ -154,7 +168,7 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 	defer c.Close()
 	r := bufio.NewReaderSize(c, 1<<16)
 	for {
-		env, err := readFrame(r)
+		env, frameBytes, err := readFrame(r)
 		if err != nil {
 			return
 		}
@@ -166,45 +180,49 @@ func (e *tcpEndpoint) readLoop(c net.Conn) {
 			e.enqMu.RUnlock()
 			return
 		}
-		e.queue <- envelope{from: env.From, msg: env.Msg}
+		e.queue <- envelope{from: env.From, msg: env.Msg, size: frameBytes}
 		e.enqMu.RUnlock()
 	}
 }
 
-func readFrame(r io.Reader) (*tcpEnvelope, error) {
+// readFrame decodes one frame, also reporting its wire size (length
+// prefix + body) for the transport metrics.
+func readFrame(r io.Reader) (*tcpEnvelope, int, error) {
 	var lenBuf [4]byte
 	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	size := binary.LittleEndian.Uint32(lenBuf[:])
 	if size > maxFrameSize {
-		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
+		return nil, 0, fmt.Errorf("transport: frame of %d bytes exceeds limit", size)
 	}
 	body := make([]byte, size)
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	var env tcpEnvelope
 	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&env); err != nil {
-		return nil, fmt.Errorf("transport: decode frame: %w", err)
+		return nil, 0, fmt.Errorf("transport: decode frame: %w", err)
 	}
-	return &env, nil
+	return &env, 4 + int(size), nil
 }
 
-func writeFrame(w *bufio.Writer, env *tcpEnvelope) error {
+// writeFrame encodes and flushes one frame, reporting its wire size.
+func writeFrame(w *bufio.Writer, env *tcpEnvelope) (int, error) {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(env); err != nil {
-		return fmt.Errorf("transport: encode frame: %w", err)
+		return 0, fmt.Errorf("transport: encode frame: %w", err)
 	}
+	frameBytes := 4 + body.Len()
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
 	if _, err := w.Write(lenBuf[:]); err != nil {
-		return err
+		return 0, err
 	}
 	if _, err := body.WriteTo(w); err != nil {
-		return err
+		return 0, err
 	}
-	return w.Flush()
+	return frameBytes, w.Flush()
 }
 
 // Node implements Endpoint.
@@ -212,13 +230,18 @@ func (e *tcpEndpoint) Node() partition.NodeID { return e.node }
 
 // Send implements Endpoint.
 func (e *tcpEndpoint) Send(to partition.NodeID, msg proto.Message) error {
+	var start time.Time
+	if e.metrics != nil {
+		start = time.Now()
+	}
 	conn, err := e.conn(to)
 	if err != nil {
 		return err
 	}
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
-	if err := writeFrame(conn.w, &tcpEnvelope{From: e.node, Msg: msg}); err != nil {
+	frameBytes, err := writeFrame(conn.w, &tcpEnvelope{From: e.node, Msg: msg})
+	if err != nil {
 		// Drop the broken connection so a retry can redial.
 		e.mu.Lock()
 		if e.conns[to] == conn {
@@ -227,6 +250,9 @@ func (e *tcpEndpoint) Send(to partition.NodeID, msg proto.Message) error {
 		e.mu.Unlock()
 		conn.c.Close()
 		return fmt.Errorf("transport: send to %s: %w", to, err)
+	}
+	if e.metrics != nil {
+		e.metrics.sent(msg, frameBytes, time.Since(start))
 	}
 	return nil
 }
