@@ -1,11 +1,12 @@
-# Tier-1 verification for the repo: vet, build, race-test.
-# `make check` is what CI and the roadmap's tier-1 gate run.
+# Tier-1 verification for the repo: vet, build, lint, race-test, fuzz
+# smoke. `make check` is what CI and the roadmap's tier-1 gate run.
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: check vet build test test-race
+.PHONY: check vet build lint test test-race fuzz-smoke
 
-check: vet build test-race
+check: vet build lint test-race fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -13,8 +14,20 @@ vet:
 build:
 	$(GO) build ./...
 
+# lint runs the repo's own analyzers (invariants the stock toolchain
+# cannot see: virtual-time discipline, component boundaries, protocol
+# exhaustiveness, obs naming, spill error handling). See PROTOCOL.md.
+lint:
+	$(GO) run ./cmd/distqlint ./...
+
 test:
 	$(GO) test ./...
 
 test-race:
 	$(GO) test -race ./...
+
+# fuzz-smoke gives the coordinator protocol fuzzer a short budget on
+# top of replaying the committed corpus (testdata/fuzz). Grown inputs
+# land in GOCACHE, not the repo; promote keepers into testdata by hand.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzCoordinatorProtocol -fuzztime $(FUZZTIME) ./internal/coordinator

@@ -20,6 +20,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/transport"
 	"repro/internal/tuple"
+	"repro/internal/vclock"
 )
 
 func main() {
@@ -52,7 +53,9 @@ func main() {
 		log.Printf("appserver monitoring on http://%s/metrics", mon.Addr())
 	}
 	results := reg.Counter("distq_appserver_results_total")
-	_, err := net.Attach(cluster.AppServerNode, func(from partition.NodeID, msg proto.Message) {
+	var ep transport.Endpoint
+	ep, err := net.Attach(cluster.AppServerNode, func(from partition.NodeID, msg proto.Message) {
+		//distq:handles appserver
 		switch m := msg.(type) {
 		case proto.ResultCount:
 			total.Add(m.Delta)
@@ -71,6 +74,17 @@ func main() {
 			}
 			total.Add(n)
 			results.Add(float64(n))
+		case proto.CleanupDone:
+			if m.Error != "" {
+				log.Printf("cleanup on %s failed: %s", m.Node, m.Error)
+			} else {
+				log.Printf("cleanup on %s: %d results from %d spilled tuples", m.Node, m.Results, m.Tuples)
+			}
+		case proto.Drain:
+			// Fence: every result enqueued before this message is tallied.
+			if err := ep.Send(from, proto.DrainAck{Token: m.Token, Node: cluster.AppServerNode}); err != nil {
+				log.Printf("drain ack to %s: %v", from, err)
+			}
 		}
 	})
 	if err != nil {
@@ -78,7 +92,7 @@ func main() {
 	}
 	log.Printf("application server listening on %s", *listen)
 
-	tick := time.NewTicker(*logEvery)
+	tick := vclock.WallTicker(*logEvery)
 	defer tick.Stop()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,251 @@
+// Command distqlint runs the repo's custom static-analysis suite (see
+// internal/analysis) over package patterns, multichecker-style:
+//
+//	go run ./cmd/distqlint ./...
+//	go run ./cmd/distqlint -only vclockdiscipline ./internal/engine
+//
+// It prints one line per finding (file:line:col: analyzer: message) and
+// exits 1 if anything fired. Findings are suppressed by a
+// //distqlint:allow <analyzer>: <rationale> comment on or directly
+// above the offending line. The suite is part of `make check` and the
+// CI gate; it must stay green.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/componentboundary"
+	"repro/internal/analysis/obsnaming"
+	"repro/internal/analysis/protoexhaustive"
+	"repro/internal/analysis/spillerrcheck"
+	"repro/internal/analysis/vclockdiscipline"
+)
+
+// all lists every analyzer in the suite, in report order.
+var all = []*analysis.Analyzer{
+	componentboundary.Analyzer,
+	obsnaming.Analyzer,
+	protoexhaustive.Analyzer,
+	spillerrcheck.Analyzer,
+	vclockdiscipline.Analyzer,
+}
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: distqlint [-only names] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-18s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	modRoot, modPath, err := findModule()
+	if err != nil {
+		fatal(err)
+	}
+	paths, err := expand(modRoot, modPath, patterns)
+	if err != nil {
+		fatal(err)
+	}
+
+	loader := analysis.NewLoader(analysis.ModuleResolver(modRoot, modPath))
+	bad := false
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fatal(err)
+		}
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Println(relativize(modRoot, d))
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "distqlint:", err)
+	os.Exit(2)
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (use -list)", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// findModule locates the enclosing module root and its module path.
+func findModule() (root, path string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("no module line in %s/go.mod", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}
+
+// expand turns package patterns into sorted import paths. Supported
+// forms: ./x, ./x/..., x/... and plain import paths inside the module.
+func expand(modRoot, modPath string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(p string) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "./"
+			}
+		}
+		dir := pat
+		if strings.HasPrefix(pat, modPath) {
+			rel := strings.TrimPrefix(strings.TrimPrefix(pat, modPath), "/")
+			dir = filepath.Join(modRoot, filepath.FromSlash(rel))
+		} else if !filepath.IsAbs(pat) {
+			wd, err := os.Getwd()
+			if err != nil {
+				return nil, err
+			}
+			dir = filepath.Join(wd, filepath.FromSlash(pat))
+		}
+		if !recursive {
+			p, err := importPath(modRoot, modPath, dir)
+			if err != nil {
+				return nil, err
+			}
+			add(p)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoSource(path) {
+				p, err := importPath(modRoot, modPath, path)
+				if err != nil {
+					return err
+				}
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// importPath maps an absolute directory inside the module to its path.
+func importPath(modRoot, modPath, dir string) (string, error) {
+	rel, err := filepath.Rel(modRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, modPath)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+// hasGoSource reports whether dir directly contains non-test Go files.
+func hasGoSource(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// relativize shortens diagnostic file paths for readable output.
+func relativize(modRoot string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(modRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

@@ -156,7 +156,11 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	e.Stop()
-	time.Sleep(50 * time.Millisecond) // let the handler drain before reading state
+	select { // let the handler drain before reading state
+	case <-e.Done():
+	case <-vclock.WallTimeout(5 * time.Second):
+		log.Printf("engine %s: handler did not acknowledge stop", *node)
+	}
 	if *ckptDir != "" {
 		n, err := checkpoint.Save(e.Op(), *ckptDir)
 		if err != nil {

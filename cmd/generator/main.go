@@ -220,7 +220,7 @@ func main() {
 	}
 	select {
 	case <-quiesceCh:
-	case <-time.After(60 * time.Second):
+	case <-vclock.WallTimeout(60 * time.Second):
 		log.Fatal("quiesce timed out")
 	}
 	if err := router.Flush(); err != nil {
@@ -234,7 +234,7 @@ func main() {
 	for range engineNames {
 		select {
 		case <-drainCh:
-		case <-time.After(60 * time.Second):
+		case <-vclock.WallTimeout(60 * time.Second):
 			log.Fatal("drain timed out")
 		}
 	}
@@ -256,7 +256,7 @@ func main() {
 				log.Printf("cleanup %s: %d groups, %d segments, %d tuples, %d results in %v",
 					done.Node, done.Groups, done.Segments, done.Tuples, done.Results,
 					time.Duration(done.ElapsedNs))
-			case <-time.After(5 * time.Minute):
+			case <-vclock.WallTimeout(5 * time.Minute):
 				log.Fatal("cleanup timed out")
 			}
 		}

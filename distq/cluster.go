@@ -226,6 +226,7 @@ func (c *Cluster) handleGenerator(from NodeID, msg proto.Message) {
 	if handled, _ := c.router.HandleControl(msg); handled {
 		return
 	}
+	//distq:handles generator
 	switch m := msg.(type) {
 	case proto.DrainAck:
 		c.drainCh <- m
@@ -283,7 +284,7 @@ func (c *Cluster) Drain() error {
 	}
 	select {
 	case <-c.quiesceCh:
-	case <-time.After(30 * time.Second):
+	case <-vclock.WallTimeout(30 * time.Second):
 		return fmt.Errorf("distq: quiesce timed out")
 	}
 	if err := c.router.Flush(); err != nil {
@@ -296,7 +297,7 @@ func (c *Cluster) Drain() error {
 		}
 	}
 	pending := len(c.opts.Engines)
-	timeout := time.After(60 * time.Second)
+	timeout := vclock.WallTimeout(60 * time.Second)
 	for pending > 0 {
 		select {
 		case ack := <-c.drainCh:
@@ -381,13 +382,16 @@ func (c *Cluster) Close() error {
 	}
 	c.closed = true
 	c.mu.Unlock()
+	var stopped []<-chan struct{}
 	if c.coord != nil {
 		c.coord.Stop()
+		stopped = append(stopped, c.coord.Done())
 	}
 	for _, e := range c.engines {
 		e.Stop()
+		stopped = append(stopped, e.Done())
 	}
-	time.Sleep(10 * time.Millisecond)
+	cluster.AwaitStopped(5*time.Second, stopped...)
 	if c.ownsNet {
 		return c.net.Close()
 	}

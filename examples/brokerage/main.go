@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"repro/distq"
+	"repro/internal/vclock"
 )
 
 // currencies the brokerage quotes; the join key encodes (currency, offer).
@@ -101,7 +102,7 @@ func main() {
 		}
 		if i%2000 == 1999 {
 			c.Flush()
-			time.Sleep(25 * time.Millisecond)
+			vclock.WallSleep(25 * time.Millisecond)
 		}
 	}
 	if err := c.Drain(); err != nil {

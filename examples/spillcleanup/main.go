@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/distq"
+	"repro/internal/vclock"
 )
 
 func main() {
@@ -76,7 +77,7 @@ func main() {
 		}
 		if i%1500 == 1499 {
 			c.Flush()
-			time.Sleep(25 * time.Millisecond) // let the ss_timer observe the overflow
+			vclock.WallSleep(25 * time.Millisecond) // let the ss_timer observe the overflow
 		}
 	}
 	var expected int

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/distq"
+	"repro/internal/vclock"
 )
 
 func main() {
@@ -39,9 +40,9 @@ func main() {
 
 	rng := rand.New(rand.NewSource(1))
 	fmt.Println("streaming for 6 seconds with a 2-second window...")
-	start := time.Now()
+	start := vclock.WallNow()
 	var sent int
-	for time.Since(start) < 6*time.Second {
+	for vclock.WallSince(start) < 6*time.Second {
 		for i := 0; i < 200; i++ {
 			if err := c.Ingest(rng.Intn(2), uint64(rng.Intn(500)), make([]byte, 16)); err != nil {
 				log.Fatal(err)
@@ -56,9 +57,9 @@ func main() {
 				resident += b
 			}
 			fmt.Printf("  t=%4.1fs  sent=%6d  matches=%7d  resident=%4d KB\n",
-				time.Since(start).Seconds(), sent, matches.Load(), resident/1024)
+				vclock.WallSince(start).Seconds(), sent, matches.Load(), resident/1024)
 		}
-		time.Sleep(120 * time.Millisecond)
+		vclock.WallSleep(120 * time.Millisecond)
 	}
 	if err := c.Drain(); err != nil {
 		log.Fatal(err)

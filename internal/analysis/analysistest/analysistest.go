@@ -1,0 +1,154 @@
+// Package analysistest runs an Analyzer over golden packages and
+// matches its diagnostics against expectation comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the repo's
+// dependency-free analysis framework.
+//
+// Golden packages live under <dir>/src/<importpath>/ and may import one
+// another through the same paths; anything else resolves to a stub. An
+// expectation is written on the line the diagnostic is reported on:
+//
+//	time.Sleep(d) // want `wall clock: time\.Sleep`
+//
+// Each `want` may carry several quoted regexps (double- or back-quoted);
+// each must match a distinct diagnostic on that line. Diagnostics with
+// no matching expectation, and expectations with no matching diagnostic,
+// fail the test. Waived findings (//distqlint:allow) are filtered before
+// matching, exactly as cmd/distqlint filters them.
+package analysistest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// A want is one expectation parsed from a `// want` comment.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads each pattern package from dir/src/<pattern>, applies the
+// analyzer, and checks the diagnostics against the want comments of the
+// pattern packages' files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	src := filepath.Join(dir, "src")
+	loader := analysis.NewLoader(func(importPath string) (string, bool) {
+		d := filepath.Join(src, filepath.FromSlash(importPath))
+		if fi, err := os.Stat(d); err == nil && fi.IsDir() {
+			return d, true
+		}
+		return "", false
+	})
+
+	var wants []*want
+	var diags []analysis.Diagnostic
+	for _, pat := range patterns {
+		pkg, err := loader.Load(pat)
+		if err != nil {
+			t.Fatalf("load %s: %v", pat, err)
+		}
+		ds, err := analysis.Run(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("run %s on %s: %v", a.Name, pat, err)
+		}
+		diags = append(diags, ds...)
+		wants = append(wants, collectWants(t, loader.Fset, pkg)...)
+	}
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation covering d, if any.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.file != d.Pos.Filename || w.line != d.Pos.Line {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants parses the `// want` expectations of pkg's files.
+func collectWants(t *testing.T, fset *token.FileSet, pkg *analysis.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				pos := fset.Position(c.Pos())
+				for _, raw := range parseWants(c.Text) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+					}
+					out = append(out, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// parseWants extracts the quoted regexps following "want" in a comment.
+func parseWants(text string) []string {
+	i := strings.Index(text, "want ")
+	if i < 0 {
+		return nil
+	}
+	rest := text[i+len("want "):]
+	var out []string
+	for {
+		rest = strings.TrimLeft(rest, " \t")
+		if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+			return out
+		}
+		j := closingQuote(rest)
+		if j < 0 {
+			return out
+		}
+		s, err := strconv.Unquote(rest[:j+1])
+		if err != nil {
+			return out
+		}
+		out = append(out, s)
+		rest = rest[j+1:]
+	}
+}
+
+// closingQuote finds the index of the quote closing rest[0], or -1.
+func closingQuote(rest string) int {
+	q := rest[0]
+	for j := 1; j < len(rest); j++ {
+		switch {
+		case q == '"' && rest[j] == '\\':
+			j++
+		case rest[j] == q:
+			return j
+		}
+	}
+	return -1
+}

@@ -1,0 +1,11 @@
+// Command tool sits above the composition root: entry points are
+// exempt from the boundary rule and may import anything.
+package main
+
+import (
+	_ "repro/internal/cluster"
+	_ "repro/internal/coordinator"
+	_ "repro/internal/engine"
+)
+
+func main() {}

@@ -1,0 +1,9 @@
+// Package cluster is the composition root: importing both components
+// to construct and wire them is exactly its job, so none of these
+// imports is reported.
+package cluster
+
+import (
+	_ "repro/internal/coordinator"
+	_ "repro/internal/engine"
+)

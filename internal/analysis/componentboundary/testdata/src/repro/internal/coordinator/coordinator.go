@@ -1,0 +1,9 @@
+// Package coordinator reaches into its peer, which the boundary rule
+// forbids: peers exchange proto messages over the transport, never
+// state.
+package coordinator
+
+import _ "repro/internal/engine" // want `repro/internal/coordinator may not import repro/internal/engine: peer components exchange proto messages`
+
+// Run is the coordinator's entry point.
+func Run() {}

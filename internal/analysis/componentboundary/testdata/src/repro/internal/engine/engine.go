@@ -1,0 +1,8 @@
+// Package engine is a peer component; it must not depend on the
+// harness that composes it.
+package engine
+
+import _ "repro/internal/cluster" // want `repro/internal/engine may not import repro/internal/cluster: components must not depend on the harness above them`
+
+// Run is the engine's entry point.
+func Run() {}

@@ -1,0 +1,5 @@
+// Package experiments alone among internal packages may drive the
+// cluster harness.
+package experiments
+
+import _ "repro/internal/cluster"

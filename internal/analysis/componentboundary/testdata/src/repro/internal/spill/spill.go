@@ -1,0 +1,5 @@
+// Package spill is shared vocabulary; constructing a component from
+// here bypasses the composition root.
+package spill
+
+import _ "repro/internal/engine" // want `repro/internal/spill may not import repro/internal/engine: only the cluster composition root constructs components`

@@ -1,0 +1,202 @@
+// Package obsnaming enforces PROTOCOL.md's metric and span naming
+// scheme at every obs registration call site, so dashboards and the
+// JSONL run reports never fracture into spelling variants:
+//
+//   - metric names registered via Registry.Counter/Gauge/Histogram/Help
+//     follow distq_<node_kind>_<name> with node_kind one of
+//     coordinator, engine, generator, appserver, and <name> in
+//     snake_case;
+//   - counters end in _total; histograms end in a unit suffix
+//     (_seconds, _vseconds, _bytes, _ns);
+//   - names built by concatenation (the transport's per-kind prefix)
+//     have every literal fragment in snake_case, and a literal last
+//     fragment still carries the kind's suffix;
+//   - span and step names passed to Tracer.Start / Span.Step are
+//     snake_case identifiers.
+//
+// The obs package itself (which plumbs caller-supplied names through)
+// is exempt. Non-literal names cannot be checked statically and are
+// skipped.
+package obsnaming
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// ObsPath is the import path of the observability package.
+const ObsPath = "repro/internal/obs"
+
+var (
+	fullMetricRE = regexp.MustCompile(`^distq_(coordinator|engine|generator|appserver)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	fragmentRE   = regexp.MustCompile(`^[a-z0-9_]+$`)
+	spanNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// histogramSuffixes are the accepted histogram unit suffixes.
+var histogramSuffixes = []string{"_seconds", "_vseconds", "_bytes", "_ns"}
+
+// methods maps obs method names to the naming rule for their first
+// string argument.
+var methods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"Histogram": "histogram",
+	"Help":      "metric",
+	"Start":     "span",
+	"Step":      "span",
+}
+
+// Analyzer implements the obs naming check.
+var Analyzer = &analysis.Analyzer{
+	Name: "obsnaming",
+	Doc:  "metric and span names at obs registration sites follow the PROTOCOL.md scheme",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pass.Path == ObsPath {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := methods[sel.Sel.Name]
+			if !ok || !obsReceiver(pass, sel) {
+				return true
+			}
+			checkName(pass, kind, call.Args[0])
+			return true
+		})
+	}
+	return nil
+}
+
+// obsReceiver reports whether sel plausibly selects into an obs type.
+// When type information resolved the selection, the receiver must be a
+// named type from the obs package; otherwise the method-name match
+// stands (best effort without a module cache).
+func obsReceiver(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	s, ok := pass.Info.Selections[sel]
+	if !ok {
+		return true
+	}
+	t := s.Recv()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == ObsPath
+}
+
+// checkName validates the name expression under the given rule.
+func checkName(pass *analysis.Pass, kind string, arg ast.Expr) {
+	switch e := arg.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return
+		}
+		name, err := strconv.Unquote(e.Value)
+		if err != nil {
+			return
+		}
+		checkFull(pass, kind, name, e.Pos())
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return
+		}
+		lits := literalOperands(e)
+		for i, lit := range lits {
+			frag, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				continue
+			}
+			if !fragmentRE.MatchString(frag) {
+				pass.Reportf(lit.Pos(), "obs name fragment %q is not snake_case ([a-z0-9_])", frag)
+				continue
+			}
+			// Suffix rules apply when the final operand is a literal.
+			if i == len(lits)-1 && isLastOperand(e, lit) {
+				checkSuffix(pass, kind, frag, lit.Pos())
+			}
+		}
+	}
+}
+
+// checkFull validates a complete literal name.
+func checkFull(pass *analysis.Pass, kind, name string, pos token.Pos) {
+	switch kind {
+	case "span":
+		if !spanNameRE.MatchString(name) {
+			pass.Reportf(pos, "span/step name %q is not a snake_case identifier", name)
+		}
+		return
+	default:
+		if !fullMetricRE.MatchString(name) {
+			pass.Reportf(pos, "metric name %q does not follow distq_<node_kind>_<snake_case> (node_kind: coordinator|engine|generator|appserver)", name)
+			return
+		}
+		checkSuffix(pass, kind, name, pos)
+	}
+}
+
+// checkSuffix applies the per-kind unit suffix rule to name.
+func checkSuffix(pass *analysis.Pass, kind, name string, pos token.Pos) {
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			pass.Reportf(pos, "counter name %q must end in _total", name)
+		}
+	case "histogram":
+		for _, s := range histogramSuffixes {
+			if strings.HasSuffix(name, s) {
+				return
+			}
+		}
+		pass.Reportf(pos, "histogram name %q must end in a unit suffix (%s)", name, strings.Join(histogramSuffixes, ", "))
+	}
+}
+
+// literalOperands collects the string literals of a + chain, in order.
+func literalOperands(e ast.Expr) []*ast.BasicLit {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			return []*ast.BasicLit{v}
+		}
+	case *ast.BinaryExpr:
+		if v.Op == token.ADD {
+			return append(literalOperands(v.X), literalOperands(v.Y)...)
+		}
+	}
+	return nil
+}
+
+// isLastOperand reports whether lit is the rightmost operand of chain.
+func isLastOperand(chain *ast.BinaryExpr, lit *ast.BasicLit) bool {
+	right := ast.Expr(chain)
+	for {
+		be, ok := right.(*ast.BinaryExpr)
+		if !ok {
+			break
+		}
+		right = be.Y
+	}
+	return right == ast.Expr(lit)
+}

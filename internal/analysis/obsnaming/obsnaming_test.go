@@ -1,0 +1,15 @@
+package obsnaming_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/obsnaming"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", obsnaming.Analyzer,
+		"repro/internal/obs",    // the obs package itself is exempt
+		"repro/internal/engine", // one violation per naming rule
+	)
+}

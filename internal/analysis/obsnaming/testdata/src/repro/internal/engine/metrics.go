@@ -1,0 +1,41 @@
+// Package engine registers metrics and spans against the PROTOCOL.md
+// naming scheme, with one violation per rule.
+package engine
+
+import "repro/internal/obs"
+
+const kind = "engine"
+
+func register(reg *obs.Registry, tr *obs.Tracer) {
+	// Conforming names.
+	reg.Counter("distq_engine_results_total")
+	reg.Gauge("distq_engine_mem_bytes")
+	reg.Histogram("distq_engine_cleanup_seconds")
+	reg.Help("distq_engine_mem_bytes", "resident state size")
+
+	// Violations.
+	reg.Counter("distq_engine_results")       // want `counter name "distq_engine_results" must end in _total`
+	reg.Histogram("distq_engine_cleanup")     // want `histogram name "distq_engine_cleanup" must end in a unit suffix`
+	reg.Counter("distq_Engine_results_total") // want `metric name "distq_Engine_results_total" does not follow`
+	reg.Gauge("mem_bytes")                    // want `metric name "mem_bytes" does not follow`
+
+	// Concatenated names: fragments must be snake_case, and a literal
+	// last fragment still carries the kind's suffix.
+	reg.Counter("distq_" + kind + "_sent_total")
+	reg.Counter("distq_" + kind + "_Sent-Total") // want `obs name fragment "_Sent-Total" is not snake_case`
+
+	sp := tr.Start("relocation")
+	sp.Step("pause_marker")
+	sp.Step("Install Phase") // want `span/step name "Install Phase" is not a snake_case identifier`
+}
+
+// fake has the same method names outside obs; resolved receivers that
+// are not obs types are skipped.
+type fake struct{}
+
+func (fake) Counter(name string) int { return 0 }
+
+func unrelated() {
+	var f fake
+	f.Counter("Whatever Name, No Rules Here")
+}

@@ -1,0 +1,16 @@
+package protoexhaustive_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/protoexhaustive"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", protoexhaustive.Analyzer,
+		"repro/internal/proto",   // registry self-checks
+		"repro/internal/engine",  // missing case, package-name attribution
+		"repro/internal/gateway", // directive attribution + unattributable switch
+	)
+}

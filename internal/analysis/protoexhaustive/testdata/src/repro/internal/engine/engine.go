@@ -1,0 +1,13 @@
+// Package engine is attributable by its package name alone. Its switch
+// covers Data and Ghost but forgot Tick — the "engine silently drops a
+// message" class of bug.
+package engine
+
+import "repro/internal/proto"
+
+func handle(msg any) {
+	switch msg.(type) { // want `component engine handler misses proto\.Tick`
+	case proto.Data:
+	case *proto.Ghost:
+	}
+}

@@ -1,0 +1,35 @@
+// Package gateway hosts handlers behind a neutral package name, so
+// attribution must come from //distq:handles directives.
+package gateway
+
+import "repro/internal/proto"
+
+// handleApp is fully covered for appserver; the extra Tick case is
+// fine (a component may opportunistically understand more).
+func handleApp(msg any) {
+	//distq:handles appserver
+	switch msg.(type) {
+	case proto.ResultCount:
+	case proto.Tick:
+	}
+}
+
+// route dispatches on several proto types with no directive and no
+// component package name: the analyzer cannot tell which contract to
+// hold it to.
+func route(msg any) {
+	switch msg.(type) { // want `proto message switch is not attributable to a component`
+	case proto.Data:
+	case proto.Tick:
+	}
+}
+
+// isData classifies a single proto type; one-case switches are
+// classification, not handlers, and stay unflagged.
+func isData(msg any) bool {
+	switch msg.(type) {
+	case proto.Data:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+// Package proto is a miniature message vocabulary exercising the
+// registry self-checks: directives on registered types, an orphan
+// registration, an unknown component, and a directive on a type that
+// never travels the wire.
+package proto
+
+import "encoding/gob"
+
+//
+//distq:handledby engine
+type Data struct{ N int }
+
+//
+//distq:handledby coordinator, engine
+type Tick struct{}
+
+//
+//distq:handledby appserver
+type ResultCount struct{ Delta uint64 }
+
+// Orphan is registered but directed at nobody.
+type Orphan struct{}
+
+//
+//distq:handledby martian
+type Alien struct{} // want `proto\.Alien: unknown component "martian"`
+
+//
+//distq:handledby engine
+type Ghost struct{} // want `proto\.Ghost carries a //distq:handledby directive but is never gob-registered`
+
+func init() {
+	gob.Register(Data{})
+	gob.Register(Tick{})
+	gob.Register(ResultCount{})
+	gob.Register(Orphan{}) // want `proto\.Orphan is gob-registered but carries no //distq:handledby directive`
+	gob.Register(Alien{})
+}

@@ -1,0 +1,104 @@
+// Package spillerrcheck forbids discarding the error results of spill
+// and checkpoint store I/O. Spilled partition groups and checkpoints
+// are the durable half of the paper's exact-once cleanup guarantee: a
+// swallowed Write/Read/Remove/Spill/Save/Load error silently loses
+// state that the cleanup phase will later report as "clean".
+//
+// A call is flagged when its callee is a function or method declared in
+// repro/internal/spill or repro/internal/checkpoint whose final result
+// is error, and that error is discarded: the call stands alone as a
+// statement (including go/defer), or the error's position on the left
+// side of an assignment is the blank identifier.
+//
+// Deliberate discards carry a //distqlint:allow spillerrcheck waiver
+// with a rationale.
+package spillerrcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Paths of the packages whose error returns are load-bearing.
+var guardedPkgs = map[string]bool{
+	"repro/internal/spill":      true,
+	"repro/internal/checkpoint": true,
+}
+
+// Analyzer implements the spill/checkpoint error check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spillerrcheck",
+	Doc:  "errors from spill/checkpoint store I/O must be handled, not discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, st.X, -1)
+			case *ast.GoStmt:
+				check(pass, st.Call, -1)
+			case *ast.DeferStmt:
+				check(pass, st.Call, -1)
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 {
+					if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+						check(pass, call, blankErrIndex(st.Lhs))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// blankErrIndex reports the index of the last LHS element if it is the
+// blank identifier, else -2 (meaning: error is bound, nothing to flag).
+// The error result of every guarded function is its final result, so
+// only the last position matters.
+func blankErrIndex(lhs []ast.Expr) int {
+	if len(lhs) == 0 {
+		return -2
+	}
+	if id, ok := lhs[len(lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+		return len(lhs) - 1
+	}
+	return -2
+}
+
+// check flags expr if it is a guarded call whose error is discarded.
+// errIdx -1 means every result is discarded (statement position);
+// errIdx >= 0 means the final LHS slot is blank; -2 means bound.
+func check(pass *analysis.Pass, expr ast.Expr, errIdx int) {
+	if errIdx == -2 {
+		return
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || !guardedPkgs[fn.Pkg().Path()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded error from %s.%s: spill/checkpoint I/O errors are part of the exact-once cleanup guarantee", fn.Pkg().Name(), fn.Name())
+}

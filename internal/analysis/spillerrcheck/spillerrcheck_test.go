@@ -1,0 +1,15 @@
+package spillerrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/spillerrcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", spillerrcheck.Analyzer,
+		"repro/internal/spill",  // the guarded API itself: no findings
+		"repro/internal/engine", // every discard shape, plus handled/waived
+	)
+}

@@ -1,0 +1,25 @@
+// Package cluster reproduces the harness's pre-linter shutdown leak: a
+// real 20ms sleep "waiting" for handlers to drain (cluster.go:358
+// before the Done-channel stop fence replaced it).
+package cluster
+
+import "time"
+
+// stopAll mirrors the old shutdown: stop every node, then hope 20ms of
+// wall time is enough for the serial handlers to process the Stop.
+func stopAll(stops []func()) {
+	for _, stop := range stops {
+		stop()
+	}
+	time.Sleep(20 * time.Millisecond) // want `wall clock: time\.Sleep outside the vclock allowlist`
+}
+
+// deadline mixes a read and a wait on one line.
+func deadline() bool {
+	return time.Now().After(time.Unix(0, 0)) // want `wall clock: time\.Now outside the vclock allowlist`
+}
+
+// watchdog carries an explicit waiver, so it is not reported.
+func watchdog() <-chan time.Time {
+	return time.After(5 * time.Second) //distqlint:allow vclockdiscipline: harness watchdog, wall time intended
+}

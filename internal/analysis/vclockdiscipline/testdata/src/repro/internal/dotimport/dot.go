@@ -1,0 +1,6 @@
+// Package dotimport hides the time package behind a dot-import, which
+// the analyzer rejects outright: unqualified Now()/Sleep() calls cannot
+// be audited for wall-clock use.
+package dotimport
+
+import . "time" // want `dot-import of time hides wall-clock calls from review`

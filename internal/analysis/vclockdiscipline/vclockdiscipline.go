@@ -1,0 +1,102 @@
+// Package vclockdiscipline forbids direct wall-clock reads and waits so
+// that all simulation timing flows through vclock.Clock. The paper's
+// experiments replay with a compressed virtual clock; one stray
+// time.Sleep makes a 40-virtual-minute run take real minutes and makes
+// Manual-clock unit tests nondeterministic.
+//
+// Forbidden outside the allowlist: time.Now, time.Sleep, time.After,
+// time.AfterFunc, time.Since, time.Until, time.Tick, time.NewTicker,
+// time.NewTimer. Types, constants and conversions (time.Duration,
+// time.Millisecond, ...) remain free.
+//
+// Allowlisted packages, which are the sanctioned wall-clock doorways:
+//
+//	repro/internal/vclock    — implements virtual time and the Wall* helpers
+//	repro/internal/obs       — wall-stamps on spans alongside virtual stamps
+//	repro/internal/transport — wall-clock send-latency probes
+//	repro/internal/monitor   — human-facing uptime on /stats
+//
+// Anything else uses vclock.Clock for simulation timing and the
+// vclock.Wall* helpers for watchdogs, demo pacing and log tickers, or
+// carries an explicit //distqlint:allow vclockdiscipline waiver.
+package vclockdiscipline
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// forbidden lists the time package's clock-reading and waiting functions.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// allowlist names the packages permitted to touch the wall clock.
+var allowlist = map[string]bool{
+	"repro/internal/vclock":    true,
+	"repro/internal/obs":       true,
+	"repro/internal/transport": true,
+	"repro/internal/monitor":   true,
+}
+
+// Analyzer implements the virtual-time discipline check.
+var Analyzer = &analysis.Analyzer{
+	Name: "vclockdiscipline",
+	Doc:  "forbid wall-clock time.Now/Sleep/After/... outside the vclock allowlist",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if allowlist[pass.Path] {
+		return nil
+	}
+	for _, file := range pass.Files {
+		timeName, imported := analysis.ImportName(file, "time")
+		if !imported || timeName == "_" {
+			continue
+		}
+		if timeName == "." {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if imp, ok := n.(*ast.ImportSpec); ok && imp.Name != nil && imp.Name.Name == "." {
+					pass.Reportf(imp.Pos(), "dot-import of time hides wall-clock calls from review; import it qualified")
+					return false
+				}
+				return true
+			})
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			x, ok := sel.X.(*ast.Ident)
+			if !ok || !forbidden[sel.Sel.Name] {
+				return true
+			}
+			// Prefer type info (immune to shadowing); fall back to the
+			// import table when resolution failed.
+			if obj := pass.Info.Uses[x]; obj != nil {
+				pn, ok := obj.(*types.PkgName)
+				if !ok || pn.Imported().Path() != "time" {
+					return true
+				}
+			} else if x.Name != timeName {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "wall clock: time.%s outside the vclock allowlist; use vclock.Clock for simulation timing or vclock.Wall* for watchdogs and demo pacing", sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package vclockdiscipline_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/vclockdiscipline"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", vclockdiscipline.Analyzer,
+		"repro/internal/engine",    // the fixed engine.go:207 leak, reproduced
+		"repro/internal/cluster",   // the fixed cluster.go:358 leak, reproduced
+		"repro/internal/vclock",    // allowlisted: no findings
+		"repro/internal/dotimport", // dot-import of time
+	)
+}

@@ -226,7 +226,7 @@ func (e *enumerator) walk(input int, anyOld bool, minTs, maxTs vclock.Time) {
 // engine holds no resident state (e.g. everything was spilled). window
 // carries the join's sliding window (0 = unbounded).
 func Run(inputs int, store spill.Store, op *join.Operator, window time.Duration, emit join.EmitFunc) (Stats, error) {
-	start := time.Now()
+	start := vclock.WallNow()
 	var stats Stats
 	for _, id := range store.Groups() {
 		segs, err := store.Read(id)
@@ -247,6 +247,6 @@ func Run(inputs int, store spill.Store, op *join.Operator, window time.Duration,
 		stats.Tuples += res.Tuples
 		stats.Results += res.Results
 	}
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = vclock.WallSince(start)
 	return stats, nil
 }

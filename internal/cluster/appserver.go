@@ -64,6 +64,7 @@ func (a *AppServer) Attach(net transport.Network) error {
 }
 
 func (a *AppServer) handle(from partition.NodeID, msg proto.Message) {
+	//distq:handles appserver
 	switch m := msg.(type) {
 	case proto.ResultCount:
 		a.mu.Lock()
@@ -134,7 +135,7 @@ func (a *AppServer) RunCleanup(engines []partition.NodeID) (CleanupSummary, erro
 			return summary, err
 		}
 	}
-	timeout := time.After(120 * time.Second)
+	timeout := vclock.WallTimeout(120 * time.Second)
 	var failed []string
 	for range engines {
 		select {

@@ -348,14 +348,16 @@ func Run(cfg Config) (*Result, error) {
 		res.Cleanup = summary
 	}
 
-	// Stop timers before reading engine state.
+	// Stop timers before reading engine state. Stop is processed by each
+	// node's serial handler; waiting on the Done fences makes the
+	// subsequent state reads deterministic instead of racing a sleep.
 	coord.Stop()
+	stopped := []<-chan struct{}{coord.Done()}
 	for _, e := range engines {
 		e.Stop()
+		stopped = append(stopped, e.Done())
 	}
-	// The Stop messages are processed asynchronously; a short real wait
-	// lets the serial handlers finish their queues.
-	time.Sleep(20 * time.Millisecond)
+	AwaitStopped(5*time.Second, stopped...)
 
 	for node, e := range engines {
 		res.Memory[node] = coord.MemSeries(node)
@@ -381,4 +383,20 @@ func Run(cfg Config) (*Result, error) {
 		res.Duplicates = app.Duplicates()
 	}
 	return res, nil
+}
+
+// AwaitStopped waits for each fence channel to close, bounded overall
+// by a wall-clock watchdog (the fences are event-driven; the watchdog
+// only guards against a wedged handler). It reports whether every fence
+// closed in time.
+func AwaitStopped(watchdog time.Duration, fences ...<-chan struct{}) bool {
+	guard := vclock.WallTimeout(watchdog)
+	for _, ch := range fences {
+		select {
+		case <-ch:
+		case <-guard:
+			return false
+		}
+	}
+	return true
 }

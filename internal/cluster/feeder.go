@@ -60,6 +60,7 @@ func (f *feeder) handle(from partition.NodeID, msg proto.Message) {
 		}
 		return
 	}
+	//distq:handles generator
 	switch m := msg.(type) {
 	case proto.DrainAck:
 		f.drainCh <- m
@@ -110,7 +111,7 @@ func (f *feeder) quiesce(coordinatorNode partition.NodeID) error {
 	select {
 	case <-f.quiesceCh:
 		return nil
-	case <-time.After(30 * time.Second):
+	case <-vclock.WallTimeout(30 * time.Second):
 		return fmt.Errorf("cluster: quiesce timed out")
 	}
 }
@@ -133,7 +134,7 @@ func (f *feeder) drain(engines []partition.NodeID) error {
 	for _, node := range engines {
 		pending[node] = true
 	}
-	timeout := time.After(60 * time.Second)
+	timeout := vclock.WallTimeout(60 * time.Second)
 	for len(pending) > 0 {
 		select {
 		case ack := <-f.drainCh:

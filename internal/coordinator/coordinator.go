@@ -90,6 +90,9 @@ type Coordinator struct {
 
 	ticker  *vclock.Ticker
 	stopped bool
+	// done closes when the serial handler has processed Stop, fencing
+	// post-run state reads without wall-clock sleeps.
+	done chan struct{}
 }
 
 // New builds a coordinator; Attach must be called before Start.
@@ -110,6 +113,7 @@ func New(cfg Config, clock vclock.Clock) (*Coordinator, error) {
 		events:  stats.NewEventLog(),
 		reg:     obs.NewRegistry(),
 		tracer:  obs.NewTracer(0),
+		done:    make(chan struct{}),
 	}
 	for _, n := range cfg.Engines {
 		c.engines[n] = &engineInfo{memSeries: stats.NewSeries(string(n))}
@@ -423,7 +427,12 @@ func (c *Coordinator) shutdown() {
 	if c.ticker != nil {
 		c.ticker.Stop()
 	}
+	close(c.done)
 }
+
+// Done closes once the coordinator's handler has processed Stop; the
+// harness waits on it before reading coordinator state.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
 
 // Stop halts the coordinator's timer via its own handler.
 func (c *Coordinator) Stop() {

@@ -8,7 +8,112 @@ import (
 	"repro/internal/core"
 	"repro/internal/partition"
 	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/vclock"
 )
+
+// FuzzCoordinatorProtocol replays byte-decoded protocol traffic
+// synchronously through Coordinator.Handle — two bytes per message, one
+// selecting the message type, one the sender/epoch/partition — and
+// asserts the safety invariant every adaptation strategy leans on: the
+// master partition map always assigns every partition to a configured
+// engine, whatever order (or nonsense) the protocol messages arrive in.
+//
+// make check runs this as a short smoke (`make fuzz-smoke`); the grown
+// corpus lives in testdata/fuzz/FuzzCoordinatorProtocol.
+func FuzzCoordinatorProtocol(f *testing.F) {
+	// Seeds: a stats/tick round, a full relocation handshake, a forced
+	// spill + quiesce, and epoch/partition garbage.
+	f.Add([]byte{0, 0, 0, 1, 1, 0})
+	f.Add([]byte{0, 0, 0, 1, 1, 0, 3, 64, 3, 65, 2, 64, 2, 67, 4, 64, 4, 65, 5, 64})
+	f.Add([]byte{6, 0, 8, 0, 7, 1, 9, 3})
+	f.Add([]byte{2, 255, 2, 14, 4, 192, 5, 255, 3, 0, 10, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		coord, pmap := newFuzzRig(t)
+		engines := []partition.NodeID{"m1", "m2"}
+		if len(data) > 256 {
+			data = data[:256]
+		}
+		for i := 0; i+1 < len(data); i += 2 {
+			op, sel := data[i], data[i+1]
+			from := engines[int(sel&1)]
+			epoch := uint64(sel >> 6)
+			var msg proto.Message
+			switch op % 11 {
+			case 0:
+				msg = proto.StatsReport{Node: from, MemBytes: int64(sel) * 16, Groups: 4, Output: uint64(i)}
+			case 1:
+				msg = proto.Tick{Kind: proto.TickLB}
+			case 2:
+				// Partition may be out of range (the map has 8).
+				msg = proto.PtV{Epoch: epoch, Node: from, Partitions: []partition.ID{partition.ID(sel % 16)}}
+			case 3:
+				msg = proto.MarkerAck{Epoch: epoch, Node: from}
+			case 4:
+				msg = proto.Installed{Epoch: epoch, Node: from}
+			case 5:
+				msg = proto.RemapAck{Epoch: epoch}
+			case 6:
+				msg = proto.SpillDone{Node: from, Bytes: int64(sel)}
+			case 7:
+				msg = proto.Hello{Node: from, Kind: proto.KindEngine}
+			case 8:
+				from = "gen"
+				msg = proto.Quiesce{}
+			case 9:
+				// Not a coordinator message: must be ignored, not crash.
+				msg = proto.ResultCount{Delta: uint64(sel)}
+			case 10:
+				msg = proto.Stop{}
+			}
+			coord.Handle(from, msg)
+			for id := 0; id < pmap.N(); id++ {
+				owner, err := pmap.Owner(partition.ID(id))
+				if err != nil {
+					t.Fatalf("op %d (%T): partition %d: %v", i/2, msg, id, err)
+				}
+				if owner != "m1" && owner != "m2" {
+					t.Fatalf("op %d (%T): partition %d owned by unknown node %q", i/2, msg, id, owner)
+				}
+			}
+		}
+	})
+}
+
+// newFuzzRig builds a coordinator whose handler the fuzz target calls
+// directly (synchronously, single-threaded): the timer is never armed
+// and the peers discard replies, so no goroutine touches the
+// coordinator concurrently and every input replays deterministically.
+func newFuzzRig(t *testing.T) (*Coordinator, *partition.Map) {
+	t.Helper()
+	net := transport.NewInproc()
+	t.Cleanup(func() { net.Close() })
+	engines := []partition.NodeID{"m1", "m2"}
+	pmap, err := partition.NewMap(8, partition.UniformAssign(engines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{
+		Node:       "gc",
+		SplitHost:  "gen",
+		Engines:    engines,
+		Strategy:   lazy(),
+		Map:        pmap,
+		LBInterval: time.Hour,
+	}, vclock.NewManual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Attach(net); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []partition.NodeID{"m1", "m2", "gen"} {
+		if _, err := net.Attach(n, func(partition.NodeID, proto.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return coord, pmap
+}
 
 // TestProtocolRobustToRandomMessages bombards the coordinator with
 // randomized, partly nonsensical protocol traffic and verifies two safety

@@ -129,6 +129,9 @@ type Engine struct {
 
 	tickers []*vclock.Ticker
 	stopped bool
+	// done closes when the serial handler has processed Stop, fencing
+	// post-run state reads without wall-clock sleeps.
+	done chan struct{}
 
 	// lastReport is the most recent statistics snapshot, readable from
 	// other goroutines (monitoring endpoints).
@@ -150,6 +153,7 @@ func New(cfg Config, clock vclock.Clock) *Engine {
 		events: stats.NewEventLog(),
 		reg:    obs.NewRegistry(),
 		tracer: obs.NewTracer(0),
+		done:   make(chan struct{}),
 	}
 	e.reg.Help("distq_engine_spills_total", "spill cycles, by kind (local|forced)")
 	e.reg.Help("distq_engine_spill_bytes_total", "bytes moved to disk by spills, by kind")
@@ -204,7 +208,7 @@ func (e *Engine) Start() error {
 	if err := e.ep.Send(e.cfg.Coordinator, hello); err != nil {
 		go func() {
 			for i := 0; i < 20; i++ {
-				time.Sleep(250 * time.Millisecond)
+				e.clock.Sleep(250 * time.Millisecond)
 				if e.ep.Send(e.cfg.Coordinator, hello) == nil {
 					return
 				}
@@ -599,7 +603,12 @@ func (e *Engine) shutdown() {
 	for _, tk := range e.tickers {
 		tk.Stop()
 	}
+	close(e.done)
 }
+
+// Done closes once the engine's handler has processed Stop; the harness
+// waits on it before reading engine state.
+func (e *Engine) Done() <-chan struct{} { return e.done }
 
 // Stop halts the engine's timers (idempotent, callable from any
 // goroutine once the experiment is over).

@@ -43,6 +43,8 @@ func (k Kind) String() string {
 type Message any
 
 // Hello registers a node with the coordinator.
+//
+//distq:handledby coordinator
 type Hello struct {
 	Node partition.NodeID
 	Kind Kind
@@ -50,6 +52,8 @@ type Hello struct {
 
 // Data carries an encoded tuple.Batch from a split operator to a query
 // engine, stamped with the partition map version it was routed under.
+//
+//distq:handledby engine
 type Data struct {
 	Payload    []byte
 	MapVersion uint64
@@ -60,12 +64,16 @@ type Data struct {
 // the transport is FIFO per sender-receiver pair, receiving the marker
 // guarantees the sender engine has processed every earlier tuple for the
 // moving partitions (relocation protocol step 3/4).
+//
+//distq:handledby engine
 type PauseMarker struct {
 	Epoch uint64
 }
 
 // MarkerAck tells the coordinator the relocation sender drained its data
 // path (step 4).
+//
+//distq:handledby coordinator
 type MarkerAck struct {
 	Epoch uint64
 	Node  partition.NodeID
@@ -75,6 +83,8 @@ type MarkerAck struct {
 // the coordinator on its sr_timer: memory usage, group count, and the
 // cumulative result count (the coordinator differentiates it into the
 // productivity rate R).
+//
+//distq:handledby coordinator
 type StatsReport struct {
 	Node         partition.NodeID
 	MemBytes     int64
@@ -87,6 +97,8 @@ type StatsReport struct {
 
 // ResultCount reports a batch of produced results from an engine to the
 // application server (count-only mode).
+//
+//distq:handledby appserver
 type ResultCount struct {
 	Node  partition.NodeID
 	Delta uint64
@@ -94,6 +106,8 @@ type ResultCount struct {
 
 // ResultData carries encoded tuple.Result values to the application
 // server (materializing mode, used by exactness tests and examples).
+//
+//distq:handledby appserver
 type ResultData struct {
 	Node    partition.NodeID
 	Payload []byte
@@ -111,6 +125,8 @@ const (
 
 // CptV asks the relocation sender to compute the partition groups to move
 // (step 1, "cptv" in Algorithms 1 and 2).
+//
+//distq:handledby engine
 type CptV struct {
 	Epoch    uint64
 	Amount   int64
@@ -118,6 +134,8 @@ type CptV struct {
 }
 
 // PtV returns the chosen partition groups to the coordinator (step 2).
+//
+//distq:handledby coordinator
 type PtV struct {
 	Epoch      uint64
 	Node       partition.NodeID
@@ -126,6 +144,8 @@ type PtV struct {
 
 // Pause tells the split host to buffer tuples of the moving partitions
 // and emit a PauseMarker to the current owner (step 3).
+//
+//distq:handledby splithost
 type Pause struct {
 	Epoch      uint64
 	Partitions []partition.ID
@@ -134,6 +154,8 @@ type Pause struct {
 
 // SendStates tells the sender to transfer the moving groups to the
 // receiver (step 5).
+//
+//distq:handledby engine
 type SendStates struct {
 	Epoch      uint64
 	Partitions []partition.ID
@@ -144,6 +166,8 @@ type SendStates struct {
 // generation snapshots and any disk-resident segments, each encoded with
 // join.EncodeSnapshot. Disk segments follow the group so cleanup stays
 // local to the group's final owner (step 6).
+//
+//distq:handledby engine
 type StateTransfer struct {
 	Epoch    uint64
 	Resident [][]byte
@@ -152,6 +176,8 @@ type StateTransfer struct {
 
 // Installed tells the coordinator the receiver installed the transferred
 // state (step 6 ack).
+//
+//distq:handledby coordinator
 type Installed struct {
 	Epoch uint64
 	Node  partition.NodeID
@@ -159,6 +185,8 @@ type Installed struct {
 
 // Remap updates the split host's partition map to the new owner and
 // releases the buffered tuples (step 7).
+//
+//distq:handledby splithost
 type Remap struct {
 	Epoch      uint64
 	Partitions []partition.ID
@@ -167,28 +195,38 @@ type Remap struct {
 }
 
 // RemapAck completes the relocation (step 8).
+//
+//distq:handledby coordinator
 type RemapAck struct {
 	Epoch uint64
 }
 
 // ForceSpill is the coordinator's active-disk command: the engine must
 // push Amount bytes of its least productive groups to disk.
+//
+//distq:handledby engine
 type ForceSpill struct {
 	Amount int64
 }
 
 // SpillDone acknowledges a forced spill.
+//
+//distq:handledby coordinator
 type SpillDone struct {
 	Node  partition.NodeID
 	Bytes int64
 }
 
 // StartCleanup tells an engine to run its disk-phase cleanup.
+//
+//distq:handledby engine
 type StartCleanup struct{}
 
 // CleanupDone reports an engine's cleanup outcome. A non-empty Error
 // means the cleanup aborted (e.g. a corrupted segment failed its
 // checksum) and the counters cover only the work completed before.
+//
+//distq:handledby appserver
 type CleanupDone struct {
 	Node      partition.NodeID
 	Groups    int
@@ -200,11 +238,15 @@ type CleanupDone struct {
 }
 
 // Stop shuts a node down at the end of an experiment.
+//
+//distq:handledby coordinator, engine
 type Stop struct{}
 
 // Tick is a node's self-addressed timer message: routing timers through
 // the transport keeps every node single-threaded (timers and messages are
 // processed by the same serial handler).
+//
+//distq:handledby coordinator, engine
 type Tick struct {
 	Kind string
 }
@@ -219,11 +261,15 @@ const (
 // Drain asks an engine to finish processing everything already on its
 // (FIFO) data path and acknowledge; the experiment harness uses it to
 // fence the run-time phase before starting cleanup.
+//
+//distq:handledby engine, appserver
 type Drain struct {
 	Token uint64
 }
 
 // DrainAck acknowledges a Drain.
+//
+//distq:handledby generator
 type DrainAck struct {
 	Token uint64
 	Node  partition.NodeID
@@ -232,9 +278,13 @@ type DrainAck struct {
 // Quiesce asks the coordinator to stop starting new adaptations and to
 // acknowledge once no adaptation is in flight. The harness fences the
 // run-time phase with it: quiesce, then drain, then cleanup.
+//
+//distq:handledby coordinator
 type Quiesce struct{}
 
 // QuiesceAck acknowledges a Quiesce once the coordinator is idle.
+//
+//distq:handledby generator
 type QuiesceAck struct{}
 
 func init() {

@@ -160,6 +160,7 @@ func (r *Router) Owner(id partition.ID) partition.NodeID {
 // HandleControl processes Pause and Remap messages, reporting whether the
 // message was one of the router's.
 func (r *Router) HandleControl(msg proto.Message) (bool, error) {
+	//distq:handles splithost
 	switch m := msg.(type) {
 	case proto.Pause:
 		return true, r.pause(m)

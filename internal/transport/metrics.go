@@ -83,6 +83,7 @@ type Instrumentable interface {
 // transport reports exact frame sizes instead.
 func approxSize(msg proto.Message) int {
 	const envelope = 64
+	//distqlint:allow protoexhaustive: size estimator over payload-bearing types, not a handler
 	switch m := msg.(type) {
 	case proto.Data:
 		return envelope + len(m.Payload)

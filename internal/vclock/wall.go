@@ -1,0 +1,35 @@
+package vclock
+
+import "time"
+
+// This file is the repo's single sanctioned doorway to the wall clock.
+//
+// Simulation logic must read time through a Clock so experiments stay
+// deterministic and compressible; the distqlint vclockdiscipline analyzer
+// rejects direct time.Now/Sleep/After/Ticker calls outside a small
+// allowlist (this package, obs wall-stamps, transport latency probes,
+// monitor). Code that genuinely needs wall time — hang watchdogs around
+// cross-process RPCs, demo pacing, log tickers — calls these helpers
+// instead, which keeps every wall-clock dependency greppable in one
+// place and visibly distinct from virtual-time waits.
+
+// WallNow returns the current wall-clock time. Use it only for
+// measurements reported to humans (e.g. real cleanup-phase duration),
+// never to drive simulation logic.
+func WallNow() time.Time { return time.Now() }
+
+// WallSince reports the wall-clock duration elapsed since t.
+func WallSince(t time.Time) time.Duration { return time.Since(t) }
+
+// WallSleep blocks for a wall-clock duration. Use it only where real
+// elapsed time is the point (demo pacing, cross-process grace waits).
+func WallSleep(d time.Duration) { time.Sleep(d) }
+
+// WallTimeout returns a channel that fires after a wall-clock duration.
+// It exists for watchdogs guarding against hangs (a remote peer that
+// never answers); protocol waits themselves must be event-driven.
+func WallTimeout(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// WallTicker returns a ticker firing every wall-clock duration d, for
+// human-facing periodic output such as progress logs.
+func WallTicker(d time.Duration) *time.Ticker { return time.NewTicker(d) }
