@@ -4,9 +4,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build lint test test-race fuzz-smoke
+.PHONY: check vet build lint test test-race chaos-smoke fuzz-smoke
 
-check: vet build lint test-race fuzz-smoke
+check: vet build lint test-race chaos-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,13 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# chaos-smoke replays the seeded fault-injection matrix (fixed seeds,
+# PROTOCOL.md "Failure model"): randomized control-plane drop/dup/delay
+# schedules plus the crash/checkpoint-recovery script must preserve
+# liveness and exact results. -count=1 forces a live run.
+chaos-smoke:
+	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery' ./internal/experiments
 
 # fuzz-smoke gives the coordinator protocol fuzzer a short budget on
 # top of replaying the committed corpus (testdata/fuzz). Grown inputs

@@ -23,6 +23,7 @@ import (
 	"repro/internal/analysis/componentboundary"
 	"repro/internal/analysis/obsnaming"
 	"repro/internal/analysis/protoexhaustive"
+	"repro/internal/analysis/senderrcheck"
 	"repro/internal/analysis/spillerrcheck"
 	"repro/internal/analysis/vclockdiscipline"
 )
@@ -32,6 +33,7 @@ var all = []*analysis.Analyzer{
 	componentboundary.Analyzer,
 	obsnaming.Analyzer,
 	protoexhaustive.Analyzer,
+	senderrcheck.Analyzer,
 	spillerrcheck.Analyzer,
 	vclockdiscipline.Analyzer,
 }

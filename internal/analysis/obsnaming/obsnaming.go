@@ -4,8 +4,8 @@
 //
 //   - metric names registered via Registry.Counter/Gauge/Histogram/Help
 //     follow distq_<node_kind>_<name> with node_kind one of
-//     coordinator, engine, generator, appserver, and <name> in
-//     snake_case;
+//     coordinator, engine, generator, appserver, network, and <name>
+//     in snake_case;
 //   - counters end in _total; histograms end in a unit suffix
 //     (_seconds, _vseconds, _bytes, _ns);
 //   - names built by concatenation (the transport's per-kind prefix)
@@ -34,7 +34,7 @@ import (
 const ObsPath = "repro/internal/obs"
 
 var (
-	fullMetricRE = regexp.MustCompile(`^distq_(coordinator|engine|generator|appserver)_[a-z0-9]+(_[a-z0-9]+)*$`)
+	fullMetricRE = regexp.MustCompile(`^distq_(coordinator|engine|generator|appserver|network)_[a-z0-9]+(_[a-z0-9]+)*$`)
 	fragmentRE   = regexp.MustCompile(`^[a-z0-9_]+$`)
 	spanNameRE   = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
 )
@@ -149,7 +149,7 @@ func checkFull(pass *analysis.Pass, kind, name string, pos token.Pos) {
 		return
 	default:
 		if !fullMetricRE.MatchString(name) {
-			pass.Reportf(pos, "metric name %q does not follow distq_<node_kind>_<snake_case> (node_kind: coordinator|engine|generator|appserver)", name)
+			pass.Reportf(pos, "metric name %q does not follow distq_<node_kind>_<snake_case> (node_kind: coordinator|engine|generator|appserver|network)", name)
 			return
 		}
 		checkSuffix(pass, kind, name, pos)

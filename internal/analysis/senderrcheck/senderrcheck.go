@@ -1,0 +1,126 @@
+// Package senderrcheck forbids discarding the error result of a
+// transport Send. Every protocol step in this codebase travels through
+// transport.Endpoint.Send; a swallowed send error is a message the
+// sender believes delivered and the receiver never saw — exactly the
+// silent stall the relocation timeout/abort machinery exists to make
+// loud. Send errors must be returned, logged through a component's
+// error path, or explicitly waived.
+//
+// A call is flagged when its callee is a method named Send with the
+// endpoint signature — func(partition.NodeID, proto.Message) error —
+// on any receiver (the transport.Endpoint interface or a concrete
+// endpoint), and that error is discarded: the call stands alone as a
+// statement (including go/defer), or the error's position on the left
+// side of an assignment is the blank identifier.
+//
+// Deliberate discards (best-effort sends on shutdown paths, fault
+// injection that models loss) carry a //distqlint:allow senderrcheck
+// waiver with a rationale.
+package senderrcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Parameter types identifying the endpoint Send signature.
+const (
+	nodeIDType  = "repro/internal/partition.NodeID"
+	messageType = "repro/internal/proto.Message"
+)
+
+// Analyzer implements the transport send error check.
+var Analyzer = &analysis.Analyzer{
+	Name: "senderrcheck",
+	Doc:  "errors from transport Endpoint.Send must be handled, not discarded",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				check(pass, st.X, -1)
+			case *ast.GoStmt:
+				check(pass, st.Call, -1)
+			case *ast.DeferStmt:
+				check(pass, st.Call, -1)
+			case *ast.AssignStmt:
+				if len(st.Rhs) == 1 {
+					if call, ok := st.Rhs[0].(*ast.CallExpr); ok {
+						check(pass, call, blankErrIndex(st.Lhs))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// blankErrIndex reports the index of the last LHS element if it is the
+// blank identifier, else -2 (meaning: error is bound, nothing to flag).
+// Send's error is its only result, so only the last position matters.
+func blankErrIndex(lhs []ast.Expr) int {
+	if len(lhs) == 0 {
+		return -2
+	}
+	if id, ok := lhs[len(lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+		return len(lhs) - 1
+	}
+	return -2
+}
+
+// check flags expr if it is an endpoint Send whose error is discarded.
+// errIdx -1 means every result is discarded (statement position);
+// errIdx >= 0 means the final LHS slot is blank; -2 means bound.
+func check(pass *analysis.Pass, expr ast.Expr, errIdx int) {
+	if errIdx == -2 {
+		return
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != "Send" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	params := sig.Params()
+	if params.Len() != 2 ||
+		params.At(0).Type().String() != nodeIDType ||
+		params.At(1).Type().String() != messageType {
+		return
+	}
+	results := sig.Results()
+	if results.Len() != 1 {
+		return
+	}
+	named, ok := results.At(0).Type().(*types.Named)
+	if !ok || named.Obj().Pkg() != nil || named.Obj().Name() != "error" {
+		return
+	}
+	pass.Reportf(call.Pos(), "discarded error from %s: an unhandled send failure is a silent protocol stall", types.TypeString(sig.Recv().Type(), relativeTo(pass)))
+}
+
+// relativeTo shortens receiver types from the package under analysis.
+func relativeTo(pass *analysis.Pass) types.Qualifier {
+	return func(p *types.Package) string {
+		if p == pass.Pkg {
+			return ""
+		}
+		return p.Name()
+	}
+}

@@ -1,0 +1,15 @@
+package senderrcheck_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/senderrcheck"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", senderrcheck.Analyzer,
+		"repro/internal/transport",   // the guarded API itself: no findings
+		"repro/internal/coordinator", // every discard shape, plus handled/waived/lookalike
+	)
+}

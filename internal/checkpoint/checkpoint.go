@@ -4,6 +4,13 @@
 // fresh operator. Together with the reopenable file-backed spill store
 // this gives an engine a full cold-restart path: disk segments are
 // already durable, and the checkpoint covers the memory-resident part.
+//
+// Each Save writes a fresh generation directory (gen-<n>) and only then
+// atomically repoints the CURRENT file at it, so a crash mid-save —
+// even mid-rename — leaves CURRENT on the previous complete
+// generation. Load never trusts anything CURRENT does not point to; a
+// half-written gen-<n>.tmp directory is invisible to it and swept by
+// the next Save.
 package checkpoint
 
 import (
@@ -11,31 +18,39 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/join"
 	"repro/internal/partition"
 )
 
-// filePattern names one group's checkpoint file.
+// filePattern names one group's checkpoint file inside a generation.
 const filePattern = "ckpt-g%d.bin"
 
-// Save writes op's resident partition groups into dir, replacing any
-// previous checkpoint there. It returns the number of groups written.
-// Save must not run concurrently with the engine's handler; call it
-// after the engine is stopped or drained.
+// currentFile is the pointer file naming the committed generation.
+const currentFile = "CURRENT"
+
+// genPrefix names generation directories gen-<n>.
+const genPrefix = "gen-"
+
+// Save writes op's resident partition groups as a new checkpoint
+// generation under dir and atomically commits it. It returns the number
+// of groups written. Save must not run concurrently with the engine's
+// handler; call it after the engine is stopped or drained.
 func Save(op *join.Operator, dir string) (int, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return 0, fmt.Errorf("checkpoint: create dir: %w", err)
 	}
-	// Drop stale files from a previous checkpoint first.
-	old, err := filepath.Glob(filepath.Join(dir, "ckpt-g*.bin"))
-	if err != nil {
-		return 0, fmt.Errorf("checkpoint: scan dir: %w", err)
+	gen := nextGen(dir)
+	genDir := filepath.Join(dir, genPrefix+strconv.FormatUint(gen, 10))
+	tmpDir := genDir + ".tmp"
+	// A leftover .tmp from a crashed save is garbage; rebuild it.
+	if err := os.RemoveAll(tmpDir); err != nil {
+		return 0, fmt.Errorf("checkpoint: clear stale temp: %w", err)
 	}
-	for _, f := range old {
-		if err := os.Remove(f); err != nil {
-			return 0, fmt.Errorf("checkpoint: clear stale file: %w", err)
-		}
+	if err := os.MkdirAll(tmpDir, 0o755); err != nil {
+		return 0, fmt.Errorf("checkpoint: create temp: %w", err)
 	}
 	n := 0
 	for _, id := range op.ResidentIDs() {
@@ -43,24 +58,45 @@ func Save(op *join.Operator, dir string) (int, error) {
 		if snap == nil {
 			continue
 		}
-		path := filepath.Join(dir, fmt.Sprintf(filePattern, id))
-		tmp := path + ".tmp"
-		if err := os.WriteFile(tmp, join.EncodeSnapshot(snap), 0o644); err != nil {
-			return n, fmt.Errorf("checkpoint: write group %d: %w", id, err)
-		}
-		if err := os.Rename(tmp, path); err != nil {
-			return n, fmt.Errorf("checkpoint: publish group %d: %w", id, err)
+		path := filepath.Join(tmpDir, fmt.Sprintf(filePattern, id))
+		if err := os.WriteFile(path, join.EncodeSnapshot(snap), 0o644); err != nil {
+			return 0, fmt.Errorf("checkpoint: write group %d: %w", id, err)
 		}
 		n++
 	}
+	if err := os.Rename(tmpDir, genDir); err != nil {
+		return 0, fmt.Errorf("checkpoint: publish generation %d: %w", gen, err)
+	}
+	if err := writeCurrent(dir, gen); err != nil {
+		return 0, err
+	}
+	pruneOld(dir, gen)
 	return n, nil
 }
 
-// Load restores a checkpoint from dir into op (which must not already
-// hold any of the checkpointed groups). It returns the number of groups
-// installed; a missing or empty directory restores nothing.
+// Load restores the committed checkpoint generation from dir into op
+// (which must not already hold any of the checkpointed groups). It
+// returns the number of groups installed; a directory with no committed
+// checkpoint restores nothing. Directories written by older versions of
+// this package (flat ckpt-g*.bin files, no CURRENT) still load.
 func Load(op *join.Operator, dir string) (int, error) {
-	entries, err := filepath.Glob(filepath.Join(dir, "ckpt-g*.bin"))
+	gen, ok, err := readCurrent(dir)
+	if err != nil {
+		return 0, err
+	}
+	src := dir
+	if ok {
+		src = filepath.Join(dir, genPrefix+strconv.FormatUint(gen, 10))
+		if _, err := os.Stat(src); err != nil {
+			return 0, fmt.Errorf("checkpoint: committed generation %d missing: %w", gen, err)
+		}
+	}
+	return loadFrom(op, src)
+}
+
+// loadFrom installs every group file in src into op.
+func loadFrom(op *join.Operator, src string) (int, error) {
+	entries, err := filepath.Glob(filepath.Join(src, "ckpt-g*.bin"))
 	if err != nil {
 		return 0, fmt.Errorf("checkpoint: scan dir: %w", err)
 	}
@@ -86,4 +122,79 @@ func Load(op *join.Operator, dir string) (int, error) {
 		n++
 	}
 	return n, nil
+}
+
+// nextGen picks the first generation number above every existing
+// generation directory (committed or not), so a crashed, uncommitted
+// save never collides with a later one.
+func nextGen(dir string) uint64 {
+	var next uint64 = 1
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return next
+	}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.Name(), ".tmp")
+		if !strings.HasPrefix(name, genPrefix) {
+			continue
+		}
+		if n, err := strconv.ParseUint(strings.TrimPrefix(name, genPrefix), 10, 64); err == nil && n >= next {
+			next = n + 1
+		}
+	}
+	return next
+}
+
+// writeCurrent atomically repoints CURRENT at gen (temp + rename).
+func writeCurrent(dir string, gen uint64) error {
+	path := filepath.Join(dir, currentFile)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatUint(gen, 10)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write CURRENT: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("checkpoint: commit CURRENT: %w", err)
+	}
+	return nil
+}
+
+// readCurrent reads the committed generation number; ok is false when
+// no CURRENT file exists (empty dir or legacy flat layout).
+func readCurrent(dir string) (uint64, bool, error) {
+	buf, err := os.ReadFile(filepath.Join(dir, currentFile))
+	if os.IsNotExist(err) {
+		return 0, false, nil
+	}
+	if err != nil {
+		return 0, false, fmt.Errorf("checkpoint: read CURRENT: %w", err)
+	}
+	gen, err := strconv.ParseUint(strings.TrimSpace(string(buf)), 10, 64)
+	if err != nil {
+		return 0, false, fmt.Errorf("checkpoint: parse CURRENT: %w", err)
+	}
+	return gen, true, nil
+}
+
+// pruneOld removes superseded generations and stale temp directories.
+// Best-effort: a failure leaves garbage, never a broken checkpoint.
+func pruneOld(dir string, keep uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		name := e.Name()
+		stale := false
+		switch {
+		case strings.HasSuffix(name, ".tmp") && strings.HasPrefix(name, genPrefix):
+			stale = true
+		case strings.HasPrefix(name, genPrefix):
+			if n, err := strconv.ParseUint(strings.TrimPrefix(name, genPrefix), 10, 64); err == nil && n != keep {
+				stale = true
+			}
+		}
+		if stale {
+			_ = os.RemoveAll(filepath.Join(dir, name))
+		}
+	}
 }

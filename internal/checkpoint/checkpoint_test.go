@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -103,7 +104,7 @@ func TestLoadRejectsCorruptFile(t *testing.T) {
 	if _, err := Save(src, dir); err != nil {
 		t.Fatal(err)
 	}
-	files, _ := filepath.Glob(filepath.Join(dir, "ckpt-g*.bin"))
+	files, _ := filepath.Glob(filepath.Join(dir, "gen-*", "ckpt-g*.bin"))
 	buf, _ := os.ReadFile(files[0])
 	buf[len(buf)/2] ^= 0xff
 	os.WriteFile(files[0], buf, 0o644)
@@ -124,3 +125,72 @@ func TestLoadOntoOccupiedOperatorFails(t *testing.T) {
 		t.Fatal("load over resident groups succeeded")
 	}
 }
+
+func TestLoadIgnoresUncommittedGeneration(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	n, err := Save(src, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-save: a later generation exists fully
+	// written (and another one half-written as .tmp) but CURRENT was
+	// never repointed. Load must restore the committed generation.
+	for _, name := range []string{"gen-7", "gen-9.tmp"} {
+		d := filepath.Join(dir, name)
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(d, "ckpt-g0.bin"), []byte("torn write"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := join.New(2, partition.NewFunc(8), nil)
+	m, err := Load(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != n {
+		t.Fatalf("loaded %d groups, want committed generation's %d", m, n)
+	}
+}
+
+func TestSavePrunesSupersededGenerations(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	for i := 0; i < 3; i++ {
+		if _, err := Save(src, dir); err != nil {
+			t.Fatal(err)
+		}
+		src = buildOp(t)
+	}
+	gens, err := filepath.Glob(filepath.Join(dir, "gen-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 1 {
+		t.Fatalf("found %d generation dirs after 3 saves, want 1 (%v)", len(gens), gens)
+	}
+}
+
+func TestLoadLegacyFlatLayout(t *testing.T) {
+	dir := t.TempDir()
+	src := buildOp(t)
+	// Write one group the way the pre-generation layout did: a flat
+	// ckpt-g<id>.bin in the checkpoint dir, no CURRENT file.
+	id := src.ResidentIDs()[0]
+	snap := src.ResidentSnapshot(id)
+	if err := os.WriteFile(filepath.Join(dir, "ckpt-g"+itoa(int(id))+".bin"), join.EncodeSnapshot(snap), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dst := join.New(2, partition.NewFunc(8), nil)
+	n, err := Load(dst, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("legacy load restored %d groups, want 1", n)
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -6,13 +6,18 @@
 //
 // Run executes the paper's experiment shape: a run-time phase of a given
 // virtual duration, a quiesce + drain fence, and an optional cleanup
-// phase, returning the series and counters the figures plot.
+// phase, returning the series and counters the figures plot. For
+// fault-injection scripts that interleave feeding with crashes,
+// checkpoints and restarts, New returns a Cluster whose phases are
+// driven explicitly (Start / Feed / Checkpoint / Crash / Restart /
+// Quiesce / Drain / Finish).
 package cluster
 
 import (
 	"fmt"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/coordinator"
@@ -77,8 +82,20 @@ type Config struct {
 	// StoreDir, when set, gives each engine a file-backed segment store
 	// under StoreDir/<node>; empty means in-memory stores.
 	StoreDir string
-	// Network overrides the transport (default in-process).
+	// CheckpointDir, when set, gives each engine a checkpoint directory
+	// under CheckpointDir/<node>, enabling the Checkpoint message and
+	// crash recovery via Restart.
+	CheckpointDir string
+	// Network overrides the transport (default in-process). Wrap the
+	// default with transport/faulty and pass it here to inject faults.
 	Network transport.Network
+	// RelocTimeout / RelocMaxRetries / HeartbeatTimeout forward to the
+	// coordinator's hardening knobs (see coordinator.Config); at zero
+	// the relocation deadlines and heartbeat watchdog stay disarmed,
+	// which is right for the loss-free in-process transport.
+	RelocTimeout     time.Duration
+	RelocMaxRetries  int
+	HeartbeatTimeout time.Duration
 	// StatsInterval, SpillCheckInterval, LBInterval are the virtual
 	// timer periods (sr_timer, ss_timer, lb_timer).
 	StatsInterval      time.Duration
@@ -159,6 +176,14 @@ type Result struct {
 	ForcedSpills int
 	LocalSpills  map[partition.NodeID]int
 	SpilledBytes map[partition.NodeID]int64
+	// AbortedRelocations / UnresolvedRelocations count adaptations the
+	// coordinator rolled back cleanly vs. gave up on after exhausting
+	// retries (unresolved leaves partitions paused — always a finding).
+	AbortedRelocations    int
+	UnresolvedRelocations int
+	// CoordinatorErrors counts errors surfaced through the
+	// coordinator's error path (send failures, protocol violations).
+	CoordinatorErrors int
 	// Events merges all adaptation events.
 	Events []stats.Event
 	// Cleanup summarizes the disk phase (zero value if not run).
@@ -204,8 +229,49 @@ func appendNodeMetrics(dst []obs.MetricValue, node string, reg *obs.Registry) []
 	return dst
 }
 
-// Run executes one experiment.
-func Run(cfg Config) (*Result, error) {
+// isolater is the optional fault-injection surface of the transport
+// (implemented by transport/faulty). Crash and Restart use it so a
+// crashed node's traffic disappears like a dead machine's instead of
+// surfacing as addressing errors at every sender.
+type isolater interface {
+	Isolate(partition.NodeID)
+	Restore(partition.NodeID)
+}
+
+// Cluster is a wired experiment whose phases are driven explicitly.
+// All methods are meant to be called from one goroutine, in script
+// order; the cluster's nodes run concurrently underneath.
+type Cluster struct {
+	cfg   Config
+	clock vclock.Clock
+	net   transport.Network
+	// ownNet records whether Close should close the transport.
+	ownNet bool
+	gen    *workload.Generator
+	master *partition.Map
+	app    *AppServer
+	coord  *coordinator.Coordinator
+	feeder *feeder
+	instr  transport.Instrumentable
+
+	engines map[partition.NodeID]*engine.Engine
+	crashed map[partition.NodeID]bool
+	// retired keeps crashed engine instances so Finish can still merge
+	// their event logs and spans (their volatile state is gone, as on a
+	// real dead machine).
+	retired []*engine.Engine
+
+	errMu sync.Mutex
+	errs  []error
+
+	cleanup    CleanupSummary
+	ranCleanup bool
+	started    bool
+	finished   bool
+}
+
+// New wires a cluster without starting it.
+func New(cfg Config) (*Cluster, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -214,13 +280,20 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	clock := vclock.NewScaled(cfg.Scale)
-
-	net := cfg.Network
-	if net == nil {
-		net = transport.NewInproc()
-		defer net.Close()
+	c := &Cluster{
+		cfg:     cfg,
+		clock:   vclock.NewScaled(cfg.Scale),
+		gen:     gen,
+		engines: make(map[partition.NodeID]*engine.Engine, len(cfg.Engines)),
+		crashed: make(map[partition.NodeID]bool),
 	}
+
+	c.net = cfg.Network
+	if c.net == nil {
+		c.net = transport.NewInproc()
+		c.ownNet = true
+	}
+	c.instr, _ = c.net.(transport.Instrumentable)
 
 	// Initial partition placement.
 	assign := partition.UniformAssign(cfg.Engines)
@@ -230,159 +303,362 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
-	masterMap, err := partition.NewMap(cfg.Workload.Partitions, assign)
+	c.master, err = partition.NewMap(cfg.Workload.Partitions, assign)
 	if err != nil {
 		return nil, err
 	}
 
 	// Application server.
-	app := NewAppServer(clock, cfg.Materialize, nil)
-	if err := app.Attach(net); err != nil {
+	c.app = NewAppServer(c.clock, cfg.Materialize, nil)
+	if err := c.app.Attach(c.net); err != nil {
 		return nil, err
 	}
 
 	// Coordinator.
-	coord, err := coordinator.New(coordinator.Config{
-		Node:       CoordinatorNode,
-		SplitHost:  GeneratorNode,
-		Engines:    cfg.Engines,
-		Strategy:   cfg.Strategy,
-		Map:        masterMap,
-		LBInterval: cfg.LBInterval,
-	}, clock)
+	c.coord, err = coordinator.New(coordinator.Config{
+		Node:             CoordinatorNode,
+		SplitHost:        GeneratorNode,
+		Engines:          cfg.Engines,
+		Strategy:         cfg.Strategy,
+		Map:              c.master,
+		LBInterval:       cfg.LBInterval,
+		RelocTimeout:     cfg.RelocTimeout,
+		RelocMaxRetries:  cfg.RelocMaxRetries,
+		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		OnError:          c.recordErr,
+	}, c.clock)
 	if err != nil {
 		return nil, err
 	}
 	// Record transport metrics into each node's registry when the
 	// network supports instrumentation (both built-in transports do).
-	instr, _ := net.(transport.Instrumentable)
-	if instr != nil {
-		instr.Instrument(CoordinatorNode, transport.NewMetrics(coord.Registry(), "coordinator"))
+	if c.instr != nil {
+		c.instr.Instrument(CoordinatorNode, transport.NewMetrics(c.coord.Registry(), "coordinator"))
 	}
-	if err := coord.Attach(net); err != nil {
+	if err := c.coord.Attach(c.net); err != nil {
 		return nil, err
 	}
 
 	// Engines.
-	engines := make(map[partition.NodeID]*engine.Engine, len(cfg.Engines))
 	for _, node := range cfg.Engines {
-		var store spill.Store
-		if cfg.StoreDir != "" {
-			fs, err := spill.NewFileStore(filepath.Join(cfg.StoreDir, string(node)))
-			if err != nil {
-				return nil, err
-			}
-			store = fs
-		}
-		e := engine.New(engine.Config{
-			Node:               node,
-			Coordinator:        CoordinatorNode,
-			AppServer:          AppServerNode,
-			Inputs:             cfg.Workload.Streams,
-			Partitions:         cfg.Workload.Partitions,
-			Spill:              cfg.Spill,
-			LocalSpill:         cfg.LocalSpill,
-			Policy:             cfg.Policy(node),
-			Store:              store,
-			Materialize:        cfg.Materialize,
-			EnumerateResults:   cfg.EnumerateResults,
-			SmoothingAlpha:     cfg.SmoothingAlpha,
-			Window:             cfg.Window,
-			StatsInterval:      cfg.StatsInterval,
-			SpillCheckInterval: cfg.SpillCheckInterval,
-		}, clock)
-		if instr != nil {
-			instr.Instrument(node, transport.NewMetrics(e.Registry(), "engine"))
-		}
-		if err := e.Attach(net); err != nil {
-			return nil, err
-		}
-		engines[node] = e
-	}
-
-	// Generator node: feeder + split host.
-	feeder := newFeeder(clock, gen, cfg.FlushInterval)
-	owner, version := masterMap.Snapshot()
-	if err := feeder.attach(net, owner, version); err != nil {
-		return nil, err
-	}
-
-	// Start everything.
-	if err := coord.Start(); err != nil {
-		return nil, err
-	}
-	for _, e := range engines {
-		if err := e.Start(); err != nil {
-			return nil, err
-		}
-	}
-
-	// Run-time phase.
-	if err := feeder.run(cfg.Duration); err != nil {
-		return nil, err
-	}
-
-	// Fence: quiesce the coordinator, then drain every engine through
-	// the generator's data path (FIFO per pair ⇒ all data processed).
-	if err := feeder.quiesce(CoordinatorNode); err != nil {
-		return nil, err
-	}
-	if err := feeder.drain(cfg.Engines); err != nil {
-		return nil, err
-	}
-
-	res := &Result{
-		Throughput:   app.throughput,
-		Memory:       make(map[partition.NodeID]*stats.Series, len(engines)),
-		Generated:    feeder.generated(),
-		LocalSpills:  make(map[partition.NodeID]int, len(engines)),
-		SpilledBytes: make(map[partition.NodeID]int64, len(engines)),
-	}
-
-	// Cleanup phase.
-	if cfg.RunCleanup {
-		summary, err := app.RunCleanup(cfg.Engines)
+		e, err := c.buildEngine(node)
 		if err != nil {
 			return nil, err
 		}
-		res.Cleanup = summary
+		if err := e.Attach(c.net); err != nil {
+			return nil, err
+		}
+		c.engines[node] = e
 	}
+
+	// Generator node: feeder + split host.
+	c.feeder = newFeeder(c.clock, gen, cfg.FlushInterval)
+	owner, version := c.master.Snapshot()
+	if err := c.feeder.attach(c.net, owner, version); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// buildEngine constructs (but does not attach) one engine node from the
+// cluster config; Restart uses it to rebuild a crashed engine over the
+// same durable directories.
+func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
+	var store spill.Store
+	if c.cfg.StoreDir != "" {
+		fs, err := spill.NewFileStore(filepath.Join(c.cfg.StoreDir, string(node)))
+		if err != nil {
+			return nil, err
+		}
+		store = fs
+	}
+	ckptDir := ""
+	if c.cfg.CheckpointDir != "" {
+		ckptDir = filepath.Join(c.cfg.CheckpointDir, string(node))
+	}
+	e := engine.New(engine.Config{
+		Node:               node,
+		Coordinator:        CoordinatorNode,
+		AppServer:          AppServerNode,
+		Inputs:             c.cfg.Workload.Streams,
+		Partitions:         c.cfg.Workload.Partitions,
+		Spill:              c.cfg.Spill,
+		LocalSpill:         c.cfg.LocalSpill,
+		Policy:             c.cfg.Policy(node),
+		Store:              store,
+		Materialize:        c.cfg.Materialize,
+		EnumerateResults:   c.cfg.EnumerateResults,
+		SmoothingAlpha:     c.cfg.SmoothingAlpha,
+		Window:             c.cfg.Window,
+		StatsInterval:      c.cfg.StatsInterval,
+		SpillCheckInterval: c.cfg.SpillCheckInterval,
+		CheckpointDir:      ckptDir,
+	}, c.clock)
+	if c.instr != nil {
+		c.instr.Instrument(node, transport.NewMetrics(e.Registry(), "engine"))
+	}
+	return e, nil
+}
+
+func (c *Cluster) recordErr(err error) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	c.errs = append(c.errs, err)
+}
+
+// Errors returns the errors collected from the coordinator's error
+// path so far.
+func (c *Cluster) Errors() []error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	out := make([]error, len(c.errs))
+	copy(out, c.errs)
+	return out
+}
+
+// Clock exposes the cluster's virtual clock (for script pacing).
+func (c *Cluster) Clock() vclock.Clock { return c.clock }
+
+// EngineAlive reports the coordinator watchdog's view of node.
+func (c *Cluster) EngineAlive(node partition.NodeID) bool { return c.coord.EngineAlive(node) }
+
+// PendingResumes reports how many revival remaps the coordinator still
+// has in flight (see coordinator.PendingResumes).
+func (c *Cluster) PendingResumes() int { return c.coord.PendingResumes() }
+
+// Start launches the coordinator and all engines.
+func (c *Cluster) Start() error {
+	if c.started {
+		return fmt.Errorf("cluster: already started")
+	}
+	c.started = true
+	if err := c.coord.Start(); err != nil {
+		return err
+	}
+	for _, e := range c.engines {
+		if err := e.Start(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Feed paces the synthetic streams for a further virtual duration,
+// continuing the schedule where the previous Feed ended.
+func (c *Cluster) Feed(d time.Duration) error { return c.feeder.feed(d) }
+
+// Idle lets the cluster run without input for a virtual duration (e.g.
+// waiting out the heartbeat watchdog after a crash).
+func (c *Cluster) Idle(d time.Duration) { c.clock.Sleep(d) }
+
+// Await polls cond on the virtual clock until it holds, bounded by a
+// wall-clock guard. It reports whether cond held in time.
+func (c *Cluster) Await(watchdog time.Duration, cond func() bool) bool {
+	guard := vclock.WallTimeout(watchdog)
+	for !cond() {
+		select {
+		case <-guard:
+			return false
+		default:
+		}
+		c.clock.Sleep(50 * time.Millisecond)
+	}
+	return true
+}
+
+// Quiesce fences the coordinator: no further adaptations start, and any
+// in-flight relocation has completed or aborted.
+func (c *Cluster) Quiesce() error { return c.feeder.quiesce(CoordinatorNode) }
+
+// Drain fences the data path through every live engine and the
+// application server. Crashed engines are skipped: their unprocessed
+// input is gone, which is exactly what crash tests measure.
+func (c *Cluster) Drain() error {
+	live := make([]partition.NodeID, 0, len(c.cfg.Engines))
+	for _, node := range c.cfg.Engines {
+		if !c.crashed[node] {
+			live = append(live, node)
+		}
+	}
+	return c.feeder.drain(live)
+}
+
+// Checkpoint asks node to persist its operator state, waiting for the
+// acknowledgment. Call after a Drain fence so the checkpoint captures
+// exactly the tuples fed so far.
+func (c *Cluster) Checkpoint(node partition.NodeID) (proto.CheckpointDone, error) {
+	return c.feeder.checkpoint(node)
+}
+
+// Crash kills an engine without any shutdown protocol: its endpoint
+// closes, its volatile state is lost, and (when the transport supports
+// isolation) traffic to and from it blackholes like a dead machine's.
+func (c *Cluster) Crash(node partition.NodeID) error {
+	e := c.engines[node]
+	if e == nil {
+		return fmt.Errorf("cluster: unknown engine %s", node)
+	}
+	if c.crashed[node] {
+		return fmt.Errorf("cluster: engine %s already crashed", node)
+	}
+	if iso, ok := c.net.(isolater); ok {
+		iso.Isolate(node)
+	}
+	e.Crash()
+	c.crashed[node] = true
+	c.retired = append(c.retired, e)
+	return nil
+}
+
+// Restart rebuilds a crashed engine over its durable directories,
+// restores the latest checkpoint generation, and rejoins it to the
+// cluster. The engine's Hello triggers the coordinator's revival path,
+// which remaps (and thereby unpauses) its partitions.
+func (c *Cluster) Restart(node partition.NodeID) error {
+	if !c.crashed[node] {
+		return fmt.Errorf("cluster: engine %s is not crashed", node)
+	}
+	e, err := c.buildEngine(node)
+	if err != nil {
+		return err
+	}
+	if err := e.Attach(c.net); err != nil {
+		return err
+	}
+	if _, err := e.Restore(); err != nil {
+		return fmt.Errorf("cluster: restore %s: %w", node, err)
+	}
+	if iso, ok := c.net.(isolater); ok {
+		iso.Restore(node)
+	}
+	if err := e.Start(); err != nil {
+		return err
+	}
+	c.engines[node] = e
+	delete(c.crashed, node)
+	return nil
+}
+
+// RunCleanup executes the disk phase on every live engine.
+func (c *Cluster) RunCleanup() error {
+	live := make([]partition.NodeID, 0, len(c.cfg.Engines))
+	for _, node := range c.cfg.Engines {
+		if !c.crashed[node] {
+			live = append(live, node)
+		}
+	}
+	summary, err := c.app.RunCleanup(live)
+	if err != nil {
+		return err
+	}
+	c.cleanup = summary
+	c.ranCleanup = true
+	return nil
+}
+
+// Finish stops all nodes and assembles the Result. Call exactly once,
+// after the final fence (Quiesce + Drain) and optional RunCleanup.
+func (c *Cluster) Finish() (*Result, error) {
+	if c.finished {
+		return nil, fmt.Errorf("cluster: already finished")
+	}
+	c.finished = true
 
 	// Stop timers before reading engine state. Stop is processed by each
 	// node's serial handler; waiting on the Done fences makes the
 	// subsequent state reads deterministic instead of racing a sleep.
-	coord.Stop()
-	stopped := []<-chan struct{}{coord.Done()}
-	for _, e := range engines {
+	// Crashed engines' Done fences are already closed.
+	c.coord.Stop()
+	stopped := []<-chan struct{}{c.coord.Done()}
+	for _, e := range c.engines {
 		e.Stop()
 		stopped = append(stopped, e.Done())
 	}
 	AwaitStopped(5*time.Second, stopped...)
 
-	for node, e := range engines {
-		res.Memory[node] = coord.MemSeries(node)
+	res := &Result{
+		Throughput:   c.app.throughput,
+		Memory:       make(map[partition.NodeID]*stats.Series, len(c.engines)),
+		Generated:    c.feeder.generated(),
+		LocalSpills:  make(map[partition.NodeID]int, len(c.engines)),
+		SpilledBytes: make(map[partition.NodeID]int64, len(c.engines)),
+	}
+	if c.ranCleanup {
+		res.Cleanup = c.cleanup
+	}
+	for node, e := range c.engines {
+		res.Memory[node] = c.coord.MemSeries(node)
 		res.LocalSpills[node] = e.SpillManager().Count()
 		res.SpilledBytes[node] = e.SpillManager().SpilledBytes()
 		res.RuntimeOutput += e.Op().Output()
 		res.Events = append(res.Events, e.Events().All()...)
 	}
-	res.Events = append(res.Events, coord.Events().All()...)
-	res.Relocations = coord.Relocations()
-	res.ForcedSpills = coord.ForcedSpills()
-	res.Spans = append(res.Spans, coord.Tracer().Spans()...)
-	res.Metrics = appendNodeMetrics(res.Metrics, string(CoordinatorNode), coord.Registry())
-	for _, node := range cfg.Engines {
-		res.Spans = append(res.Spans, engines[node].Tracer().Spans()...)
-		res.Metrics = appendNodeMetrics(res.Metrics, string(node), engines[node].Registry())
+	for _, e := range c.retired {
+		res.Events = append(res.Events, e.Events().All()...)
+		res.Spans = append(res.Spans, e.Tracer().Spans()...)
+	}
+	res.Events = append(res.Events, c.coord.Events().All()...)
+	res.Relocations = c.coord.Relocations()
+	res.ForcedSpills = c.coord.ForcedSpills()
+	res.AbortedRelocations = c.coord.AbortedRelocations()
+	res.UnresolvedRelocations = c.coord.Unresolved()
+	res.CoordinatorErrors = c.coord.Errors()
+	res.Spans = append(res.Spans, c.coord.Tracer().Spans()...)
+	res.Metrics = appendNodeMetrics(res.Metrics, string(CoordinatorNode), c.coord.Registry())
+	for _, node := range c.cfg.Engines {
+		res.Spans = append(res.Spans, c.engines[node].Tracer().Spans()...)
+		res.Metrics = appendNodeMetrics(res.Metrics, string(node), c.engines[node].Registry())
 	}
 	sort.SliceStable(res.Spans, func(i, j int) bool { return res.Spans[i].Start < res.Spans[j].Start })
-	res.BufferedPeak = feeder.router.BufferedPeak()
-	if cfg.Materialize {
-		res.RuntimeSet = app.runtimeSet
-		res.CleanupSet = app.cleanupSet
-		res.Duplicates = app.Duplicates()
+	res.BufferedPeak = c.feeder.router.BufferedPeak()
+	if c.cfg.Materialize {
+		res.RuntimeSet = c.app.runtimeSet
+		res.CleanupSet = c.app.cleanupSet
+		res.Duplicates = c.app.Duplicates()
 	}
 	return res, nil
+}
+
+// Close releases the transport when the cluster owns it.
+func (c *Cluster) Close() error {
+	if c.ownNet {
+		return c.net.Close()
+	}
+	return nil
+}
+
+// Run executes one experiment end to end.
+func Run(cfg Config) (*Result, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+
+	// Run-time phase.
+	if err := c.Feed(c.cfg.Duration); err != nil {
+		return nil, err
+	}
+
+	// Fence: quiesce the coordinator, then drain every engine through
+	// the generator's data path (FIFO per pair ⇒ all data processed).
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+
+	// Cleanup phase.
+	if cfg.RunCleanup {
+		if err := c.RunCleanup(); err != nil {
+			return nil, err
+		}
+	}
+	return c.Finish()
 }
 
 // AwaitStopped waits for each fence channel to close, bounded overall

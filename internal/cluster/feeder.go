@@ -26,7 +26,15 @@ type feeder struct {
 
 	drainCh   chan proto.DrainAck
 	quiesceCh chan struct{}
+	ckptCh    chan proto.CheckpointDone
 	token     uint64
+
+	// next / fedUntil make the pacing resumable: Feed can be called in
+	// phases (chaos scripts feed, crash an engine, and feed again), and
+	// each phase continues the virtual schedule where the previous one
+	// ended.
+	next     []vclock.Time
+	fedUntil vclock.Time
 }
 
 func newFeeder(clock vclock.Clock, gen *workload.Generator, flushInterval time.Duration) *feeder {
@@ -36,6 +44,8 @@ func newFeeder(clock vclock.Clock, gen *workload.Generator, flushInterval time.D
 		flushInterval: flushInterval,
 		drainCh:       make(chan proto.DrainAck, 64),
 		quiesceCh:     make(chan struct{}, 1),
+		ckptCh:        make(chan proto.CheckpointDone, 8),
+		next:          make([]vclock.Time, gen.Config().Streams),
 	}
 }
 
@@ -69,26 +79,32 @@ func (f *feeder) handle(from partition.NodeID, msg proto.Message) {
 		case f.quiesceCh <- struct{}{}:
 		default:
 		}
+	case proto.CheckpointDone:
+		select {
+		case f.ckptCh <- m:
+		default:
+		}
 	default:
 		log.Printf("generator: unexpected message %T from %s", msg, from)
 	}
 }
 
-// run paces all streams until the virtual duration elapses. Each stream
-// emits one tuple every InterArrival of virtual time.
-func (f *feeder) run(duration time.Duration) error {
+// feed paces all streams for a further virtual duration d, continuing
+// the schedule where the previous call ended. Each stream emits one
+// tuple every InterArrival of virtual time.
+func (f *feeder) feed(d time.Duration) error {
 	cfg := f.gen.Config()
-	end := vclock.Time(duration)
-	next := make([]vclock.Time, cfg.Streams)
+	end := f.fedUntil.Add(d)
+	f.fedUntil = end
 	for {
 		now := f.clock.Now()
 		for s := 0; s < cfg.Streams; s++ {
-			for next[s] <= now && next[s] < end {
-				t := f.gen.Next(s, next[s])
+			for f.next[s] <= now && f.next[s] < end {
+				t := f.gen.Next(s, f.next[s])
 				if err := f.router.Route(t); err != nil {
 					return fmt.Errorf("cluster: route tuple: %w", err)
 				}
-				next[s] = next[s].Add(cfg.InterArrival)
+				f.next[s] = f.next[s].Add(cfg.InterArrival)
 			}
 		}
 		if err := f.router.Flush(); err != nil {
@@ -98,6 +114,29 @@ func (f *feeder) run(duration time.Duration) error {
 			return nil
 		}
 		f.clock.Sleep(f.flushInterval)
+	}
+}
+
+// checkpoint asks node to persist its operator state and waits for the
+// acknowledgment.
+func (f *feeder) checkpoint(node partition.NodeID) (proto.CheckpointDone, error) {
+	if err := f.ep.Send(node, proto.Checkpoint{}); err != nil {
+		return proto.CheckpointDone{}, err
+	}
+	timeout := vclock.WallTimeout(30 * time.Second)
+	for {
+		select {
+		case done := <-f.ckptCh:
+			if done.Node != node {
+				continue // stale ack from an earlier checkpoint
+			}
+			if done.Error != "" {
+				return done, fmt.Errorf("cluster: checkpoint on %s: %s", node, done.Error)
+			}
+			return done, nil
+		case <-timeout:
+			return proto.CheckpointDone{}, fmt.Errorf("cluster: checkpoint on %s timed out", node)
+		}
 	}
 }
 

@@ -7,12 +7,27 @@
 // Like the engines, the coordinator is event-driven and single-threaded:
 // all messages (including its own timer) arrive through the transport's
 // serial handler.
+//
+// The coordinator assumes nothing about delivery: with RelocTimeout
+// set, every await phase of the relocation protocol is guarded by a
+// virtual-time timeout that retries the pending (idempotent) step with
+// exponential backoff and, once retries are exhausted, rolls the
+// relocation back through the RelocAbort path — the pre-relocation
+// partition map is restored and the paused partitions are released, so
+// no relocation can hang past its deadline. (On loss-free transports
+// the deadlines stay disarmed — see Config.RelocTimeout.)
+// A heartbeat watchdog declares engines silent past
+// HeartbeatTimeout dead: their partitions are paused at the split host
+// (tuples buffer instead of vanishing into a dead link) and they are
+// excluded from adaptation until they re-register, at which point the
+// buffered partitions are resumed. See PROTOCOL.md "Failure model".
 package coordinator
 
 import (
 	"fmt"
 	"log"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -38,6 +53,26 @@ type Config struct {
 	Map *partition.Map
 	// LBInterval is the lb_timer period (virtual).
 	LBInterval time.Duration
+	// RelocTimeout, when positive, arms a virtual-time deadline on each
+	// await phase of the relocation protocol; it doubles on every
+	// retry. Zero disables the deadlines (like HeartbeatTimeout, the
+	// hardening is opt-in): the in-process transport cannot lose
+	// messages, and the scaled clock keeps running while a backlogged
+	// peer churns through its queue, so on a loss-free deployment a
+	// virtual deadline only races healthy-but-slow engines. Enable it
+	// wherever messages can actually vanish (the chaos suite does).
+	RelocTimeout time.Duration
+	// RelocMaxRetries bounds how often a pending step is re-sent before
+	// the coordinator escalates (abort, or give-up for committed
+	// phases). Defaults to 2; negative disables retries.
+	RelocMaxRetries int
+	// HeartbeatTimeout, when positive, arms the engine watchdog: an
+	// engine silent (no StatsReport/Hello) for longer is declared dead.
+	HeartbeatTimeout time.Duration
+	// OnError, when set, receives every error surfaced by the
+	// coordinator's handler (in addition to the error counter and log),
+	// letting the harness fail loudly on e.g. a dead appserver link.
+	OnError func(error)
 }
 
 // engineInfo is the coordinator's view of one engine.
@@ -46,9 +81,12 @@ type engineInfo struct {
 	haveReport bool
 	prevOutput uint64 // output at the previous strategy evaluation
 	memSeries  *stats.Series
+	lastSeen   vclock.Time
+	alive      atomic.Bool
 }
 
-// relocPhase tracks the protocol step of the in-flight relocation.
+// relocPhase tracks the protocol step of the in-flight adaptation,
+// including the rollback phases of an aborting relocation.
 type relocPhase int
 
 const (
@@ -58,7 +96,55 @@ const (
 	relocWaitInstalled
 	relocWaitRemapAck
 	forceWaitSpillDone
+	// abortWaitReceiver awaits the receiver's RelocAbortAck, which
+	// resolves whether the transferred state was installed (commit
+	// forward) or not (roll back through the sender).
+	abortWaitReceiver
+	// abortWaitSender awaits the sender's RelocAbortAck (state
+	// reinstalled locally, relocation mode cleared).
+	abortWaitSender
+	// abortWaitResume awaits the split host's RemapAck for the restore
+	// Remap that re-enables the paused partitions under the old owner.
+	abortWaitResume
 )
+
+// phaseName labels phases for events and errors.
+func (p relocPhase) String() string {
+	switch p {
+	case relocIdle:
+		return "idle"
+	case relocWaitPtV:
+		return "wait_ptv"
+	case relocWaitMarker:
+		return "wait_marker"
+	case relocWaitInstalled:
+		return "wait_installed"
+	case relocWaitRemapAck:
+		return "wait_remap_ack"
+	case forceWaitSpillDone:
+		return "wait_spill_done"
+	case abortWaitReceiver:
+		return "abort_wait_receiver"
+	case abortWaitSender:
+		return "abort_wait_sender"
+	case abortWaitResume:
+		return "abort_wait_resume"
+	default:
+		return "unknown"
+	}
+}
+
+// resumeState tracks one pending partition resume (a revived engine's
+// partitions being released at the split host).
+type resumeState struct {
+	node     partition.NodeID
+	parts    []partition.ID
+	attempts int
+}
+
+// resumeMaxRetries bounds lb-tick re-sends of a resume Remap before it
+// is abandoned with an unresolved error.
+const resumeMaxRetries = 10
 
 // Coordinator is the global adaptation controller.
 type Coordinator struct {
@@ -77,12 +163,34 @@ type Coordinator struct {
 	started  vclock.Time
 	span     *obs.Span
 
+	// Await-phase timeout machinery: pendingTo/pendingMsg is the step
+	// re-sent on timeout, attempts counts re-sends, timeoutSeq
+	// invalidates timers armed for earlier phases.
+	pendingTo   partition.NodeID
+	pendingMsg  proto.Message
+	attempts    int
+	timeoutSeq  uint64
+	resumeAfter bool // an aborting relocation must restore the split host
+	forceSeq    uint64
+
+	// resumes tracks pending partition releases by epoch (dead-engine
+	// revival and abort restores share the retry path on the lb tick).
+	resumes      map[uint64]*resumeState
+	resumeCount  atomic.Int64
+	running      atomic.Bool // Start was called; timers may be armed
+	watchdogLast vclock.Time
+
 	reg           *obs.Registry
 	tracer        *obs.Tracer
 	mRelocations  *obs.Counter
 	mAborted      *obs.Counter
 	mForcedSpills *obs.Counter
 	mTicks        *obs.Counter
+	mRetries      *obs.Counter
+	mUnresolved   *obs.Counter
+	mErrors       *obs.Counter
+	mDeaths       *obs.Counter
+	mRevivals     *obs.Counter
 	mRelocVSecs   *obs.Histogram
 
 	quiesced      bool
@@ -106,28 +214,45 @@ func New(cfg Config, clock vclock.Clock) (*Coordinator, error) {
 	if cfg.LBInterval <= 0 {
 		cfg.LBInterval = 10 * time.Second
 	}
+	if cfg.RelocMaxRetries == 0 {
+		cfg.RelocMaxRetries = 2
+	}
 	c := &Coordinator{
 		cfg:     cfg,
 		clock:   clock,
 		engines: make(map[partition.NodeID]*engineInfo),
 		events:  stats.NewEventLog(),
+		resumes: make(map[uint64]*resumeState),
 		reg:     obs.NewRegistry(),
 		tracer:  obs.NewTracer(0),
 		done:    make(chan struct{}),
 	}
+	now := clock.Now()
 	for _, n := range cfg.Engines {
-		c.engines[n] = &engineInfo{memSeries: stats.NewSeries(string(n))}
+		info := &engineInfo{memSeries: stats.NewSeries(string(n)), lastSeen: now}
+		info.alive.Store(true)
+		c.engines[n] = info
 	}
 	c.reg.Help("distq_coordinator_relocations_total", "completed state relocations")
 	c.reg.Help("distq_coordinator_relocations_aborted_total", "relocations aborted before completion")
 	c.reg.Help("distq_coordinator_forced_spills_total", "completed forced (coordinator-ordered) spills")
 	c.reg.Help("distq_coordinator_lb_ticks_total", "load-balancing timer expirations")
+	c.reg.Help("distq_coordinator_reloc_retries_total", "protocol steps re-sent after an await-phase timeout")
+	c.reg.Help("distq_coordinator_reloc_unresolved_total", "adaptations abandoned with retries exhausted (requires operator attention)")
+	c.reg.Help("distq_coordinator_errors_total", "errors surfaced by the coordinator handler")
+	c.reg.Help("distq_coordinator_engine_deaths_total", "engines declared dead by the heartbeat watchdog")
+	c.reg.Help("distq_coordinator_engine_revivals_total", "dead engines that re-registered")
 	c.reg.Help("distq_coordinator_relocation_duration_vseconds", "virtual duration of completed relocations, CptV to RemapAck")
 	c.reg.Help("distq_coordinator_engine_mem_bytes", "per-engine memory usage from the latest stats report")
 	c.mRelocations = c.reg.Counter("distq_coordinator_relocations_total")
 	c.mAborted = c.reg.Counter("distq_coordinator_relocations_aborted_total")
 	c.mForcedSpills = c.reg.Counter("distq_coordinator_forced_spills_total")
 	c.mTicks = c.reg.Counter("distq_coordinator_lb_ticks_total")
+	c.mRetries = c.reg.Counter("distq_coordinator_reloc_retries_total")
+	c.mUnresolved = c.reg.Counter("distq_coordinator_reloc_unresolved_total")
+	c.mErrors = c.reg.Counter("distq_coordinator_errors_total")
+	c.mDeaths = c.reg.Counter("distq_coordinator_engine_deaths_total")
+	c.mRevivals = c.reg.Counter("distq_coordinator_engine_revivals_total")
 	c.mRelocVSecs = c.reg.Histogram("distq_coordinator_relocation_duration_vseconds", obs.VirtualDurationBuckets)
 	return c, nil
 }
@@ -155,6 +280,7 @@ func (c *Coordinator) Start() error {
 	if c.ep == nil {
 		return fmt.Errorf("coordinator: not attached")
 	}
+	c.running.Store(true)
 	c.ticker = c.clock.NewTicker(c.cfg.LBInterval)
 	self := c.cfg.Node
 	go func() {
@@ -185,6 +311,39 @@ func (c *Coordinator) Relocations() int { return int(c.mRelocations.Value()) }
 // ForcedSpills reports completed forced spills. Safe for concurrent use.
 func (c *Coordinator) ForcedSpills() int { return int(c.mForcedSpills.Value()) }
 
+// AbortedRelocations reports relocations rolled back (empty PtV or
+// exhausted retries). Safe for concurrent use.
+func (c *Coordinator) AbortedRelocations() int { return int(c.mAborted.Value()) }
+
+// Unresolved reports adaptations abandoned with retries exhausted —
+// always zero unless the split host or an engine stayed unreachable
+// past every deadline. Safe for concurrent use.
+func (c *Coordinator) Unresolved() int { return int(c.mUnresolved.Value()) }
+
+// Errors reports the handler error count. Safe for concurrent use.
+func (c *Coordinator) Errors() int { return int(c.mErrors.Value()) }
+
+// EngineAlive reports the watchdog's view of an engine. Safe for
+// concurrent use.
+func (c *Coordinator) EngineAlive(node partition.NodeID) bool {
+	info, ok := c.engines[node]
+	return ok && info.alive.Load()
+}
+
+// PendingResumes reports how many partition releases (revived engines,
+// abort restores) still await their RemapAck. Safe for concurrent use.
+func (c *Coordinator) PendingResumes() int { return int(c.resumeCount.Load()) }
+
+// fail surfaces a handler error: counted, logged, and forwarded to the
+// OnError sink so a dead link fails loudly instead of stalling a fence.
+func (c *Coordinator) fail(err error) {
+	c.mErrors.Inc()
+	log.Printf("coordinator: %v", err)
+	if c.cfg.OnError != nil {
+		c.cfg.OnError(err)
+	}
+}
+
 // Handle is the coordinator's transport handler.
 func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
 	if c.stopped {
@@ -193,7 +352,7 @@ func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
 	var err error
 	switch m := msg.(type) {
 	case proto.Hello:
-		// Engines are statically configured; Hello is informational.
+		c.heartbeat(m.Node)
 	case proto.StatsReport:
 		c.onStats(m)
 	case proto.Tick:
@@ -208,6 +367,10 @@ func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
 		err = c.onRemapAck(m)
 	case proto.SpillDone:
 		c.onSpillDone(m)
+	case proto.RelocTimeout:
+		err = c.onRelocTimeout(m)
+	case proto.RelocAbortAck:
+		err = c.onRelocAbortAck(m)
 	case proto.Quiesce:
 		err = c.onQuiesce(from)
 	case proto.Stop:
@@ -216,7 +379,7 @@ func (c *Coordinator) Handle(from partition.NodeID, msg proto.Message) {
 		err = fmt.Errorf("unexpected message %T from %s", msg, from)
 	}
 	if err != nil {
-		log.Printf("coordinator: %v", err)
+		c.fail(err)
 	}
 }
 
@@ -225,31 +388,70 @@ func (c *Coordinator) onStats(m proto.StatsReport) {
 	if !ok {
 		return
 	}
+	c.heartbeat(m.Node)
 	info.last = m
 	info.haveReport = true
 	info.memSeries.Add(c.clock.Now(), float64(m.MemBytes))
 	c.reg.Gauge("distq_coordinator_engine_mem_bytes", obs.L("engine", string(m.Node))).Set(float64(m.MemBytes))
 }
 
-// onQuiesce stops new adaptations and acknowledges once idle.
+// heartbeat records proof of life from an engine, reviving it if the
+// watchdog had declared it dead.
+func (c *Coordinator) heartbeat(node partition.NodeID) {
+	info, ok := c.engines[node]
+	if !ok {
+		return
+	}
+	now := c.clock.Now()
+	info.lastSeen = now
+	if !info.alive.Load() {
+		info.alive.Store(true)
+		c.mRevivals.Inc()
+		c.events.Add(stats.Event{T: now, Node: node, Kind: stats.EventEngineAlive, Detail: "re-registered"})
+		c.resumePartitions(node, "revived engine")
+	}
+}
+
+// resumePartitions releases a node's partitions at the split host under
+// the current map (owner unchanged), tracked until the RemapAck.
+func (c *Coordinator) resumePartitions(node partition.NodeID, why string) {
+	parts := c.cfg.Map.OwnedBy(node)
+	if len(parts) == 0 {
+		return
+	}
+	c.epoch++
+	c.resumes[c.epoch] = &resumeState{node: node, parts: parts}
+	c.resumeCount.Store(int64(len(c.resumes)))
+	if err := c.ep.Send(c.cfg.SplitHost, proto.Remap{
+		Epoch: c.epoch, Partitions: parts, Owner: node, Version: c.cfg.Map.Version(),
+	}); err != nil {
+		c.fail(fmt.Errorf("resume (%s) remap: %w", why, err))
+	}
+}
+
+// onQuiesce stops new adaptations and acknowledges once idle. Pending
+// watchdog resumes count as in-flight work: acking while a revived
+// engine's partitions are still paused would let the caller fence the
+// data path past their buffered tuples.
 func (c *Coordinator) onQuiesce(from partition.NodeID) error {
 	c.quiesced = true
-	if c.phase == relocIdle {
+	if c.phase == relocIdle && len(c.resumes) == 0 {
 		return c.ep.Send(from, proto.QuiesceAck{})
 	}
 	c.quiesceWaiter = from
 	return nil
 }
 
-// becameIdle notifies a pending quiesce waiter.
+// becameIdle notifies a pending quiesce waiter once both the relocation
+// protocol and the watchdog resume queue are idle.
 func (c *Coordinator) becameIdle() {
-	if c.quiesceWaiter == "" {
+	if c.quiesceWaiter == "" || c.phase != relocIdle || len(c.resumes) != 0 {
 		return
 	}
 	waiter := c.quiesceWaiter
 	c.quiesceWaiter = ""
 	if err := c.ep.Send(waiter, proto.QuiesceAck{}); err != nil {
-		log.Printf("coordinator: quiesce ack: %v", err)
+		c.fail(fmt.Errorf("quiesce ack: %w", err))
 	}
 }
 
@@ -257,13 +459,19 @@ func (c *Coordinator) becameIdle() {
 // one adaptation runs at a time.
 func (c *Coordinator) onTick() error {
 	c.mTicks.Inc()
+	now := c.clock.Now()
+	c.checkHeartbeats(now)
+	c.retryResumes()
 	if c.phase != relocIdle || c.quiesced {
 		return nil
 	}
 	loads := make([]core.EngineLoad, 0, len(c.engines))
 	for node, info := range c.engines {
+		if !info.alive.Load() {
+			continue // dead engines are no relocation senders or targets
+		}
 		if !info.haveReport {
-			return nil // wait until every engine has reported once
+			return nil // wait until every live engine has reported once
 		}
 		loads = append(loads, core.EngineLoad{
 			Node:        node,
@@ -272,7 +480,10 @@ func (c *Coordinator) onTick() error {
 			OutputDelta: info.last.Output - info.prevOutput,
 		})
 	}
-	action := c.cfg.Strategy.Decide(loads, c.clock.Now())
+	if len(loads) == 0 {
+		return nil
+	}
+	action := c.cfg.Strategy.Decide(loads, now)
 	// Productivity rates are per evaluation period: advance the window.
 	for _, info := range c.engines {
 		info.prevOutput = info.last.Output
@@ -289,37 +500,264 @@ func (c *Coordinator) onTick() error {
 	return nil
 }
 
+// checkHeartbeats runs the engine watchdog: an engine silent past
+// HeartbeatTimeout is declared dead and its partitions are paused at
+// the split host so their tuples buffer instead of vanishing into a
+// dead link. The pause is re-sent on every tick while the engine stays
+// dead (it is idempotent), healing a lost pause by the next interval.
+func (c *Coordinator) checkHeartbeats(now vclock.Time) {
+	if c.cfg.HeartbeatTimeout <= 0 {
+		return
+	}
+	for node, info := range c.engines {
+		if info.alive.Load() {
+			if now.Sub(info.lastSeen) > c.cfg.HeartbeatTimeout {
+				info.alive.Store(false)
+				c.mDeaths.Inc()
+				c.events.Add(stats.Event{T: now, Node: node, Kind: stats.EventEngineDead,
+					Detail: fmt.Sprintf("silent for %s", now.Sub(info.lastSeen))})
+				c.pauseDead(node)
+			}
+			continue
+		}
+		c.pauseDead(node)
+	}
+}
+
+// pauseDead pauses a dead engine's partitions at the split host.
+func (c *Coordinator) pauseDead(node partition.NodeID) {
+	parts := c.cfg.Map.OwnedBy(node)
+	if len(parts) == 0 {
+		return
+	}
+	c.epoch++
+	if err := c.ep.Send(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: parts, Owner: node}); err != nil {
+		c.fail(fmt.Errorf("pause dead engine %s: %w", node, err))
+	}
+}
+
+// retryResumes re-sends pending resume Remaps on the lb tick until
+// acknowledged or abandoned.
+func (c *Coordinator) retryResumes() {
+	for epoch, r := range c.resumes {
+		r.attempts++
+		if r.attempts > resumeMaxRetries {
+			delete(c.resumes, epoch)
+			c.resumeCount.Store(int64(len(c.resumes)))
+			c.mUnresolved.Inc()
+			c.fail(fmt.Errorf("resume of %s (epoch %d) unacknowledged after %d attempts", r.node, epoch, r.attempts-1))
+			c.becameIdle() // the fence must still unblock after a failed resume
+			continue
+		}
+		if err := c.ep.Send(c.cfg.SplitHost, proto.Remap{
+			Epoch: epoch, Partitions: r.parts, Owner: r.node, Version: c.cfg.Map.Version(),
+		}); err != nil {
+			c.fail(fmt.Errorf("resume retry: %w", err))
+		}
+	}
+}
+
 // startRelocation runs protocol step 1.
 func (c *Coordinator) startRelocation(r *core.Relocation) error {
-	if _, ok := c.engines[r.Sender]; !ok {
-		return fmt.Errorf("relocation sender %s unknown", r.Sender)
+	if info, ok := c.engines[r.Sender]; !ok || !info.alive.Load() {
+		return fmt.Errorf("relocation sender %s unknown or dead", r.Sender)
 	}
-	if _, ok := c.engines[r.Receiver]; !ok {
-		return fmt.Errorf("relocation receiver %s unknown", r.Receiver)
+	if info, ok := c.engines[r.Receiver]; !ok || !info.alive.Load() {
+		return fmt.Errorf("relocation receiver %s unknown or dead", r.Receiver)
 	}
 	c.epoch++
 	c.phase = relocWaitPtV
 	c.sender, c.receiver = r.Sender, r.Receiver
 	c.started = c.clock.Now()
+	c.resumeAfter = false
 	c.span = c.tracer.Start(obs.SpanRelocation, string(c.cfg.Node), c.started)
 	c.span.SetAttr("epoch", strconv.FormatUint(c.epoch, 10))
 	c.span.SetAttr("sender", string(r.Sender))
 	c.span.SetAttr("receiver", string(r.Receiver))
 	c.span.SetAttr("amount_bytes", strconv.FormatInt(r.Amount, 10))
 	c.span.Step(obs.StepCptV, c.started)
-	return c.ep.Send(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver})
+	return c.sendStep(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver})
 }
 
 func (c *Coordinator) startForcedSpill(f *core.ForcedSpill) error {
-	if _, ok := c.engines[f.Node]; !ok {
-		return fmt.Errorf("forced-spill target %s unknown", f.Node)
+	if info, ok := c.engines[f.Node]; !ok || !info.alive.Load() {
+		return fmt.Errorf("forced-spill target %s unknown or dead", f.Node)
 	}
 	c.phase = forceWaitSpillDone
 	c.sender = f.Node
+	c.forceSeq++
 	c.span = c.tracer.Start(obs.SpanForcedSpill, string(c.cfg.Node), c.clock.Now())
 	c.span.SetAttr("node", string(f.Node))
 	c.span.SetAttr("amount_bytes", strconv.FormatInt(f.Amount, 10))
-	return c.ep.Send(f.Node, proto.ForceSpill{Amount: f.Amount})
+	return c.sendStep(f.Node, proto.ForceSpill{Amount: f.Amount, Seq: c.forceSeq})
+}
+
+// sendStep transitions into an await phase: it records the pending
+// (idempotent) step for timeout-driven retries, arms the virtual-time
+// deadline, and sends.
+func (c *Coordinator) sendStep(to partition.NodeID, msg proto.Message) error {
+	c.pendingTo, c.pendingMsg = to, msg
+	c.attempts = 0
+	c.armTimeout()
+	return c.ep.Send(to, msg)
+}
+
+// armTimeout schedules a RelocTimeout for the current phase and attempt
+// count (exponential backoff). Timers are only armed on a running
+// coordinator (Start called); the sequence number invalidates timers
+// from earlier phases.
+func (c *Coordinator) armTimeout() {
+	c.timeoutSeq++
+	if !c.running.Load() {
+		return // unit rigs drive the protocol synchronously
+	}
+	if c.cfg.RelocTimeout <= 0 {
+		return // deadlines disabled: loss-free transport
+	}
+	d := c.cfg.RelocTimeout
+	for i := 0; i < c.attempts; i++ {
+		d *= 2
+	}
+	seq, epoch := c.timeoutSeq, c.epoch
+	ch := c.clock.After(d)
+	go func() {
+		select {
+		case <-ch:
+			//distqlint:allow senderrcheck: self-addressed timer; a dead own endpoint means shutdown already won the race
+			c.ep.Send(c.cfg.Node, proto.RelocTimeout{Epoch: epoch, Seq: seq})
+		case <-c.done:
+		}
+	}()
+}
+
+// disarm invalidates the armed await-phase timer.
+func (c *Coordinator) disarm() { c.timeoutSeq++ }
+
+// onRelocTimeout handles an await-phase deadline: re-send the pending
+// step while retries remain, then escalate.
+func (c *Coordinator) onRelocTimeout(m proto.RelocTimeout) error {
+	if m.Seq != c.timeoutSeq || c.phase == relocIdle {
+		return nil // stale timer from an earlier phase
+	}
+	if c.attempts < c.cfg.RelocMaxRetries {
+		c.attempts++
+		c.mRetries.Inc()
+		c.events.Add(stats.Event{T: c.clock.Now(), Node: c.pendingTo, Kind: stats.EventRetry,
+			Detail: fmt.Sprintf("phase %s attempt %d epoch %d", c.phase, c.attempts, c.epoch)})
+		c.armTimeout()
+		return c.ep.Send(c.pendingTo, c.pendingMsg)
+	}
+	return c.escalate()
+}
+
+// escalate handles an await phase whose retries are exhausted.
+func (c *Coordinator) escalate() error {
+	now := c.clock.Now()
+	switch c.phase {
+	case relocWaitPtV:
+		// Nothing paused, nothing moved: release the sender and finish.
+		c.resumeAfter = false
+		return c.enterAbortSender("ptv timeout")
+	case relocWaitMarker:
+		// The split host may or may not have paused: release the sender,
+		// then restore the split host (idempotent either way).
+		c.resumeAfter = true
+		return c.enterAbortSender("marker timeout")
+	case relocWaitInstalled:
+		// The transfer may have raced the abort: ask the receiver first;
+		// its ack resolves commit-forward versus roll-back.
+		c.phase = abortWaitReceiver
+		c.span.SetAttr("abort_from", "wait_installed")
+		return c.sendStep(c.receiver, proto.RelocAbort{Epoch: c.epoch})
+	case relocWaitRemapAck:
+		// The map is committed; rolling back would fork ownership. Give
+		// up loudly — the split host link is gone past every deadline.
+		c.giveUp("remap unacknowledged")
+		return nil
+	case abortWaitSender:
+		if c.resumeAfter {
+			// The sender never acked the rollback, but the paused
+			// partitions must not stay parked at the split host: restore
+			// them anyway (the remap is idempotent, and a slow sender's
+			// late abort handling re-acks harmlessly), then surface the
+			// unacknowledged sender as an error rather than lost data.
+			c.fail(fmt.Errorf("adaptation epoch %d: sender abort unacknowledged, restoring split host", c.epoch))
+			c.phase = abortWaitResume
+			return c.sendStep(c.cfg.SplitHost, proto.Remap{
+				Epoch: c.epoch, Partitions: c.parts, Owner: c.sender, Version: c.cfg.Map.Version(),
+			})
+		}
+		c.giveUp("abort unacknowledged in " + c.phase.String())
+		return nil
+	case abortWaitReceiver, abortWaitResume:
+		c.giveUp("abort unacknowledged in " + c.phase.String())
+		return nil
+	case forceWaitSpillDone:
+		c.span.Abort(now, "spill done timeout")
+		c.span = nil
+		c.mAborted.Inc()
+		c.disarm()
+		c.phase = relocIdle
+		c.becameIdle()
+		return nil
+	default:
+		return nil
+	}
+}
+
+// enterAbortSender starts the sender half of the rollback.
+func (c *Coordinator) enterAbortSender(reason string) error {
+	c.phase = abortWaitSender
+	c.span.SetAttr("abort_reason", reason)
+	return c.sendStep(c.sender, proto.RelocAbort{Epoch: c.epoch})
+}
+
+// giveUp abandons the in-flight adaptation with retries exhausted. The
+// coordinator returns to idle (bounded: it never hangs), but the result
+// is surfaced as an unresolved error — state may be parked until the
+// unreachable peer returns.
+func (c *Coordinator) giveUp(reason string) {
+	c.mUnresolved.Inc()
+	c.fail(fmt.Errorf("adaptation epoch %d unresolved: %s", c.epoch, reason))
+	c.abortAdaptation(c.clock.Now(), reason)
+}
+
+// onRelocAbortAck advances the rollback state machine.
+func (c *Coordinator) onRelocAbortAck(m proto.RelocAbortAck) error {
+	if m.Epoch != c.epoch {
+		return nil // stale
+	}
+	now := c.clock.Now()
+	switch c.phase {
+	case abortWaitReceiver:
+		if m.Node != c.receiver {
+			return nil
+		}
+		if m.Installed {
+			// The receiver holds the state: commit forward.
+			c.span.SetAttr("abort_resolution", "commit_forward")
+			return c.commitAndRemap(now)
+		}
+		// Roll back through the sender, then restore the split host.
+		c.resumeAfter = true
+		return c.enterAbortSender("installed timeout")
+	case abortWaitSender:
+		if m.Node != c.sender {
+			return nil
+		}
+		if !c.resumeAfter {
+			c.abortAdaptation(now, "aborted in wait_ptv")
+			return nil
+		}
+		// Restore the split host: same owner, current (unchanged) map
+		// version; remap unpauses and flushes the buffered tuples.
+		c.phase = abortWaitResume
+		return c.sendStep(c.cfg.SplitHost, proto.Remap{
+			Epoch: c.epoch, Partitions: c.parts, Owner: c.sender, Version: c.cfg.Map.Version(),
+		})
+	default:
+		return nil
+	}
 }
 
 // onPtV runs protocol step 3: pause the moving partitions at the split
@@ -338,7 +776,7 @@ func (c *Coordinator) onPtV(m proto.PtV) error {
 	c.phase = relocWaitMarker
 	c.span.SetAttr("partitions", strconv.Itoa(len(m.Partitions)))
 	c.span.Step(obs.StepPause, now)
-	return c.ep.Send(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender})
+	return c.sendStep(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender})
 }
 
 // abortAdaptation closes the in-flight span as aborted and returns the
@@ -347,6 +785,8 @@ func (c *Coordinator) abortAdaptation(vt vclock.Time, reason string) {
 	c.span.Abort(vt, reason)
 	c.span = nil
 	c.mAborted.Inc()
+	c.events.Add(stats.Event{T: vt, Node: c.sender, Kind: stats.EventAbort, Detail: reason})
+	c.disarm()
 	c.phase = relocIdle
 	c.parts = nil
 	c.becameIdle()
@@ -362,7 +802,7 @@ func (c *Coordinator) onMarkerAck(m proto.MarkerAck) error {
 	c.span.Step(obs.StepMarkerAck, now)
 	c.phase = relocWaitInstalled
 	c.span.Step(obs.StepSendStates, now)
-	return c.ep.Send(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver})
+	return c.sendStep(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver})
 }
 
 // onInstalled runs protocol step 7: commit the new ownership to the
@@ -371,8 +811,14 @@ func (c *Coordinator) onInstalled(m proto.Installed) error {
 	if c.phase != relocWaitInstalled || m.Epoch != c.epoch || m.Node != c.receiver {
 		return nil
 	}
-	now := c.clock.Now()
-	c.span.Step(obs.StepInstalled, now)
+	c.span.Step(obs.StepInstalled, c.clock.Now())
+	return c.commitAndRemap(c.clock.Now())
+}
+
+// commitAndRemap commits the new ownership to the master map and orders
+// the split host remap (step 7), from the normal path or from an abort
+// resolved as commit-forward.
+func (c *Coordinator) commitAndRemap(now vclock.Time) error {
 	version, err := c.cfg.Map.Move(c.parts, c.receiver)
 	if err != nil {
 		c.abortAdaptation(now, "map commit: "+err.Error())
@@ -380,35 +826,56 @@ func (c *Coordinator) onInstalled(m proto.Installed) error {
 	}
 	c.phase = relocWaitRemapAck
 	c.span.Step(obs.StepRemap, now)
-	return c.ep.Send(c.cfg.SplitHost, proto.Remap{
+	return c.sendStep(c.cfg.SplitHost, proto.Remap{
 		Epoch: c.epoch, Partitions: c.parts, Owner: c.receiver, Version: version,
 	})
 }
 
-// onRemapAck completes the relocation (step 8).
+// onRemapAck completes a relocation (step 8), an abort restore, or a
+// pending dead-engine resume.
 func (c *Coordinator) onRemapAck(m proto.RemapAck) error {
-	if c.phase != relocWaitRemapAck || m.Epoch != c.epoch {
+	if r, ok := c.resumes[m.Epoch]; ok {
+		delete(c.resumes, m.Epoch)
+		c.resumeCount.Store(int64(len(c.resumes)))
+		c.events.Add(stats.Event{T: c.clock.Now(), Node: r.node, Kind: stats.EventEngineAlive,
+			Detail: fmt.Sprintf("%d partitions resumed", len(r.parts))})
+		c.becameIdle()
+		return nil
+	}
+	if m.Epoch != c.epoch {
 		return nil
 	}
 	now := c.clock.Now()
-	c.span.Step(obs.StepRemapAck, now)
-	c.span.End(now)
-	c.span = nil
-	c.mRelocations.Inc()
-	c.mRelocVSecs.ObserveDuration(now.Sub(c.started))
-	c.events.Add(stats.Event{
-		T: now, Node: c.sender, Kind: stats.EventRelocation,
-		Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, now.Sub(c.started)),
-	})
-	c.phase = relocIdle
-	c.parts = nil
-	c.becameIdle()
-	return nil
+	switch c.phase {
+	case relocWaitRemapAck:
+		c.span.Step(obs.StepRemapAck, now)
+		c.span.End(now)
+		c.span = nil
+		c.mRelocations.Inc()
+		c.mRelocVSecs.ObserveDuration(now.Sub(c.started))
+		c.events.Add(stats.Event{
+			T: now, Node: c.sender, Kind: stats.EventRelocation,
+			Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, now.Sub(c.started)),
+		})
+		c.disarm()
+		c.phase = relocIdle
+		c.parts = nil
+		c.becameIdle()
+		return nil
+	case abortWaitResume:
+		c.abortAdaptation(now, "rolled back, split host restored")
+		return nil
+	default:
+		return nil
+	}
 }
 
 func (c *Coordinator) onSpillDone(m proto.SpillDone) {
 	if c.phase != forceWaitSpillDone || m.Node != c.sender {
 		return
+	}
+	if m.Seq != 0 && m.Seq != c.forceSeq {
+		return // ack of an earlier forced spill
 	}
 	c.span.SetAttr("spilled_bytes", strconv.FormatInt(m.Bytes, 10))
 	c.span.End(c.clock.Now())
@@ -418,6 +885,7 @@ func (c *Coordinator) onSpillDone(m proto.SpillDone) {
 		T: c.clock.Now(), Node: m.Node, Kind: stats.EventForcedSpill,
 		Detail: fmt.Sprintf("%d bytes", m.Bytes),
 	})
+	c.disarm()
 	c.phase = relocIdle
 	c.becameIdle()
 }
@@ -437,6 +905,7 @@ func (c *Coordinator) Done() <-chan struct{} { return c.done }
 // Stop halts the coordinator's timer via its own handler.
 func (c *Coordinator) Stop() {
 	if c.ep != nil {
-		_ = c.ep.Send(c.cfg.Node, proto.Stop{})
+		//distqlint:allow senderrcheck: best-effort self-stop; a dead own endpoint is already stopped
+		c.ep.Send(c.cfg.Node, proto.Stop{})
 	}
 }

@@ -15,9 +15,11 @@ package engine
 import (
 	"fmt"
 	"log"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/checkpoint"
 	"repro/internal/cleanup"
 	"repro/internal/core"
 	"repro/internal/join"
@@ -77,6 +79,10 @@ type Config struct {
 	// of their timestamp, and expired state is purged on every stats
 	// tick — the paper's infinite-streams-with-finite-windows case.
 	Window time.Duration
+	// CheckpointDir, when set, enables the Checkpoint message and the
+	// Restore path: the engine persists its resident operator state
+	// there on request and reloads the latest generation on Restore.
+	CheckpointDir string
 	// SmoothingAlpha, when positive, switches the local controller to
 	// the paper's amortized productivity model (§2): an exponentially
 	// weighted moving average over per-period Δoutput/Δbytes, updated on
@@ -121,6 +127,23 @@ type Engine struct {
 
 	// pendingReloc tracks the in-flight relocation this engine sends.
 	pendingReloc *relocState
+	// savedXfer retains the extracted state of the last outbound
+	// relocation so a retried SendStates re-ships identical bytes and a
+	// RelocAbort can reinstall the state locally. One relocation's
+	// encoded state at most; replaced on the next CptV.
+	savedXfer *savedTransfer
+	// installedEpochs / abortedEpochs make the receiver side of the
+	// protocol idempotent under duplicated or late deliveries: an
+	// already-installed epoch's duplicate StateTransfer is re-acked
+	// without re-installing, and a transfer arriving after its epoch
+	// was aborted is discarded. One entry per relocation touching this
+	// engine — bounded by the run's adaptation count.
+	installedEpochs map[uint64]bool
+	abortedEpochs   map[uint64]bool
+	// lastForceSeq / lastForceBytes re-acknowledge a duplicated
+	// ForceSpill instead of spilling twice.
+	lastForceSeq   uint64
+	lastForceBytes int64
 
 	// result accounting
 	reportedOutput uint64
@@ -129,9 +152,14 @@ type Engine struct {
 
 	tickers []*vclock.Ticker
 	stopped bool
-	// done closes when the serial handler has processed Stop, fencing
-	// post-run state reads without wall-clock sleeps.
-	done chan struct{}
+	// crashed simulates an abrupt machine failure: the handler discards
+	// everything still queued. Set from outside the handler goroutine.
+	crashed atomic.Bool
+	// done closes when the serial handler has processed Stop (or the
+	// engine crashed), fencing post-run state reads without wall-clock
+	// sleeps.
+	done     chan struct{}
+	doneOnce sync.Once
 
 	// lastReport is the most recent statistics snapshot, readable from
 	// other goroutines (monitoring endpoints).
@@ -144,16 +172,25 @@ type relocState struct {
 	parts    []partition.ID
 }
 
+// savedTransfer is the encoded outbound state transfer of one epoch.
+type savedTransfer struct {
+	epoch    uint64
+	receiver partition.NodeID
+	msg      proto.StateTransfer
+}
+
 // New builds an engine; Attach must be called before Start.
 func New(cfg Config, clock vclock.Clock) *Engine {
 	c := cfg.withDefaults()
 	e := &Engine{
-		cfg:    c,
-		clock:  clock,
-		events: stats.NewEventLog(),
-		reg:    obs.NewRegistry(),
-		tracer: obs.NewTracer(0),
-		done:   make(chan struct{}),
+		cfg:             c,
+		clock:           clock,
+		events:          stats.NewEventLog(),
+		reg:             obs.NewRegistry(),
+		tracer:          obs.NewTracer(0),
+		installedEpochs: make(map[uint64]bool),
+		abortedEpochs:   make(map[uint64]bool),
+		done:            make(chan struct{}),
 	}
 	e.reg.Help("distq_engine_spills_total", "spill cycles, by kind (local|forced)")
 	e.reg.Help("distq_engine_spill_bytes_total", "bytes moved to disk by spills, by kind")
@@ -249,7 +286,7 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
 // Handle is the engine's transport handler.
 func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
-	if e.stopped {
+	if e.stopped || e.crashed.Load() {
 		return
 	}
 	var err error
@@ -266,8 +303,12 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 		err = e.onSendStates(m)
 	case proto.StateTransfer:
 		err = e.onStateTransfer(m)
+	case proto.RelocAbort:
+		err = e.onRelocAbort(m)
 	case proto.ForceSpill:
 		err = e.onForceSpill(m)
+	case proto.Checkpoint:
+		err = e.onCheckpoint(from)
 	case proto.Drain:
 		err = e.onDrain(from, m)
 	case proto.StartCleanup:
@@ -403,8 +444,14 @@ func (e *Engine) reportResults() error {
 
 // onCptV implements the engine's cptv event: pick the most productive
 // groups worth the requested amount (they stay active in the receiver's
-// memory) and answer with the list.
+// memory) and answer with the list. A duplicated CptV (coordinator
+// retry after a lost PtV) is re-answered with the cached choice so both
+// sides agree on the moving set.
 func (e *Engine) onCptV(m proto.CptV) error {
+	if e.pendingReloc != nil && e.pendingReloc.epoch == m.Epoch {
+		return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: e.pendingReloc.parts})
+	}
+	e.savedXfer = nil // at most one outbound relocation's state is retained
 	e.mode = core.RelocateMode
 	var parts []partition.ID
 	if e.tracker != nil {
@@ -425,7 +472,19 @@ func (e *Engine) onCptV(m proto.CptV) error {
 // cleanup stays local — and ship them to the receiver. If the transfer
 // cannot be sent (receiver unreachable), the extracted state is
 // reinstalled locally: an aborted relocation must never lose state.
+//
+// The extracted transfer is retained (savedXfer): a retried SendStates
+// re-ships the identical encoded state instead of re-extracting (the
+// groups are gone from the operator by then), and a RelocAbort
+// reinstalls from it. A SendStates for an epoch that is neither pending
+// nor saved is stale — the relocation was aborted — and is ignored.
 func (e *Engine) onSendStates(m proto.SendStates) error {
+	if x := e.savedXfer; x != nil && x.epoch == m.Epoch {
+		return e.ep.Send(x.receiver, x.msg)
+	}
+	if e.pendingReloc == nil || e.pendingReloc.epoch != m.Epoch {
+		return nil // stale: the epoch was aborted or superseded
+	}
 	defer func() {
 		e.mode = core.NormalMode
 		e.pendingReloc = nil
@@ -472,12 +531,81 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 	span.SetAttr("resident_groups", fmt.Sprintf("%d", len(residents)))
 	span.SetAttr("segments", fmt.Sprintf("%d", len(segments)))
 	span.End(e.clock.Now())
+	e.savedXfer = &savedTransfer{epoch: m.Epoch, receiver: m.Receiver, msg: xfer}
 	e.reg.Counter("distq_engine_relocations_out_total").Inc()
 	return nil
 }
 
-// onStateTransfer implements the receiver side of step 6.
+// reinstallSaved puts the saved transfer's state back into this
+// engine's operator and store (sender-side relocation rollback).
+func (e *Engine) reinstallSaved() error {
+	x := e.savedXfer
+	for _, buf := range x.msg.Resident {
+		snap, err := join.DecodeSnapshot(buf)
+		if err != nil {
+			return fmt.Errorf("decode saved state: %w", err)
+		}
+		if err := e.op.Install(snap); err != nil {
+			return fmt.Errorf("reinstall saved state: %w", err)
+		}
+	}
+	for _, buf := range x.msg.Segments {
+		seg, err := join.DecodeSnapshot(buf)
+		if err != nil {
+			return fmt.Errorf("decode saved segment: %w", err)
+		}
+		if err := e.cfg.Store.Write(seg); err != nil {
+			return fmt.Errorf("restore saved segment: %w", err)
+		}
+	}
+	return nil
+}
+
+// onRelocAbort rolls this engine out of a relocation epoch. It is
+// idempotent and answers from any state: a receiver that already
+// installed the epoch's transfer reports Installed (the coordinator
+// commits forward); a sender holding the extracted state reinstalls it;
+// an engine with the relocation merely pending clears its mode; an
+// engine that knows nothing about the epoch still acknowledges. In
+// every non-installed case the epoch is marked aborted so a transfer
+// arriving late is discarded rather than forking the state.
+func (e *Engine) onRelocAbort(m proto.RelocAbort) error {
+	ack := proto.RelocAbortAck{Epoch: m.Epoch, Node: e.cfg.Node}
+	switch {
+	case e.installedEpochs[m.Epoch]:
+		ack.Installed = true
+	case e.savedXfer != nil && e.savedXfer.epoch == m.Epoch:
+		if err := e.reinstallSaved(); err != nil {
+			// State integrity beats protocol progress: keep savedXfer
+			// and let the coordinator's retry re-attempt the rollback.
+			return fmt.Errorf("relocation abort epoch %d: %w", m.Epoch, err)
+		}
+		e.savedXfer = nil
+		e.abortedEpochs[m.Epoch] = true
+		e.events.Add(stats.Event{T: e.clock.Now(), Node: e.cfg.Node, Kind: stats.EventAbort,
+			Detail: fmt.Sprintf("epoch %d state reinstalled", m.Epoch)})
+	case e.pendingReloc != nil && e.pendingReloc.epoch == m.Epoch:
+		e.pendingReloc = nil
+		e.mode = core.NormalMode
+		e.abortedEpochs[m.Epoch] = true
+	default:
+		e.abortedEpochs[m.Epoch] = true
+	}
+	return e.ep.Send(e.cfg.Coordinator, ack)
+}
+
+// onStateTransfer implements the receiver side of step 6. Duplicate
+// deliveries (a retried SendStates after a lost Installed) are re-acked
+// without re-installing; a transfer whose epoch was already aborted
+// here is discarded — the sender reinstalled the state, installing it
+// again would duplicate every result it joins.
 func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
+	if e.abortedEpochs[m.Epoch] {
+		return nil
+	}
+	if e.installedEpochs[m.Epoch] {
+		return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
+	}
 	span := e.tracer.Start(obs.SpanRelocationReceive, string(e.cfg.Node), e.clock.Now())
 	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
 	span.SetAttr("resident_groups", fmt.Sprintf("%d", len(m.Resident)))
@@ -505,12 +633,18 @@ func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
 		}
 	}
 	span.End(e.clock.Now())
+	e.installedEpochs[m.Epoch] = true
 	e.reg.Counter("distq_engine_relocations_in_total").Inc()
 	return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
 }
 
-// onForceSpill implements the active-disk start_ss event.
+// onForceSpill implements the active-disk start_ss event. A duplicated
+// command (coordinator retry after a lost SpillDone) is re-acknowledged
+// with the recorded outcome instead of spilling twice.
 func (e *Engine) onForceSpill(m proto.ForceSpill) error {
+	if m.Seq != 0 && m.Seq == e.lastForceSeq {
+		return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: e.lastForceBytes, Seq: m.Seq})
+	}
 	var bytes int64
 	if err := func() error {
 		before := e.mgr.SpilledBytes()
@@ -522,7 +656,51 @@ func (e *Engine) onForceSpill(m proto.ForceSpill) error {
 	}(); err != nil {
 		return err
 	}
-	return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: bytes})
+	e.lastForceSeq, e.lastForceBytes = m.Seq, bytes
+	return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: bytes, Seq: m.Seq})
+}
+
+// onCheckpoint persists the resident operator state into the configured
+// checkpoint directory and reports the outcome to the requester.
+func (e *Engine) onCheckpoint(from partition.NodeID) error {
+	done := proto.CheckpointDone{Node: e.cfg.Node}
+	if e.cfg.CheckpointDir == "" {
+		done.Error = "no checkpoint directory configured"
+	} else if n, err := checkpoint.Save(e.op, e.cfg.CheckpointDir); err != nil {
+		done.Groups = n
+		done.Error = err.Error()
+	} else {
+		done.Groups = n
+	}
+	return e.ep.Send(from, done)
+}
+
+// Restore loads the latest checkpoint generation into the operator.
+// Call it on a freshly built engine before Start (the handler must not
+// be processing messages yet); restart recovery pairs it with a
+// reopened file-backed spill store over the same directory, whose disk
+// segments survived the crash.
+func (e *Engine) Restore() (int, error) {
+	if e.cfg.CheckpointDir == "" {
+		return 0, nil
+	}
+	return checkpoint.Load(e.op, e.cfg.CheckpointDir)
+}
+
+// Crash simulates an abrupt machine failure: message processing halts
+// (everything still queued is discarded), timers stop, and the endpoint
+// detaches. In-memory state is not preserved — recovery goes through a
+// fresh engine over the same checkpoint and store directories, Restore,
+// and re-Attach. Callable from any goroutine.
+func (e *Engine) Crash() {
+	e.crashed.Store(true)
+	for _, tk := range e.tickers {
+		tk.Stop()
+	}
+	if e.ep != nil {
+		_ = e.ep.Close()
+	}
+	e.doneOnce.Do(func() { close(e.done) })
 }
 
 func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {
@@ -603,7 +781,7 @@ func (e *Engine) shutdown() {
 	for _, tk := range e.tickers {
 		tk.Stop()
 	}
-	close(e.done)
+	e.doneOnce.Do(func() { close(e.done) })
 }
 
 // Done closes once the engine's handler has processed Stop; the harness
@@ -615,7 +793,8 @@ func (e *Engine) Done() <-chan struct{} { return e.done }
 func (e *Engine) Stop() {
 	if e.ep != nil {
 		// Route through the handler for single-threaded shutdown.
-		_ = e.ep.Send(e.cfg.Node, proto.Stop{})
+		//distqlint:allow senderrcheck: best-effort self-stop; a dead own endpoint is already stopped
+		e.ep.Send(e.cfg.Node, proto.Stop{})
 	}
 }
 

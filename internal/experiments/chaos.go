@@ -1,0 +1,282 @@
+// Chaos experiments: run the full cluster under a fault-injecting
+// transport (internal/transport/faulty) and assert the paper's
+// exactness invariant survives — every join result is produced exactly
+// once, no matter which relocation-protocol message the network loses,
+// duplicates, or delays, and no matter whether an engine crashes and
+// recovers from its checkpoint.
+//
+// Every scenario is seeded and deterministic in its fault schedule, so
+// a failure reproduces. The assertions mirror the coordinator's
+// hardening contract: a disrupted relocation either completes via
+// retry or rolls back via RelocAbort within the virtual-time deadline;
+// the quiesce fence therefore always unblocks (zero hung coordinators),
+// and the materialized result set matches a fault-free baseline
+// exactly.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/transport"
+	"repro/internal/transport/faulty"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// chaosWorkload is a small deterministic workload: big enough that
+// every run performs several relocations, small enough that the full
+// scenario matrix stays CI-cheap.
+func chaosWorkload() workload.Config {
+	return workload.Config{
+		Streams:      2,
+		Partitions:   24,
+		Classes:      []workload.Class{{Fraction: 1, JoinRate: 2, TupleRange: 2000}},
+		InterArrival: 30 * time.Millisecond,
+		PayloadBytes: 24,
+		Seed:         7,
+	}
+}
+
+// pingPong relocates state back and forth between the two engines on
+// every load-balance round, giving chaos scenarios a steady supply of
+// relocations to disrupt. Amounts are small so each relocation moves a
+// handful of partitions.
+type pingPong struct{ n int }
+
+// Name implements core.Strategy.
+func (p *pingPong) Name() string { return "chaos-ping-pong" }
+
+// Decide implements core.Strategy.
+func (p *pingPong) Decide(loads []core.EngineLoad, _ vclock.Time) *core.Action {
+	if len(loads) < 2 {
+		return nil
+	}
+	ordered := make([]core.EngineLoad, len(loads))
+	copy(ordered, loads)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Node < ordered[j].Node })
+	from, to := ordered[0], ordered[1]
+	if p.n%2 == 1 {
+		from, to = to, from
+	}
+	if from.MemBytes <= 0 || from.Groups <= 1 {
+		return nil
+	}
+	p.n++
+	amount := from.MemBytes / 4
+	if amount <= 0 {
+		amount = 1
+	}
+	return &core.Action{Relocate: &core.Relocation{Sender: from.Node, Receiver: to.Node, Amount: amount}}
+}
+
+// ChaosConfig parameterizes one chaos run.
+type ChaosConfig struct {
+	// Faults is the seeded fault schedule for the wrapped transport.
+	Faults faulty.Config
+	// Drop arms one deterministic one-shot drop before the run starts
+	// (the per-protocol-message scenarios).
+	Drop func(from, to partition.NodeID, msg proto.Message) bool
+	// DropCount is how many matching messages the one-shot eats
+	// (default 1).
+	DropCount int
+	// Duration is the virtual run-time phase length (default 3 minutes).
+	Duration time.Duration
+}
+
+// chaosClusterConfig is the shared cluster shape of every chaos run:
+// two engines under the ping-pong relocation strategy with aggressive
+// protocol timeouts, materialized results for exactness checking.
+func chaosClusterConfig(wl workload.Config, duration time.Duration) cluster.Config {
+	return cluster.Config{
+		Engines:        []partition.NodeID{"e1", "e2"},
+		Workload:       wl,
+		InitialWeights: []int{2, 1},
+		Strategy:       &pingPong{},
+		Materialize:    true,
+		Scale:          600,
+		Duration:       duration,
+		LBInterval:     10 * time.Second,
+		RelocTimeout:   30 * time.Second,
+	}
+}
+
+// RunChaos executes one faulted run and returns its result. The run
+// itself is the liveness assertion: if a dropped message hung the
+// relocation protocol, the quiesce fence inside would time out and
+// surface as an error.
+func RunChaos(cc ChaosConfig) (*cluster.Result, error) {
+	duration := cc.Duration
+	if duration <= 0 {
+		duration = 3 * time.Minute
+	}
+	cfg := chaosClusterConfig(chaosWorkload(), duration)
+
+	inner := transport.NewInproc()
+	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), cc.Faults)
+	defer fnet.Close()
+	if cc.Drop != nil {
+		n := cc.DropCount
+		if n <= 0 {
+			n = 1
+		}
+		fnet.DropMatching(n, cc.Drop)
+	}
+	cfg.Network = fnet
+	return cluster.Run(cfg)
+}
+
+// RunChaosBaseline executes the fault-free twin of RunChaos (same
+// workload, strategy, and duration) for exactness comparison.
+func RunChaosBaseline(duration time.Duration) (*cluster.Result, error) {
+	if duration <= 0 {
+		duration = 3 * time.Minute
+	}
+	return cluster.Run(chaosClusterConfig(chaosWorkload(), duration))
+}
+
+// CheckExactness compares a chaos run's materialized results against
+// the fault-free baseline: identical input, identical result set, no
+// duplicates, and no relocation left unresolved. It returns a list of
+// human-readable violations (empty means exact).
+func CheckExactness(res, baseline *cluster.Result) []string {
+	var bad []string
+	if res.Generated != baseline.Generated {
+		bad = append(bad, fmt.Sprintf("generated %d tuples, baseline %d", res.Generated, baseline.Generated))
+	}
+	if res.Duplicates != 0 {
+		bad = append(bad, fmt.Sprintf("%d duplicate results", res.Duplicates))
+	}
+	if res.UnresolvedRelocations != 0 {
+		bad = append(bad, fmt.Sprintf("%d unresolved relocations", res.UnresolvedRelocations))
+	}
+	if res.RuntimeSet == nil || baseline.RuntimeSet == nil {
+		bad = append(bad, "missing materialized result sets")
+		return bad
+	}
+	if miss := baseline.RuntimeSet.Diff(res.RuntimeSet); len(miss) > 0 {
+		bad = append(bad, fmt.Sprintf("%d baseline results missing (first: %s)", len(miss), miss[0]))
+	}
+	if extra := res.RuntimeSet.Diff(baseline.RuntimeSet); len(extra) > 0 {
+		bad = append(bad, fmt.Sprintf("%d extra results not in baseline (first: %s)", len(extra), extra[0]))
+	}
+	return bad
+}
+
+// CrashRecoveryResult carries the chaos crash run and its baseline.
+type CrashRecoveryResult struct {
+	Res      *cluster.Result
+	Baseline *cluster.Result
+	// CheckpointGroups is how many partition groups the pre-crash
+	// checkpoint persisted (the restore reloads the same generation).
+	CheckpointGroups int
+}
+
+// RunCrashRecovery scripts the engine kill/restart scenario: feed and
+// fence, checkpoint the victim, crash it, let the heartbeat watchdog
+// pause its partitions, keep feeding (tuples for the dead engine buffer
+// at the split host), restart the victim from its checkpoint, wait for
+// the revival remap, and finish. The result must match a continuous
+// fault-free run exactly.
+func RunCrashRecovery(checkpointDir string) (*CrashRecoveryResult, error) {
+	const (
+		phase1 = time.Minute
+		phase2 = time.Minute
+	)
+	victim := partition.NodeID("e2")
+	wl := chaosWorkload()
+
+	cfg := chaosClusterConfig(wl, phase1+phase2)
+	cfg.Strategy = core.NoAdapt{} // the revival path is under test, not relocation
+	cfg.CheckpointDir = checkpointDir
+	// Twelve missed stats reports before the watchdog fires: at Scale 600
+	// this is ~100ms of wall silence, wide enough that a healthy engine
+	// under -race contention is never spuriously declared dead, yet the
+	// real crash is still detected well inside the script's 30s await.
+	cfg.HeartbeatTimeout = 60 * time.Second
+	cfg.StatsInterval = 5 * time.Second
+	cfg.LBInterval = 5 * time.Second // watchdog runs on the lb tick
+
+	inner := transport.NewInproc()
+	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), faulty.Config{})
+	defer fnet.Close()
+	cfg.Network = fnet
+
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(phase1); err != nil {
+		return nil, err
+	}
+	// Fence the data path so the checkpoint captures exactly the
+	// phase-1 tuples, then checkpoint and kill the victim.
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	done, err := c.Checkpoint(victim)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Crash(victim); err != nil {
+		return nil, err
+	}
+	// No input flows until the watchdog has declared the victim dead
+	// and paused its partitions at the split host; from then on its
+	// tuples buffer instead of chasing a closed endpoint.
+	if !c.Await(30*time.Second, func() bool { return !c.EngineAlive(victim) }) {
+		return nil, fmt.Errorf("watchdog never declared %s dead", victim)
+	}
+	if err := c.Feed(phase2); err != nil {
+		return nil, err
+	}
+	if err := c.Restart(victim); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, func() bool {
+		return c.EngineAlive(victim) && c.PendingResumes() == 0
+	}) {
+		return nil, fmt.Errorf("revival remap for %s never completed", victim)
+	}
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	res, err := c.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	baseline, err := cluster.Run(func() cluster.Config {
+		b := chaosClusterConfig(wl, phase1+phase2)
+		b.Strategy = core.NoAdapt{}
+		return b
+	}())
+	if err != nil {
+		return nil, err
+	}
+	return &CrashRecoveryResult{Res: res, Baseline: baseline, CheckpointGroups: done.Groups}, nil
+}
+
+// countEvents tallies event kinds for chaos assertions.
+func countEvents(events []stats.Event, kind string) int {
+	n := 0
+	for _, e := range events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/transport/faulty"
+)
+
+// chaosBaseline computes the fault-free twin once per test binary.
+var chaosBaseline *cluster.Result
+
+func baselineResult(t *testing.T) *cluster.Result {
+	t.Helper()
+	if chaosBaseline == nil {
+		res, err := RunChaosBaseline(0)
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+		chaosBaseline = res
+	}
+	return chaosBaseline
+}
+
+func assertExact(t *testing.T, res *cluster.Result) {
+	t.Helper()
+	for _, v := range CheckExactness(res, baselineResult(t)) {
+		t.Error(v)
+	}
+}
+
+// TestChaosProtocolMessageDrops drops the first instance of each
+// relocation-protocol message (one scenario per message, deterministic
+// one-shot) and asserts that every disrupted relocation completes via
+// retry or clean abort — the run's quiesce fence unblocks, nothing is
+// left unresolved, and the result set stays exact.
+func TestChaosProtocolMessageDrops(t *testing.T) {
+	scenarios := []struct {
+		name string
+		pred func(from, to partition.NodeID, msg proto.Message) bool
+		// count is how many matching messages the one-shot eats: 1
+		// exercises the retry path; enough to exhaust the retry budget
+		// (initial send + RelocMaxRetries re-sends) forces the abort
+		// state machine.
+		count int
+		// minAborts asserts the scenario actually drove a rollback.
+		minAborts int
+	}{
+		{"CptV", isType[proto.CptV], 1, 0},
+		{"PtV", isType[proto.PtV], 1, 0},
+		{"Pause", isType[proto.Pause], 1, 0},
+		{"PauseMarker", isType[proto.PauseMarker], 1, 0},
+		{"MarkerAck", isType[proto.MarkerAck], 1, 0},
+		{"SendStates", isType[proto.SendStates], 1, 0},
+		{"StateTransfer", isType[proto.StateTransfer], 1, 0},
+		{"Installed", isType[proto.Installed], 1, 0},
+		{"Remap", isType[proto.Remap], 1, 0},
+		{"RemapAck", isType[proto.RemapAck], 1, 0},
+		// Exhausting retries in wait_ptv aborts before any state moved.
+		{"PtVExhausted", isType[proto.PtV], 3, 1},
+		// Exhausting retries in wait_marker aborts and resumes the
+		// paused partitions at the split host.
+		{"MarkerAckExhausted", isType[proto.MarkerAck], 3, 1},
+		// Exhausting retries in wait_installed with the transfer itself
+		// lost rolls the sender's extracted state back in.
+		{"StateTransferExhausted", isType[proto.StateTransfer], 3, 1},
+		// Exhausting retries with only the Installed acks lost makes the
+		// abort probe find the state installed — commit forward, no
+		// rollback.
+		{"InstalledExhausted", isType[proto.Installed], 3, 0},
+	}
+	for _, sc := range scenarios {
+		t.Run("drop"+sc.name, func(t *testing.T) {
+			res, err := RunChaos(ChaosConfig{Drop: sc.pred, DropCount: sc.count})
+			if err != nil {
+				t.Fatalf("chaos run hung or failed: %v", err)
+			}
+			assertExact(t, res)
+			retries := countEvents(res.Events, stats.EventRetry)
+			aborts := countEvents(res.Events, stats.EventAbort)
+			if retries+aborts == 0 {
+				t.Errorf("dropped %s left no retry or abort trace (retries=%d aborts=%d)", sc.name, retries, aborts)
+			}
+			if aborts < sc.minAborts {
+				t.Errorf("dropped %s ×%d: want at least %d aborts, got %d", sc.name, sc.count, sc.minAborts, aborts)
+			}
+			t.Logf("%s: relocations=%d aborted=%d retries=%d generated=%d results=%d",
+				sc.name, res.Relocations, res.AbortedRelocations, retries, res.Generated, res.RuntimeSet.Len())
+		})
+	}
+}
+
+func isType[T proto.Message](_, _ partition.NodeID, msg proto.Message) bool {
+	_, ok := msg.(T)
+	return ok
+}
+
+// TestChaosSeededMatrix runs randomized control-plane drop/dup/delay
+// schedules under fixed seeds; every seed must preserve liveness and
+// exactness. This is the `make chaos-smoke` matrix.
+func TestChaosSeededMatrix(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := RunChaos(ChaosConfig{Faults: faulty.Config{
+				Seed:      seed,
+				DropProb:  0.03,
+				DupProb:   0.03,
+				DelayProb: 0.05,
+			}})
+			if err != nil {
+				t.Fatalf("chaos run hung or failed: %v", err)
+			}
+			assertExact(t, res)
+			t.Logf("seed %d: relocations=%d aborted=%d retries=%d errors=%d",
+				seed, res.Relocations, res.AbortedRelocations,
+				countEvents(res.Events, stats.EventRetry), res.CoordinatorErrors)
+		})
+	}
+}
+
+// TestChaosCrashRecovery kills an engine mid-run and revives it from
+// its checkpoint; the watchdog pauses its partitions so the downtime
+// input buffers at the split host, and the revival remap replays it.
+// The joined output must match a continuous fault-free run exactly.
+func TestChaosCrashRecovery(t *testing.T) {
+	crr, err := RunCrashRecovery(t.TempDir())
+	if err != nil {
+		t.Fatalf("crash-recovery run failed: %v", err)
+	}
+	if crr.CheckpointGroups == 0 {
+		t.Error("checkpoint saved no partition groups")
+	}
+	for _, v := range CheckExactness(crr.Res, crr.Baseline) {
+		t.Error(v)
+	}
+	if n := countEvents(crr.Res.Events, stats.EventEngineDead); n == 0 {
+		t.Error("watchdog never recorded an engine-dead event")
+	}
+	if n := countEvents(crr.Res.Events, stats.EventEngineAlive); n == 0 {
+		t.Error("revival never recorded an engine-alive event")
+	}
+	t.Logf("crash recovery: checkpointed %d groups, generated=%d results=%d baseline=%d",
+		crr.CheckpointGroups, crr.Res.Generated, crr.Res.RuntimeSet.Len(), crr.Baseline.RuntimeSet.Len())
+}

@@ -67,6 +67,19 @@ func Fig12(o RunOpts) (*Report, error) {
 		}
 		return float64(max) / float64(total)
 	}
+	// Critical path of the parallel cleanup phase: the busiest machine's
+	// scanned-tuple count. Wall-clock MaxElapsed measures the same thing
+	// but flakes under CI contention at these compressed run lengths, so
+	// the claim asserts on the work and reports the latency.
+	criticalPath := func(res *cluster.Result) int {
+		var max int
+		for _, done := range res.Cleanup.PerNode {
+			if done.Tuples > max {
+				max = done.Tuples
+			}
+		}
+		return max
+	}
 	rep.Claims = append(rep.Claims,
 		claimf("lazy-disk wins the run-time phase",
 			"lazy-disk has a higher overall throughput by using all cluster memory",
@@ -79,9 +92,10 @@ func Fig12(o RunOpts) (*Report, error) {
 			share(noReloc)*100, share(lazy)*100),
 		claimf("parallel cleanup is faster under lazy-disk",
 			"cleanup takes over 4x longer when the work sits on one machine",
-			noReloc.Cleanup.MaxElapsed > lazy.Cleanup.MaxElapsed,
-			"parallel cleanup latency: no-relocation=%v, lazy-disk=%v",
-			noReloc.Cleanup.MaxElapsed.Round(time.Millisecond), lazy.Cleanup.MaxElapsed.Round(time.Millisecond)),
+			criticalPath(noReloc) > criticalPath(lazy),
+			"cleanup critical path: no-relocation=%d tuples (%v), lazy-disk=%d tuples (%v)",
+			criticalPath(noReloc), noReloc.Cleanup.MaxElapsed.Round(time.Millisecond),
+			criticalPath(lazy), lazy.Cleanup.MaxElapsed.Round(time.Millisecond)),
 	)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("spill threshold %d KB per machine (22%% of projected total state): even balanced machines overflow", threshold/1024))

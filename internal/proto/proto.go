@@ -202,19 +202,79 @@ type RemapAck struct {
 }
 
 // ForceSpill is the coordinator's active-disk command: the engine must
-// push Amount bytes of its least productive groups to disk.
+// push Amount bytes of its least productive groups to disk. Seq makes
+// the command idempotent under retry: an engine receiving a ForceSpill
+// with the Seq it last executed re-acknowledges instead of spilling
+// again.
 //
 //distq:handledby engine
 type ForceSpill struct {
 	Amount int64
+	Seq    uint64
 }
 
-// SpillDone acknowledges a forced spill.
+// SpillDone acknowledges a forced spill, echoing its Seq.
 //
 //distq:handledby coordinator
 type SpillDone struct {
 	Node  partition.NodeID
 	Bytes int64
+	Seq   uint64
+}
+
+// RelocTimeout is the coordinator's self-addressed await-phase timer:
+// when an expected protocol reply has not arrived within the armed
+// virtual-time deadline, the handler retries the pending step or
+// escalates to RelocAbort. Seq identifies the arming; the coordinator
+// bumps its timeout sequence on every phase transition so stale timers
+// are ignored.
+//
+//distq:handledby coordinator
+type RelocTimeout struct {
+	Epoch uint64
+	Seq   uint64
+}
+
+// RelocAbort rolls an engine out of relocation epoch Epoch: a sender
+// that still holds (or reinstalled) the moving state clears its
+// relocation mode; a receiver that already installed the state reports
+// so, letting the coordinator commit forward instead of rolling back.
+// The message is idempotent — an engine that knows nothing about the
+// epoch still acknowledges.
+//
+//distq:handledby engine
+type RelocAbort struct {
+	Epoch uint64
+}
+
+// RelocAbortAck acknowledges a RelocAbort. Installed reports whether
+// this engine had already installed the epoch's transferred state (the
+// receiver raced the abort): if so the coordinator commits the
+// relocation forward rather than rolling back.
+//
+//distq:handledby coordinator
+type RelocAbortAck struct {
+	Epoch     uint64
+	Node      partition.NodeID
+	Installed bool
+}
+
+// Checkpoint asks an engine to persist its resident operator state to
+// its checkpoint directory (crash-recovery drills, operational
+// snapshots). The engine answers the requester with CheckpointDone.
+//
+//distq:handledby engine
+type Checkpoint struct{}
+
+// CheckpointDone reports a checkpoint outcome to the requester (the
+// experiment harness on the generator node). A non-empty Error means
+// the checkpoint failed and must not be trusted.
+//
+//distq:handledby generator
+type CheckpointDone struct {
+	Node   partition.NodeID
+	Groups int
+	Error  string
 }
 
 // StartCleanup tells an engine to run its disk-phase cleanup.
@@ -305,6 +365,11 @@ func init() {
 	gob.Register(RemapAck{})
 	gob.Register(ForceSpill{})
 	gob.Register(SpillDone{})
+	gob.Register(RelocTimeout{})
+	gob.Register(RelocAbort{})
+	gob.Register(RelocAbortAck{})
+	gob.Register(Checkpoint{})
+	gob.Register(CheckpointDone{})
 	gob.Register(StartCleanup{})
 	gob.Register(CleanupDone{})
 	gob.Register(Stop{})

@@ -131,6 +131,10 @@ const (
 	EventSpill       = "spill"
 	EventForcedSpill = "forced-spill"
 	EventRelocation  = "relocation"
+	EventRetry       = "reloc-retry"
+	EventAbort       = "reloc-abort"
+	EventEngineDead  = "engine-dead"
+	EventEngineAlive = "engine-alive"
 )
 
 // EventLog is a concurrency-safe adaptation event log.

@@ -1,0 +1,226 @@
+package faulty
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// recorder collects delivered messages per receiving node.
+type recorder struct {
+	mu   sync.Mutex
+	msgs map[partition.NodeID][]proto.Message
+}
+
+func newRecorder() *recorder {
+	return &recorder{msgs: make(map[partition.NodeID][]proto.Message)}
+}
+
+func (r *recorder) handler(node partition.NodeID) transport.Handler {
+	return func(from partition.NodeID, msg proto.Message) {
+		r.mu.Lock()
+		r.msgs[node] = append(r.msgs[node], msg)
+		r.mu.Unlock()
+	}
+}
+
+func (r *recorder) count(node partition.NodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.msgs[node])
+}
+
+// rig wires two endpoints a, b through a faulty network over inproc.
+func rig(t *testing.T, clock vclock.Clock, cfg Config) (*Network, transport.Endpoint, transport.Endpoint, *recorder) {
+	t.Helper()
+	inner := transport.NewInproc()
+	t.Cleanup(func() { inner.Close() })
+	n := New(inner, clock, cfg)
+	rec := newRecorder()
+	a, err := n.Attach("a", rec.handler("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Attach("b", rec.handler("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, a, b, rec
+}
+
+// drain waits until the receiver count stabilizes at want, or fails.
+func waitCount(t *testing.T, rec *recorder, node partition.NodeID, want int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.count(node) < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("node %s received %d messages, want %d", node, rec.count(node), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// eligible is a control-plane message under the default filter.
+var eligible = proto.Hello{Node: "a", Kind: proto.KindEngine}
+
+func TestSameSeedSameFaultSchedule(t *testing.T) {
+	run := func() []bool {
+		inner := transport.NewInproc()
+		defer inner.Close()
+		n := New(inner, vclock.NewManual(), Config{Seed: 99, DropProb: 0.5})
+		var got []bool
+		for i := 0; i < 64; i++ {
+			action, _ := n.decide("a", "b", eligible)
+			got = append(got, action == drop)
+		}
+		return got
+	}
+	first, second := run(), run()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("fault schedule diverged at message %d with identical seeds", i)
+		}
+	}
+}
+
+func TestDifferentSendersIndependentSchedules(t *testing.T) {
+	inner := transport.NewInproc()
+	defer inner.Close()
+	n := New(inner, vclock.NewManual(), Config{Seed: 99, DropProb: 0.5})
+	same := true
+	for i := 0; i < 64; i++ {
+		fromA, _ := n.decide("a", "b", eligible)
+		fromC, _ := n.decide("c", "b", eligible)
+		if fromA != fromC {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("two senders rolled identical 64-message fault schedules; per-sender seeding is broken")
+	}
+}
+
+func TestSelfSendsNeverFaulted(t *testing.T) {
+	inner := transport.NewInproc()
+	defer inner.Close()
+	n := New(inner, vclock.NewManual(), Config{Seed: 1, DropProb: 1})
+	for i := 0; i < 32; i++ {
+		if action, _ := n.decide("a", "a", eligible); action != deliver {
+			t.Fatal("self-addressed message faulted; node timers would break")
+		}
+	}
+}
+
+func TestFilterIneligibleDelivered(t *testing.T) {
+	inner := transport.NewInproc()
+	defer inner.Close()
+	n := New(inner, vclock.NewManual(), Config{Seed: 1, DropProb: 1})
+	// Data is not in ControlPlaneFilter: the data path has no
+	// retransmission layer, so randomized faults must not touch it.
+	if action, _ := n.decide("a", "b", proto.Data{}); action != deliver {
+		t.Fatal("data-plane message hit by randomized fault despite default filter")
+	}
+}
+
+func TestIsolateDropsBothDirectionsUntilRestore(t *testing.T) {
+	n, a, b, rec := rig(t, vclock.NewManual(), Config{})
+	n.Isolate("b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Send("a", eligible); err != nil {
+		t.Fatal(err)
+	}
+	n.Restore("b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, rec, "b", 1)
+	if got := rec.count("a"); got != 0 {
+		t.Fatalf("isolated node's send delivered %d messages", got)
+	}
+}
+
+func TestPartitionCutsPairUntilHeal(t *testing.T) {
+	n, a, _, rec := rig(t, vclock.NewManual(), Config{})
+	n.Partition("a", "b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	n.Heal("a", "b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, rec, "b", 1)
+	if got := rec.count("b"); got != 1 {
+		t.Fatalf("partitioned send leaked: %d deliveries", got)
+	}
+}
+
+func TestDropMatchingEatsExactlyCount(t *testing.T) {
+	n, a, _, rec := rig(t, vclock.NewManual(), Config{})
+	n.DropMatching(2, func(from, to partition.NodeID, msg proto.Message) bool {
+		_, ok := msg.(proto.Hello)
+		return ok
+	})
+	for i := 0; i < 5; i++ {
+		if err := a.Send("b", eligible); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, rec, "b", 3)
+	time.Sleep(10 * time.Millisecond)
+	if got := rec.count("b"); got != 3 {
+		t.Fatalf("one-shot drop of 2: %d of 5 delivered, want 3", got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	_, a, _, rec := rig(t, vclock.NewManual(), Config{Seed: 4, DupProb: 1})
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, rec, "b", 2)
+}
+
+func TestDelayHoldsUntilVirtualTimeAdvances(t *testing.T) {
+	clock := vclock.NewManual()
+	_, a, _, rec := rig(t, clock, Config{
+		Seed: 4, DelayProb: 1,
+		DelayMin: 10 * time.Millisecond, DelayMax: 10 * time.Millisecond,
+	})
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := rec.count("b"); got != 0 {
+		t.Fatal("delayed message delivered before the virtual clock advanced")
+	}
+	clock.Advance(10 * time.Millisecond)
+	waitCount(t, rec, "b", 1)
+}
+
+func TestFaultCountersRecorded(t *testing.T) {
+	reg := obs.NewRegistry()
+	n, a, _, _ := rig(t, vclock.NewManual(), Config{Seed: 1, DropProb: 1, Registry: reg})
+	n.Isolate("b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	n.Restore("b")
+	if err := a.Send("b", eligible); err != nil {
+		t.Fatal(err)
+	}
+	if v := reg.Counter("distq_network_faults_total", obs.L("kind", "partition")).Value(); v != 1 {
+		t.Fatalf("partition fault counter = %v, want 1", v)
+	}
+	if v := reg.Counter("distq_network_faults_total", obs.L("kind", "drop")).Value(); v != 1 {
+		t.Fatalf("drop fault counter = %v, want 1", v)
+	}
+}
