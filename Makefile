@@ -1,10 +1,15 @@
 # Tier-1 verification for the repo: vet, build, lint, race-test, fuzz
 # smoke. `make check` is what CI and the roadmap's tier-1 gate run.
+# `make bench` is the separate benchmark regression gate (cmd/benchgate):
+# fixed-iteration hot-path micro-benchmarks, a serial-vs-parallel cleanup
+# comparison, and one compressed figure run, written to BENCH_4.json and
+# gated against BENCH_BASELINE.json. CI runs it as a non-blocking
+# artifact step; it is not part of the tier-1 gate.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build lint test test-race chaos-smoke fuzz-smoke
+.PHONY: check vet build lint test test-race chaos-smoke fuzz-smoke bench
 
 check: vet build lint test-race chaos-smoke fuzz-smoke
 
@@ -32,6 +37,11 @@ test-race:
 # liveness and exact results. -count=1 forces a live run.
 chaos-smoke:
 	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery' ./internal/experiments
+
+# bench runs the benchmark regression gate and writes BENCH_4.json.
+# Shrink the figure smoke further with REPRO_DURATION_FACTOR.
+bench:
+	$(GO) run ./cmd/benchgate
 
 # fuzz-smoke gives the coordinator protocol fuzzer a short budget on
 # top of replaying the committed corpus (testdata/fuzz). Grown inputs

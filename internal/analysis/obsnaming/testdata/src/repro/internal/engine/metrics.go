@@ -10,14 +10,14 @@ func register(reg *obs.Registry, tr *obs.Tracer) {
 	// Conforming names.
 	reg.Counter("distq_engine_results_total")
 	reg.Gauge("distq_engine_mem_bytes")
-	reg.Histogram("distq_engine_cleanup_seconds")
+	reg.Histogram("distq_engine_cleanup_seconds", nil)
 	reg.Help("distq_engine_mem_bytes", "resident state size")
 
 	// Violations.
-	reg.Counter("distq_engine_results")       // want `counter name "distq_engine_results" must end in _total`
-	reg.Histogram("distq_engine_cleanup")     // want `histogram name "distq_engine_cleanup" must end in a unit suffix`
-	reg.Counter("distq_Engine_results_total") // want `metric name "distq_Engine_results_total" does not follow`
-	reg.Gauge("mem_bytes")                    // want `metric name "mem_bytes" does not follow`
+	reg.Counter("distq_engine_results")        // want `counter name "distq_engine_results" must end in _total`
+	reg.Histogram("distq_engine_cleanup", nil) // want `histogram name "distq_engine_cleanup" must end in a unit suffix`
+	reg.Counter("distq_Engine_results_total")  // want `metric name "distq_Engine_results_total" does not follow`
+	reg.Gauge("mem_bytes")                     // want `metric name "mem_bytes" does not follow`
 
 	// Concatenated names: fragments must be snake_case, and a literal
 	// last fragment still carries the kind's suffix.
@@ -29,13 +29,22 @@ func register(reg *obs.Registry, tr *obs.Tracer) {
 	sp.Step("Install Phase") // want `span/step name "Install Phase" is not a snake_case identifier`
 }
 
-// fake has the same method names outside obs; resolved receivers that
-// are not obs types are skipped.
-type fake struct{}
+// cleanupWorkers mirrors the parallel cleanup's per-worker
+// instrumentation (PROTOCOL.md "Performance"): labeled counters, a
+// per-group wall-seconds histogram, a worker-count gauge, and the
+// cleanup_worker span — label arguments never exempt the name rules.
+func cleanupWorkers(reg *obs.Registry, tr *obs.Tracer) {
+	// Conforming: the names the cleanup worker pool registers.
+	reg.Counter("distq_engine_cleanup_groups_total", obs.L("worker", "0"))
+	reg.Counter("distq_engine_cleanup_results_total")
+	reg.Histogram("distq_engine_cleanup_group_seconds", nil, obs.L("worker", "0"))
+	reg.Gauge("distq_engine_cleanup_workers")
+	sp := tr.Start("cleanup_worker", "e1")
+	sp.Step("drained")
 
-func (fake) Counter(name string) int { return 0 }
-
-func unrelated() {
-	var f fake
-	f.Counter("Whatever Name, No Rules Here")
+	// Violations: labels don't launder a bad name, and worker spans
+	// follow the snake_case rule like every other span.
+	reg.Counter("distq_engine_cleanup_groups", obs.L("worker", "0")) // want `counter name "distq_engine_cleanup_groups" must end in _total`
+	reg.Histogram("distq_engine_cleanup_group", nil)                 // want `histogram name "distq_engine_cleanup_group" must end in a unit suffix`
+	tr.Start("Cleanup Worker", "e1")                                 // want `span/step name "Cleanup Worker" is not a snake_case identifier`
 }

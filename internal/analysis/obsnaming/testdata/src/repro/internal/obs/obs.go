@@ -1,7 +1,14 @@
 // Package obs is a miniature registry/tracer surface for the analyzer's
 // golden tests. The analyzer exempts this package itself: it plumbs
 // caller-supplied names through, so its internal literals are free.
+// Signatures mirror the real package's shape — labels after the name,
+// histogram buckets before labels, tracer Start with node/time args —
+// so the golden cases exercise the analyzer on realistic call forms.
 package obs
+
+type Label struct{ Key, Value string }
+
+func L(key, value string) Label { return Label{key, value} }
 
 type Counter struct{}
 
@@ -9,10 +16,12 @@ type Registry struct{}
 
 func NewRegistry() *Registry { return &Registry{} }
 
-func (r *Registry) Counter(name string) *Counter   { return &Counter{} }
-func (r *Registry) Gauge(name string) *Counter     { return &Counter{} }
-func (r *Registry) Histogram(name string) *Counter { return &Counter{} }
-func (r *Registry) Help(name, help string)         {}
+func (r *Registry) Counter(name string, labels ...Label) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name string, labels ...Label) *Counter   { return &Counter{} }
+func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *Counter {
+	return &Counter{}
+}
+func (r *Registry) Help(name, help string) {}
 
 type Span struct{}
 
@@ -20,4 +29,4 @@ func (s *Span) Step(name string) {}
 
 type Tracer struct{}
 
-func (t *Tracer) Start(name string) *Span { return &Span{} }
+func (t *Tracer) Start(name string, rest ...any) *Span { return &Span{} }

@@ -79,6 +79,9 @@ type Config struct {
 	Duration time.Duration
 	// RunCleanup executes the disk phase after the run-time phase.
 	RunCleanup bool
+	// CleanupParallelism bounds each engine's cleanup worker pool
+	// (0 = GOMAXPROCS; see engine.Config).
+	CleanupParallelism int
 	// StoreDir, when set, gives each engine a file-backed segment store
 	// under StoreDir/<node>; empty means in-memory stores.
 	StoreDir string
@@ -389,6 +392,7 @@ func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
 		Materialize:        c.cfg.Materialize,
 		EnumerateResults:   c.cfg.EnumerateResults,
 		SmoothingAlpha:     c.cfg.SmoothingAlpha,
+		CleanupParallelism: c.cfg.CleanupParallelism,
 		Window:             c.cfg.Window,
 		StatsInterval:      c.cfg.StatsInterval,
 		SpillCheckInterval: c.cfg.SpillCheckInterval,
@@ -425,6 +429,12 @@ func (c *Cluster) EngineAlive(node partition.NodeID) bool { return c.coord.Engin
 // PendingResumes reports how many revival remaps the coordinator still
 // has in flight (see coordinator.PendingResumes).
 func (c *Cluster) PendingResumes() int { return c.coord.PendingResumes() }
+
+// PartitionsPaused reports how many partitions the split host is
+// currently buffering. The watchdog's EngineAlive flag flips before the
+// Pause reaches the split host, so crash scripts that must not feed a
+// dead engine's partitions await this too.
+func (c *Cluster) PartitionsPaused() int { return c.feeder.router.PausedPartitions() }
 
 // Start launches the coordinator and all engines.
 func (c *Cluster) Start() error {

@@ -34,8 +34,9 @@ import (
 	"repro/internal/vclock"
 )
 
-// resultFlushThreshold bounds how many materialized results are buffered
-// before a ResultData message is pushed to the application server.
+// resultFlushThreshold bounds how many materialized results are encoded
+// into the pending payload before a ResultData message is pushed to the
+// application server.
 const resultFlushThreshold = 4096
 
 // Config parameterizes a query engine.
@@ -90,6 +91,11 @@ type Config struct {
 	// of the lifetime ratio. Ignored when an explicit Policy is set for
 	// spills (the movers still use the smoothed scores).
 	SmoothingAlpha float64
+	// CleanupParallelism bounds the disk-phase cleanup worker pool
+	// (groups merged concurrently). Zero or negative means GOMAXPROCS.
+	// The cleanup result set is identical at any setting; see
+	// cleanup.Options.
+	CleanupParallelism int
 }
 
 func (c *Config) withDefaults() Config {
@@ -147,8 +153,13 @@ type Engine struct {
 
 	// result accounting
 	reportedOutput uint64
-	resultBuf      []tuple.Result
-	resultPhase    proto.Phase
+	// resultPayload holds pending materialized results, already encoded:
+	// emit hands the engine a Result whose Seqs is the join core's scratch
+	// buffer, so it must be consumed (encoded) inside the callback rather
+	// than retained. resultCount tracks how many results it holds.
+	resultPayload []byte
+	resultCount   int
+	resultPhase   proto.Phase
 
 	tickers []*vclock.Ticker
 	stopped bool
@@ -200,6 +211,10 @@ func New(cfg Config, clock vclock.Clock) *Engine {
 	e.reg.Help("distq_engine_output_results", "cumulative join results produced")
 	e.reg.Help("distq_engine_relocations_out_total", "state transfers shipped to another engine")
 	e.reg.Help("distq_engine_relocations_in_total", "state transfers installed from another engine")
+	e.reg.Help("distq_engine_cleanup_workers", "worker-pool size of the last cleanup run")
+	e.reg.Help("distq_engine_cleanup_groups_total", "partition groups merged during cleanup, by worker")
+	e.reg.Help("distq_engine_cleanup_results_total", "missed results produced during cleanup")
+	e.reg.Help("distq_engine_cleanup_group_seconds", "wall-clock merge time of one cleanup group")
 	if c.SmoothingAlpha > 0 {
 		e.tracker = core.NewProductivityTracker(c.SmoothingAlpha)
 		if cfg.Policy == nil {
@@ -723,10 +738,17 @@ func (e *Engine) onCleanup(from partition.NodeID) error {
 	case e.cfg.EnumerateResults:
 		emit = func(tuple.Result) {}
 	}
-	st, err := cleanup.Run(e.cfg.Inputs, e.cfg.Store, e.op, e.cfg.Window, emit)
+	st, err := cleanup.RunWith(e.cfg.Inputs, e.cfg.Store, e.op, e.cfg.Window, emit, cleanup.Options{
+		Parallelism: e.cfg.CleanupParallelism,
+		Tracer:      e.tracer,
+		Registry:    e.reg,
+		Node:        string(e.cfg.Node),
+		Now:         e.clock.Now,
+	})
 	span.SetAttr("groups", fmt.Sprintf("%d", st.Groups))
 	span.SetAttr("segments", fmt.Sprintf("%d", st.Segments))
 	span.SetAttr("results", fmt.Sprintf("%d", st.Results))
+	span.SetAttr("workers", fmt.Sprintf("%d", st.Workers))
 	if err != nil {
 		span.Abort(e.clock.Now(), err.Error())
 	} else {
@@ -752,25 +774,23 @@ func (e *Engine) onCleanup(from partition.NodeID) error {
 }
 
 func (e *Engine) bufferResult(r tuple.Result) {
-	e.resultBuf = append(e.resultBuf, r)
-	if len(e.resultBuf) >= resultFlushThreshold {
+	e.resultPayload = r.AppendTo(e.resultPayload)
+	e.resultCount++
+	if e.resultCount >= resultFlushThreshold {
 		e.maybeFlushResults(true)
 	}
 }
 
 func (e *Engine) maybeFlushResults(force bool) {
-	if len(e.resultBuf) == 0 || (!force && len(e.resultBuf) < resultFlushThreshold) {
+	if e.resultCount == 0 || (!force && e.resultCount < resultFlushThreshold) {
 		return
 	}
-	size := 0
-	for i := range e.resultBuf {
-		size += e.resultBuf[i].EncodedSize()
-	}
-	payload := make([]byte, 0, size)
-	for i := range e.resultBuf {
-		payload = e.resultBuf[i].AppendTo(payload)
-	}
-	e.resultBuf = e.resultBuf[:0]
+	payload := e.resultPayload
+	// The receiver retains the payload (the in-process transport hands the
+	// message over by reference), so start a fresh buffer rather than
+	// truncating this one.
+	e.resultPayload = nil
+	e.resultCount = 0
 	if err := e.ep.Send(e.cfg.AppServer, proto.ResultData{Node: e.cfg.Node, Payload: payload, Phase: e.resultPhase}); err != nil {
 		log.Printf("engine %s: flush results: %v", e.cfg.Node, err)
 	}

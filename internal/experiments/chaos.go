@@ -232,10 +232,16 @@ func RunCrashRecovery(checkpointDir string) (*CrashRecoveryResult, error) {
 		return nil, err
 	}
 	// No input flows until the watchdog has declared the victim dead
-	// and paused its partitions at the split host; from then on its
-	// tuples buffer instead of chasing a closed endpoint.
-	if !c.Await(30*time.Second, func() bool { return !c.EngineAlive(victim) }) {
-		return nil, fmt.Errorf("watchdog never declared %s dead", victim)
+	// AND the pause has taken effect at the split host; from then on
+	// its tuples buffer instead of chasing a closed endpoint. Awaiting
+	// only the watchdog flag is a race: the flag flips before the Pause
+	// is delivered, and the phase-2 feed is a catch-up burst (its
+	// virtual schedule is already in the past), so on a loaded box the
+	// whole phase could be routed into the dead engine first.
+	if !c.Await(30*time.Second, func() bool {
+		return !c.EngineAlive(victim) && c.PartitionsPaused() > 0
+	}) {
+		return nil, fmt.Errorf("watchdog never declared %s dead and paused its partitions", victim)
 	}
 	if err := c.Feed(phase2); err != nil {
 		return nil, err

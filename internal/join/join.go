@@ -27,6 +27,12 @@ import (
 // operator in count-only mode: matches are counted (and drive all
 // statistics) without being materialized, which the long-running
 // throughput experiments use to avoid drowning in result tuples.
+//
+// Ownership: the Result's Seqs slice is a scratch buffer owned by the
+// caller and only valid for the duration of the call — the hot path
+// reuses it for the next match instead of allocating per result. An
+// implementation that retains the result beyond the call must copy it
+// first (tuple.Result.Clone). See PROTOCOL.md "Performance".
 type EmitFunc func(tuple.Result)
 
 // Operator is one instance of the partitioned m-way symmetric hash join.
@@ -45,15 +51,82 @@ type Operator struct {
 	seqs  []uint64
 }
 
+// arena allocates per-key tuple storage out of fixed-size chunks, so
+// the per-tuple insert path almost never hits the allocator: a chunk
+// serves hundreds of list carves, and a list that outgrows its carve is
+// moved to a doubled carve (amortized O(1) copies, like a bare append)
+// without an allocation of its own. Abandoned carves stay unused inside
+// their chunk until the whole generation is dropped by a spill or
+// relocation, which bounds the waste to a constant factor — the
+// memory-layout trade-off arXiv:2112.02480 §4 makes for hash joins.
+type arena struct {
+	cur []tuple.Tuple
+}
+
+// arenaChunkTuples is the arena chunk size (~28 KiB of tuple headers).
+const arenaChunkTuples = 512
+
+// carve returns an empty slice with capacity n backed by the arena.
+// Carves never overlap: the capacity is clipped with a full slice
+// expression and the arena's cursor advances past it.
+func (a *arena) carve(n int) []tuple.Tuple {
+	if cap(a.cur)-len(a.cur) < n {
+		size := arenaChunkTuples
+		if n > size {
+			size = n
+		}
+		a.cur = make([]tuple.Tuple, 0, size)
+	}
+	start := len(a.cur)
+	a.cur = a.cur[:start+n]
+	return a.cur[start:start : start+n]
+}
+
+// keyList is the per-(input, key) tuple storage. The table holds a
+// pointer so inserts mutate the list in place instead of re-writing the
+// map entry on every tuple.
+type keyList struct {
+	tuples []tuple.Tuple
+}
+
+// initialKeyListCap is the first carve size of a key's tuple list.
+const initialKeyListCap = 8
+
+// grown returns the list's tuples with room for at least one more
+// element, moving them to a doubled arena carve when full.
+func (l *keyList) grown(a *arena) []tuple.Tuple {
+	ts := l.tuples
+	if len(ts) < cap(ts) {
+		return ts
+	}
+	n := 2 * len(ts)
+	if n < initialKeyListCap {
+		n = initialKeyListCap
+	}
+	nl := a.carve(n)
+	return append(nl, ts...)
+}
+
+func (l *keyList) append(a *arena, t tuple.Tuple) {
+	l.tuples = append(l.grown(a), t)
+}
+
 // group is the in-memory state of one partition group: per-input hash
 // tables over the join key, restricted to the current generation.
 type group struct {
 	id     partition.ID
 	gen    uint32
-	tables []map[uint64][]tuple.Tuple
+	tables []map[uint64]*keyList
 	size   int64
 	cum    int64 // lifetime bytes ever inserted (survives spills)
 	count  int
+	// counts tracks resident tuples per input, so snapshots can
+	// preallocate their flattened per-input slices exactly.
+	counts []int
+	// arena backs the tables' per-key tuple lists for the current
+	// generation; it is replaced wholesale when the generation turns
+	// over (spill extraction).
+	arena  arena
 	output uint64 // lifetime results produced by this group (P_output)
 	// spilledTs is the maximum timestamp among tuples ever spilled from
 	// this group (windowed mode): resident tuples at or before
@@ -110,17 +183,24 @@ func (o *Operator) Process(t tuple.Tuple) (uint64, error) {
 	g.output += produced
 	o.output += produced
 
+	tab := g.tables[t.Stream]
+	kl := tab[t.Key]
+	if kl == nil {
+		kl = &keyList{}
+		tab[t.Key] = kl
+	}
 	if o.window > 0 {
 		// Keep per-key lists timestamp-sorted so window probes can
 		// binary-search their bounds.
-		g.tables[t.Stream][t.Key] = insertOrdered(g.tables[t.Stream][t.Key], t)
+		kl.insertOrdered(&g.arena, t)
 	} else {
-		g.tables[t.Stream][t.Key] = append(g.tables[t.Stream][t.Key], t)
+		kl.append(&g.arena, t)
 	}
 	sz := t.MemSize()
 	g.size += sz
 	g.cum += sz
 	g.count++
+	g.counts[t.Stream]++
 	o.totalSize += sz
 	return produced, nil
 }
@@ -133,7 +213,10 @@ func (o *Operator) probe(g *group, t *tuple.Tuple) uint64 {
 		if i == int(t.Stream) {
 			continue
 		}
-		l := g.tables[i][t.Key]
+		var l []tuple.Tuple
+		if kl := g.tables[i][t.Key]; kl != nil {
+			l = kl.tuples
+		}
 		if o.window > 0 {
 			l = windowBounds(l, t.Ts, o.window)
 		}
@@ -151,12 +234,12 @@ func (o *Operator) probe(g *group, t *tuple.Tuple) uint64 {
 }
 
 // enumerate walks the cartesian product of the matched lists, emitting one
-// Result per combination. input is the next stream index to bind.
+// Result per combination. input is the next stream index to bind. The
+// emitted Result shares the operator's scratch seqs buffer (see the
+// EmitFunc ownership contract), so enumeration allocates nothing.
 func (o *Operator) enumerate(t *tuple.Tuple, input int) {
 	if input == o.inputs {
-		seqs := make([]uint64, o.inputs)
-		copy(seqs, o.seqs)
-		o.emit(tuple.Result{Key: t.Key, Seqs: seqs})
+		o.emit(tuple.Result{Key: t.Key, Seqs: o.seqs})
 		return
 	}
 	if input == int(t.Stream) {
@@ -184,11 +267,11 @@ func (o *Operator) ProcessBatch(b *tuple.Batch) (uint64, error) {
 }
 
 func newGroup(id partition.ID, gen uint32, inputs int) *group {
-	tables := make([]map[uint64][]tuple.Tuple, inputs)
+	tables := make([]map[uint64]*keyList, inputs)
 	for i := range tables {
-		tables[i] = make(map[uint64][]tuple.Tuple)
+		tables[i] = make(map[uint64]*keyList)
 	}
-	return &group{id: id, gen: gen, tables: tables}
+	return &group{id: id, gen: gen, tables: tables, counts: make([]int, inputs)}
 }
 
 // Stats returns the per-group statistics the local adaptation controller
@@ -247,8 +330,11 @@ func (s *GroupSnapshot) MemBytes() int64 {
 }
 
 // snapshotTables flattens hash tables into per-input tuple slices with a
-// deterministic order (key, then insertion order).
-func snapshotTables(tables []map[uint64][]tuple.Tuple) [][]tuple.Tuple {
+// deterministic order (key, then insertion order). counts carries the
+// exact per-input tuple totals so every flattened slice is allocated
+// once at its final size; the copies detach the snapshot from the
+// group's arena.
+func snapshotTables(tables []map[uint64]*keyList, counts []int) [][]tuple.Tuple {
 	out := make([][]tuple.Tuple, len(tables))
 	for i, tab := range tables {
 		keys := make([]uint64, 0, len(tab))
@@ -256,9 +342,9 @@ func snapshotTables(tables []map[uint64][]tuple.Tuple) [][]tuple.Tuple {
 			keys = append(keys, k)
 		}
 		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-		var flat []tuple.Tuple
+		flat := make([]tuple.Tuple, 0, counts[i])
 		for _, k := range keys {
-			flat = append(flat, tab[k]...)
+			flat = append(flat, tab[k].tuples...)
 		}
 		out[i] = flat
 	}
@@ -276,7 +362,7 @@ func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
 	if !ok || g.count == 0 {
 		return nil
 	}
-	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables, g.counts)}
 	for _, l := range snap.Tuples {
 		for i := range l {
 			if !g.everSpilled || l[i].Ts > g.spilledTs {
@@ -292,8 +378,10 @@ func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
 	g.size = 0
 	g.count = 0
 	for i := range g.tables {
-		g.tables[i] = make(map[uint64][]tuple.Tuple)
+		g.tables[i] = make(map[uint64]*keyList)
+		g.counts[i] = 0
 	}
+	g.arena = arena{}
 	return snap
 }
 
@@ -308,7 +396,7 @@ func (o *Operator) RemoveForRelocation(id partition.ID) *GroupSnapshot {
 	if !ok {
 		return nil
 	}
-	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables, g.counts)}
 	snap.SpilledTs = g.spilledTs
 	snap.EverSpilled = g.everSpilled
 	o.totalSize -= g.size
@@ -332,9 +420,15 @@ func (o *Operator) Install(snap *GroupSnapshot) error {
 	for i, l := range snap.Tuples {
 		for j := range l {
 			t := l[j]
-			g.tables[i][t.Key] = append(g.tables[i][t.Key], t)
+			kl := g.tables[i][t.Key]
+			if kl == nil {
+				kl = &keyList{}
+				g.tables[i][t.Key] = kl
+			}
+			kl.append(&g.arena, t)
 			g.size += t.MemSize()
 			g.count++
+			g.counts[i]++
 		}
 	}
 	g.cum = snap.CumBytes
@@ -357,7 +451,7 @@ func (o *Operator) ResidentSnapshot(id partition.ID) *GroupSnapshot {
 	if !ok {
 		return nil
 	}
-	return &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables)}
+	return &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables, g.counts)}
 }
 
 // ResidentIDs returns the sorted IDs of all resident groups.

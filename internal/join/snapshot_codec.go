@@ -72,6 +72,7 @@ func DecodeSnapshot(buf []byte) (*GroupSnapshot, error) {
 	inputs := int(binary.LittleEndian.Uint16(body[37:]))
 	rest := body[39:]
 	s.Tuples = make([][]tuple.Tuple, inputs)
+	slab := makePayloadSlab(rest, inputs)
 	for i := 0; i < inputs; i++ {
 		if len(rest) < 4 {
 			return nil, fmt.Errorf("join: truncated snapshot input %d", i)
@@ -87,10 +88,11 @@ func DecodeSnapshot(buf []byte) (*GroupSnapshot, error) {
 			s.Tuples[i] = make([]tuple.Tuple, 0, n)
 		}
 		for j := 0; j < n; j++ {
-			t, used, err := tuple.Decode(rest)
+			t, used, grown, err := tuple.DecodeSlab(rest, slab)
 			if err != nil {
 				return nil, fmt.Errorf("join: snapshot input %d tuple %d: %w", i, j, err)
 			}
+			slab = grown
 			s.Tuples[i] = append(s.Tuples[i], t)
 			rest = rest[used:]
 		}
@@ -99,4 +101,31 @@ func DecodeSnapshot(buf []byte) (*GroupSnapshot, error) {
 		return nil, fmt.Errorf("join: %d trailing bytes in snapshot", len(rest))
 	}
 	return s, nil
+}
+
+// makePayloadSlab pre-scans the encoded tuple-list region of a snapshot
+// (per-input count-prefixed lists) and returns a slab with capacity for
+// exactly the payload bytes, so the decode loop does one allocation for
+// all payloads instead of one each. On malformed input it returns a
+// best-effort slab and leaves error reporting to the decode loop.
+func makePayloadSlab(rest []byte, inputs int) []byte {
+	tuples, tupleBytes := 0, 0
+	scan := rest
+	for i := 0; i < inputs && len(scan) >= 4; i++ {
+		n := int(binary.LittleEndian.Uint32(scan))
+		scan = scan[4:]
+		for j := 0; j < n; j++ {
+			size := tuple.EncodedLen(scan)
+			if size < 0 || size > len(scan) {
+				break
+			}
+			tuples++
+			tupleBytes += size
+			scan = scan[size:]
+		}
+	}
+	if p := tuple.PayloadBytes(tupleBytes, tuples); p > 0 {
+		return make([]byte, 0, p)
+	}
+	return nil
 }

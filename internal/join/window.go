@@ -54,7 +54,8 @@ func (o *Operator) Purge(cutoff vclock.Time) int {
 	for _, g := range o.groups {
 		for i := range g.tables {
 			tab := g.tables[i]
-			for key, l := range tab {
+			for key, kl := range tab {
+				l := kl.tuples
 				// Expired prefix [0, n).
 				n := sort.Search(len(l), func(i int) bool { return l[i].Ts >= cutoff })
 				if n == 0 {
@@ -76,6 +77,7 @@ func (o *Operator) Purge(cutoff vclock.Time) int {
 					o.totalSize -= sz
 				}
 				g.count -= n - lo
+				g.counts[i] -= n - lo
 				purged += n - lo
 				rest := make([]tuple.Tuple, 0, len(l)-(n-lo))
 				rest = append(rest, l[:lo]...)
@@ -83,7 +85,7 @@ func (o *Operator) Purge(cutoff vclock.Time) int {
 				if len(rest) == 0 {
 					delete(tab, key)
 				} else {
-					tab[key] = rest
+					kl.tuples = rest
 				}
 			}
 		}
@@ -93,15 +95,17 @@ func (o *Operator) Purge(cutoff vclock.Time) int {
 
 // insertOrdered appends t to the list, keeping it timestamp-sorted even
 // under slightly out-of-order arrivals (binary insertion into the tail).
-func insertOrdered(l []tuple.Tuple, t tuple.Tuple) []tuple.Tuple {
-	if n := len(l); n == 0 || l[n-1].Ts <= t.Ts {
-		return append(l, t)
+func (l *keyList) insertOrdered(a *arena, t tuple.Tuple) {
+	ts := l.grown(a)
+	if n := len(ts); n == 0 || ts[n-1].Ts <= t.Ts {
+		l.tuples = append(ts, t)
+		return
 	}
-	i := sort.Search(len(l), func(i int) bool { return l[i].Ts > t.Ts })
-	l = append(l, tuple.Tuple{})
-	copy(l[i+1:], l[i:])
-	l[i] = t
-	return l
+	i := sort.Search(len(ts), func(i int) bool { return ts[i].Ts > t.Ts })
+	ts = append(ts, tuple.Tuple{})
+	copy(ts[i+1:], ts[i:])
+	ts[i] = t
+	l.tuples = ts
 }
 
 // WindowedOracle computes the reference result of a windowed m-way join:

@@ -22,6 +22,9 @@ const (
 	SpanForcedSpill = "forced_spill"
 	// SpanCleanup covers one disk-phase cleanup run.
 	SpanCleanup = "cleanup"
+	// SpanCleanupWorker covers one worker's share of a parallel cleanup
+	// run (attrs worker, groups, results), nested inside SpanCleanup.
+	SpanCleanupWorker = "cleanup_worker"
 )
 
 // Relocation protocol step names, in protocol order (PROTOCOL.md). A

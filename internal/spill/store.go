@@ -42,29 +42,38 @@ type Store interface {
 // latency is irrelevant.
 type MemStore struct {
 	mu    sync.Mutex
-	segs  map[partition.ID][]*join.GroupSnapshot
+	segs  map[partition.ID][]memSegment
 	count int
 	bytes int64
 }
 
+// memSegment remembers a segment's encoded size next to the decoded
+// snapshot so byte accounting never has to re-encode.
+type memSegment struct {
+	snap *join.GroupSnapshot
+	size int64
+}
+
 // NewMemStore returns an empty in-memory store.
 func NewMemStore() *MemStore {
-	return &MemStore{segs: make(map[partition.ID][]*join.GroupSnapshot)}
+	return &MemStore{segs: make(map[partition.ID][]memSegment)}
 }
 
 // Write implements Store.
 func (s *MemStore) Write(snap *join.GroupSnapshot) error {
 	// Encode/decode even in memory so both stores exercise the codec.
-	cp, err := join.DecodeSnapshot(join.EncodeSnapshot(snap))
+	buf := join.EncodeSnapshot(snap)
+	cp, err := join.DecodeSnapshot(buf)
 	if err != nil {
 		return fmt.Errorf("spill: encode segment: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.segs[snap.ID] = append(s.segs[snap.ID], cp)
-	sortByGen(s.segs[snap.ID])
+	s.segs[snap.ID] = append(s.segs[snap.ID], memSegment{snap: cp, size: int64(len(buf))})
+	segs := s.segs[snap.ID]
+	sort.Slice(segs, func(i, j int) bool { return segs[i].snap.Gen < segs[j].snap.Gen })
 	s.count++
-	s.bytes += int64(len(join.EncodeSnapshot(snap)))
+	s.bytes += int64(len(buf))
 	return nil
 }
 
@@ -73,7 +82,9 @@ func (s *MemStore) Read(id partition.ID) ([]*join.GroupSnapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]*join.GroupSnapshot, len(s.segs[id]))
-	copy(out, s.segs[id])
+	for i, seg := range s.segs[id] {
+		out[i] = seg.snap
+	}
 	return out, nil
 }
 
@@ -81,11 +92,13 @@ func (s *MemStore) Read(id partition.ID) ([]*join.GroupSnapshot, error) {
 func (s *MemStore) Remove(id partition.ID) ([]*join.GroupSnapshot, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := s.segs[id]
+	segs := s.segs[id]
 	delete(s.segs, id)
-	s.count -= len(out)
-	for _, seg := range out {
-		s.bytes -= int64(len(join.EncodeSnapshot(seg)))
+	s.count -= len(segs)
+	out := make([]*join.GroupSnapshot, len(segs))
+	for i, seg := range segs {
+		out[i] = seg.snap
+		s.bytes -= seg.size
 	}
 	return out, nil
 }
@@ -264,7 +277,3 @@ func (s *FileStore) Bytes() int64 {
 
 // Close implements Store. Segments remain on disk for a later reopen.
 func (s *FileStore) Close() error { return nil }
-
-func sortByGen(segs []*join.GroupSnapshot) {
-	sort.Slice(segs, func(i, j int) bool { return segs[i].Gen < segs[j].Gen })
-}

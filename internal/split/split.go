@@ -135,6 +135,17 @@ func (r *Router) BufferedPeak() int {
 	return r.bufPeak
 }
 
+// PausedPartitions reports how many partitions are currently paused
+// (buffering). A Pause takes effect only when the router's handler has
+// processed it, which trails the coordinator's own bookkeeping; callers
+// that must not feed into a dead owner's partitions await this, not the
+// coordinator's watchdog flag.
+func (r *Router) PausedPartitions() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.paused)
+}
+
 func (r *Router) bufferedCountLocked() int {
 	n := 0
 	for _, l := range r.buffered {

@@ -207,10 +207,20 @@ func readFrame(r io.Reader) (*tcpEnvelope, int, error) {
 	return &env, 4 + int(size), nil
 }
 
+// frameBufPool recycles frame encode buffers across Sends. Pooling is
+// safe here because the body is fully copied onto the connection's
+// bufio.Writer before the buffer is returned; the in-process transport
+// must NOT pool, since it hands message references to the receiver.
+var frameBufPool = sync.Pool{
+	New: func() any { return new(bytes.Buffer) },
+}
+
 // writeFrame encodes and flushes one frame, reporting its wire size.
 func writeFrame(w *bufio.Writer, env *tcpEnvelope) (int, error) {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(env); err != nil {
+	body := frameBufPool.Get().(*bytes.Buffer)
+	body.Reset()
+	defer frameBufPool.Put(body)
+	if err := gob.NewEncoder(body).Encode(env); err != nil {
 		return 0, fmt.Errorf("transport: encode frame: %w", err)
 	}
 	frameBytes := 4 + body.Len()
@@ -219,7 +229,7 @@ func writeFrame(w *bufio.Writer, env *tcpEnvelope) (int, error) {
 	if _, err := w.Write(lenBuf[:]); err != nil {
 		return 0, err
 	}
-	if _, err := body.WriteTo(w); err != nil {
+	if _, err := w.Write(body.Bytes()); err != nil {
 		return 0, err
 	}
 	return frameBytes, w.Flush()

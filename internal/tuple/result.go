@@ -11,9 +11,19 @@ import (
 // are the same match if and only if their Key and Seqs are equal, which is
 // what the exactness invariant (run-time output + cleanup output = oracle
 // output, duplicate-free) is checked against.
+//
+// Results handed to a join.EmitFunc share the producer's scratch Seqs
+// buffer (see the EmitFunc contract): consume them within the call, or
+// Clone before retaining.
 type Result struct {
 	Key  uint64
 	Seqs []uint64 // one entry per join input, indexed by stream
+}
+
+// Clone returns a deep copy whose Seqs the caller owns, for consumers
+// that retain a result past an emit callback.
+func (r *Result) Clone() Result {
+	return Result{Key: r.Key, Seqs: append([]uint64(nil), r.Seqs...)}
 }
 
 // EncodedSize reports the byte size of Encode's output.

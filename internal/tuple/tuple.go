@@ -55,10 +55,22 @@ func (t *Tuple) AppendTo(dst []byte) []byte {
 }
 
 // Decode parses one tuple from the front of buf, returning the tuple and
-// the number of bytes consumed.
+// the number of bytes consumed. The payload is copied into a fresh
+// allocation; batch decoders use DecodeSlab to amortize those copies.
 func Decode(buf []byte) (Tuple, int, error) {
+	t, used, _, err := DecodeSlab(buf, nil)
+	return t, used, err
+}
+
+// DecodeSlab parses one tuple from the front of buf, copying its payload
+// into slab (which must have been preallocated with enough capacity to
+// avoid regrowth — see PayloadBytes) and returning the extended slab.
+// With a nil slab the payload gets its own allocation, like Decode.
+// Payload subslices are capacity-clipped, so later slab appends can
+// never alias an earlier tuple's payload even if the slab does regrow.
+func DecodeSlab(buf, slab []byte) (Tuple, int, []byte, error) {
 	if len(buf) < headerSize {
-		return Tuple{}, 0, fmt.Errorf("tuple: short buffer: %d bytes", len(buf))
+		return Tuple{}, 0, slab, fmt.Errorf("tuple: short buffer: %d bytes", len(buf))
 	}
 	var t Tuple
 	t.Stream = buf[0]
@@ -67,13 +79,35 @@ func Decode(buf []byte) (Tuple, int, error) {
 	t.Ts = vclock.Time(binary.LittleEndian.Uint64(buf[17:]))
 	plen := int(binary.LittleEndian.Uint32(buf[25:]))
 	if len(buf) < headerSize+plen {
-		return Tuple{}, 0, fmt.Errorf("tuple: truncated payload: need %d bytes, have %d", headerSize+plen, len(buf))
+		return Tuple{}, 0, slab, fmt.Errorf("tuple: truncated payload: need %d bytes, have %d", headerSize+plen, len(buf))
 	}
 	if plen > 0 {
-		t.Payload = make([]byte, plen)
-		copy(t.Payload, buf[headerSize:headerSize+plen])
+		start := len(slab)
+		slab = append(slab, buf[headerSize:headerSize+plen]...)
+		t.Payload = slab[start:len(slab):len(slab)]
 	}
-	return t, headerSize + plen, nil
+	return t, headerSize + plen, slab, nil
+}
+
+// EncodedLen reports the total encoded size of the tuple at the front of
+// buf without decoding it, or -1 if buf is too short to hold a header.
+// Pre-scan loops use it to size decode slabs.
+func EncodedLen(buf []byte) int {
+	if len(buf) < headerSize {
+		return -1
+	}
+	return headerSize + int(binary.LittleEndian.Uint32(buf[25:]))
+}
+
+// PayloadBytes reports the total payload size of an encoded sequence of
+// n tuples occupying encoded bytes, for sizing a decode slab. A corrupt
+// input can make this an under-estimate; DecodeSlab stays correct then,
+// it just allocates more.
+func PayloadBytes(encoded, n int) int {
+	if p := encoded - n*headerSize; p > 0 {
+		return p
+	}
+	return 0
 }
 
 // String renders a short human-readable form for logs and test failures.
@@ -95,13 +129,19 @@ func (b *Batch) MemSize() int64 {
 	return n
 }
 
-// Encode serializes the batch: a uint32 count followed by each tuple.
-func (b *Batch) Encode() []byte {
+// EncodedSize reports the exact number of bytes Encode will produce.
+func (b *Batch) EncodedSize() int {
 	size := 4
 	for i := range b.Tuples {
 		size += b.Tuples[i].EncodedSize()
 	}
-	dst := make([]byte, 0, size)
+	return size
+}
+
+// AppendTo appends the batch encoding (a uint32 count followed by each
+// tuple) to dst and returns the extended slice, so callers with a
+// reusable buffer encode without allocating.
+func (b *Batch) AppendTo(dst []byte) []byte {
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b.Tuples)))
 	for i := range b.Tuples {
 		dst = b.Tuples[i].AppendTo(dst)
@@ -109,7 +149,14 @@ func (b *Batch) Encode() []byte {
 	return dst
 }
 
-// DecodeBatch parses a batch produced by Encode.
+// Encode serializes the batch into a fresh exactly-sized buffer.
+func (b *Batch) Encode() []byte {
+	return b.AppendTo(make([]byte, 0, b.EncodedSize()))
+}
+
+// DecodeBatch parses a batch produced by Encode. All tuple payloads are
+// decoded out of one per-batch slab allocation instead of one
+// allocation each.
 func DecodeBatch(buf []byte) (Batch, error) {
 	if len(buf) < 4 {
 		return Batch{}, fmt.Errorf("tuple: short batch buffer: %d bytes", len(buf))
@@ -122,11 +169,16 @@ func DecodeBatch(buf []byte) (Batch, error) {
 		return Batch{}, fmt.Errorf("tuple: batch count %d exceeds buffer capacity %d", n, maxPossible)
 	}
 	b := Batch{Tuples: make([]Tuple, 0, n)}
+	var slab []byte
+	if p := PayloadBytes(len(buf), n); p > 0 {
+		slab = make([]byte, 0, p)
+	}
 	for i := 0; i < n; i++ {
-		t, used, err := Decode(buf)
+		t, used, grown, err := DecodeSlab(buf, slab)
 		if err != nil {
 			return Batch{}, fmt.Errorf("tuple: batch element %d: %w", i, err)
 		}
+		slab = grown
 		b.Tuples = append(b.Tuples, t)
 		buf = buf[used:]
 	}
