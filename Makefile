@@ -1,10 +1,10 @@
 # Tier-1 verification for the repo: vet, build, lint, race-test, fuzz
 # smoke. `make check` is what CI and the roadmap's tier-1 gate run.
 # `make bench` is the separate benchmark regression gate (cmd/benchgate):
-# fixed-iteration hot-path micro-benchmarks, a serial-vs-parallel cleanup
-# comparison, and one compressed figure run, written to BENCH_4.json and
-# gated against BENCH_BASELINE.json. CI runs it as a non-blocking
-# artifact step; it is not part of the tier-1 gate.
+# fixed-iteration hot-path micro-benchmarks, serial-vs-parallel cleanup
+# and run-time join comparisons, and one compressed figure run, written
+# to BENCH_5.json and gated against BENCH_BASELINE.json. CI runs it as a
+# non-blocking artifact step; it is not part of the tier-1 gate.
 
 GO ?= go
 FUZZTIME ?= 30s
@@ -36,9 +36,9 @@ test-race:
 # schedules plus the crash/checkpoint-recovery script must preserve
 # liveness and exact results. -count=1 forces a live run.
 chaos-smoke:
-	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery|TestChaosParallelJoinExact' ./internal/experiments
 
-# bench runs the benchmark regression gate and writes BENCH_4.json.
+# bench runs the benchmark regression gate and writes BENCH_5.json.
 # Shrink the figure smoke further with REPRO_DURATION_FACTOR.
 bench:
 	$(GO) run ./cmd/benchgate

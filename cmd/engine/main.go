@@ -54,6 +54,7 @@ func main() {
 		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: restored at startup, written on shutdown")
 		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
 		scale      = flag.Float64("scale", 1, "virtual time compression factor (must match the generator's)")
+		joinPar    = flag.Int("join-parallelism", 1, "join shard workers (0 or 1 = serial data path)")
 	)
 	flag.Parse()
 
@@ -98,17 +99,21 @@ func main() {
 
 	net := transport.NewTCP(dir)
 	defer net.Close()
-	e := engine.New(engine.Config{
-		Node:        partition.NodeID(*node),
-		Coordinator: cluster.CoordinatorNode,
-		AppServer:   cluster.AppServerNode,
-		Inputs:      *inputs,
-		Partitions:  *partitions,
-		Spill:       core.SpillConfig{MemThreshold: *threshold, Fraction: *fraction},
-		LocalSpill:  *threshold > 0,
-		Policy:      policy,
-		Store:       store,
+	e, err := engine.New(engine.Config{
+		Node:            partition.NodeID(*node),
+		Coordinator:     cluster.CoordinatorNode,
+		AppServer:       cluster.AppServerNode,
+		Inputs:          *inputs,
+		Partitions:      *partitions,
+		Spill:           core.SpillConfig{MemThreshold: *threshold, Fraction: *fraction},
+		LocalSpill:      *threshold > 0,
+		Policy:          policy,
+		Store:           store,
+		JoinParallelism: *joinPar,
 	}, vclock.NewScaled(*scale))
+	if err != nil {
+		log.Fatal(err)
+	}
 	net.Instrument(partition.NodeID(*node), transport.NewMetrics(e.Registry(), "engine"))
 	if err := e.Attach(net); err != nil {
 		log.Fatal(err)

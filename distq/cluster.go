@@ -60,6 +60,9 @@ type Options struct {
 	// StoreDir, when set, backs each engine's segment store with files
 	// under StoreDir/<node>.
 	StoreDir string
+	// JoinParallelism sizes each engine's join shard-worker pool (0 or
+	// 1 = serial data path). The result set is identical at any setting.
+	JoinParallelism int
 	// TimeScale compresses virtual time (default 1: real time).
 	TimeScale float64
 	// StatsInterval, SpillCheckInterval, LBInterval override the
@@ -178,7 +181,7 @@ func (c *Cluster) assemble() error {
 			}
 			store = fs
 		}
-		e := engine.New(engine.Config{
+		e, err := engine.New(engine.Config{
 			Node:               node,
 			Coordinator:        cluster.CoordinatorNode,
 			AppServer:          cluster.AppServerNode,
@@ -191,9 +194,13 @@ func (c *Cluster) assemble() error {
 			Materialize:        materialize,
 			PreFilter:          opts.Filter,
 			Window:             opts.Window,
+			JoinParallelism:    opts.JoinParallelism,
 			StatsInterval:      opts.StatsInterval,
 			SpillCheckInterval: opts.SpillCheckInterval,
 		}, c.clock)
+		if err != nil {
+			return err
+		}
 		if err := e.Attach(c.net); err != nil {
 			return err
 		}

@@ -48,3 +48,22 @@ func cleanupWorkers(reg *obs.Registry, tr *obs.Tracer) {
 	reg.Histogram("distq_engine_cleanup_group", nil)                 // want `histogram name "distq_engine_cleanup_group" must end in a unit suffix`
 	tr.Start("Cleanup Worker", "e1")                                 // want `span/step name "Cleanup Worker" is not a snake_case identifier`
 }
+
+// shardWorkers mirrors the parallel join path's per-shard
+// instrumentation (PROTOCOL.md "Performance"): a pool-size gauge,
+// per-shard labeled tuple counters, a quiesce counter, and the
+// join_shard span.
+func shardWorkers(reg *obs.Registry, tr *obs.Tracer) {
+	// Conforming: the names the shard pool registers.
+	reg.Gauge("distq_engine_shard_workers")
+	reg.Counter("distq_engine_shard_tuples_total", obs.L("shard", "0"))
+	reg.Counter("distq_engine_shard_quiesces_total")
+	sp := tr.Start("join_shard", "e1")
+	sp.Step("quiesced")
+
+	// Violations: the shard label does not excuse a counter without
+	// _total, and shard spans are snake_case like every other span.
+	reg.Counter("distq_engine_shard_tuples", obs.L("shard", "0")) // want `counter name "distq_engine_shard_tuples" must end in _total`
+	reg.Gauge("distq_engine_shardWorkers")                        // want `metric name "distq_engine_shardWorkers" does not follow`
+	tr.Start("Join Shard", "e1")                                  // want `span/step name "Join Shard" is not a snake_case identifier`
+}

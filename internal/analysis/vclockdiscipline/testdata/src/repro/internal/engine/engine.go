@@ -30,3 +30,19 @@ func shadowed() {
 }
 
 func time2() time.Duration { return 0 }
+
+type clock interface{ Now() time.Time }
+
+// shardWorker mirrors the parallel join's per-shard goroutine: worker
+// loops stamp their spans through the engine's injected clock, and the
+// discipline follows the code into the goroutine — a wall-clock read
+// inside the worker is as much a leak as one on the handler.
+func shardWorker(c clock, work chan int) {
+	go func() {
+		for range work {
+			_ = c.Now()         // conforming: the injected clock is the doorway
+			_ = time.Now()      // want `wall clock: time\.Now outside the vclock allowlist`
+			time.Sleep(time2()) // want `wall clock: time\.Sleep outside the vclock allowlist`
+		}
+	}()
+}

@@ -82,6 +82,10 @@ type Config struct {
 	// CleanupParallelism bounds each engine's cleanup worker pool
 	// (0 = GOMAXPROCS; see engine.Config).
 	CleanupParallelism int
+	// JoinParallelism sizes each engine's join shard-worker pool
+	// (0 or 1 = serial data path; see engine.Config). The result set is
+	// identical at any setting.
+	JoinParallelism int
 	// StoreDir, when set, gives each engine a file-backed segment store
 	// under StoreDir/<node>; empty means in-memory stores.
 	StoreDir string
@@ -379,7 +383,7 @@ func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
 	if c.cfg.CheckpointDir != "" {
 		ckptDir = filepath.Join(c.cfg.CheckpointDir, string(node))
 	}
-	e := engine.New(engine.Config{
+	e, err := engine.New(engine.Config{
 		Node:               node,
 		Coordinator:        CoordinatorNode,
 		AppServer:          AppServerNode,
@@ -393,11 +397,15 @@ func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
 		EnumerateResults:   c.cfg.EnumerateResults,
 		SmoothingAlpha:     c.cfg.SmoothingAlpha,
 		CleanupParallelism: c.cfg.CleanupParallelism,
+		JoinParallelism:    c.cfg.JoinParallelism,
 		Window:             c.cfg.Window,
 		StatsInterval:      c.cfg.StatsInterval,
 		SpillCheckInterval: c.cfg.SpillCheckInterval,
 		CheckpointDir:      ckptDir,
 	}, c.clock)
+	if err != nil {
+		return nil, err
+	}
 	if c.instr != nil {
 		c.instr.Instrument(node, transport.NewMetrics(e.Registry(), "engine"))
 	}

@@ -96,10 +96,24 @@ type Config struct {
 	// The cleanup result set is identical at any setting; see
 	// cleanup.Options.
 	CleanupParallelism int
+	// JoinParallelism sizes the shard-worker pool of the run-time join
+	// path: partition groups are assigned to shards by partition ID mod
+	// JoinParallelism (stable, so a group's tuples stay FIFO within
+	// their shard) and each shard is driven by its own worker. Control
+	// messages quiesce the pool before touching operator state, so the
+	// result set is identical at any setting. Zero or 1 keeps the
+	// historical serial path.
+	JoinParallelism int
 }
 
-func (c *Config) withDefaults() Config {
+func (c *Config) withDefaults() (Config, error) {
 	out := *c
+	if out.Inputs < 2 {
+		return out, fmt.Errorf("engine %s: need at least 2 join inputs, got %d", out.Node, out.Inputs)
+	}
+	if out.Partitions < 1 {
+		return out, fmt.Errorf("engine %s: need at least 1 partition, got %d", out.Node, out.Partitions)
+	}
 	if out.Policy == nil {
 		out.Policy = core.LessProductivePolicy{}
 	}
@@ -112,7 +126,10 @@ func (c *Config) withDefaults() Config {
 	if out.SpillCheckInterval <= 0 {
 		out.SpillCheckInterval = 2 * time.Second
 	}
-	return out
+	if out.JoinParallelism < 1 {
+		out.JoinParallelism = 1
+	}
+	return out, nil
 }
 
 // Engine is one query engine instance. All methods except Start/Stop are
@@ -122,8 +139,11 @@ type Engine struct {
 	clock vclock.Clock
 	ep    transport.Endpoint
 	op    *join.Operator
-	mgr   *spill.Manager
-	mode  core.Mode
+	// pool drives the operator's shards concurrently when
+	// JoinParallelism > 1; nil on the serial path.
+	pool *shardPool
+	mgr  *spill.Manager
+	mode core.Mode
 
 	events  *stats.EventLog
 	tracker *core.ProductivityTracker
@@ -151,8 +171,15 @@ type Engine struct {
 	lastForceSeq   uint64
 	lastForceBytes int64
 
-	// result accounting
+	// result accounting. reportedOutput is the count already delivered
+	// to the application server; it advances only after a successful
+	// send, so a transient send failure retries the delta on the next
+	// sr_timer instead of dropping it.
 	reportedOutput uint64
+	// resultMu serializes the result buffer: with a shard pool, emit
+	// callbacks run concurrently on worker goroutines (join results and
+	// cleanup workers alike).
+	resultMu sync.Mutex
 	// resultPayload holds pending materialized results, already encoded:
 	// emit hands the engine a Result whose Seqs is the join core's scratch
 	// buffer, so it must be consumed (encoded) inside the callback rather
@@ -190,9 +217,14 @@ type savedTransfer struct {
 	msg      proto.StateTransfer
 }
 
-// New builds an engine; Attach must be called before Start.
-func New(cfg Config, clock vclock.Clock) *Engine {
-	c := cfg.withDefaults()
+// New builds an engine; Attach must be called before Start. It rejects
+// configurations the join cannot run (fewer than 2 inputs or no
+// partitions) instead of panicking deep inside the partition function.
+func New(cfg Config, clock vclock.Clock) (*Engine, error) {
+	c, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	e := &Engine{
 		cfg:             c,
 		clock:           clock,
@@ -215,6 +247,9 @@ func New(cfg Config, clock vclock.Clock) *Engine {
 	e.reg.Help("distq_engine_cleanup_groups_total", "partition groups merged during cleanup, by worker")
 	e.reg.Help("distq_engine_cleanup_results_total", "missed results produced during cleanup")
 	e.reg.Help("distq_engine_cleanup_group_seconds", "wall-clock merge time of one cleanup group")
+	e.reg.Help("distq_engine_shard_workers", "join shard-worker pool size (1 = serial data path)")
+	e.reg.Help("distq_engine_shard_tuples_total", "tuples processed by the join shard workers, by shard")
+	e.reg.Help("distq_engine_shard_quiesces_total", "control-message barriers that quiesced the shard pool")
 	if c.SmoothingAlpha > 0 {
 		e.tracker = core.NewProductivityTracker(c.SmoothingAlpha)
 		if cfg.Policy == nil {
@@ -230,21 +265,29 @@ func New(cfg Config, clock vclock.Clock) *Engine {
 		emit = func(tuple.Result) {}
 	}
 	if c.Window > 0 {
-		e.op = join.NewWindowed(c.Inputs, partition.NewFunc(c.Partitions), c.Window, emit)
+		e.op = join.NewWindowedSharded(c.Inputs, partition.NewFunc(c.Partitions), c.Window, c.JoinParallelism, emit)
 	} else {
-		e.op = join.New(c.Inputs, partition.NewFunc(c.Partitions), emit)
+		e.op = join.NewSharded(c.Inputs, partition.NewFunc(c.Partitions), c.JoinParallelism, emit)
+	}
+	e.reg.Gauge("distq_engine_shard_workers").Set(float64(c.JoinParallelism))
+	if c.JoinParallelism > 1 {
+		e.pool = newShardPool(e)
 	}
 	e.mgr = spill.NewManager(e.op, c.Store, c.Policy)
-	return e
+	return e, nil
 }
 
-// Attach joins the engine to the network.
+// Attach joins the engine to the network and launches the shard-worker
+// pool (data can arrive as soon as the handler is attached).
 func (e *Engine) Attach(net transport.Network) error {
 	ep, err := net.Attach(e.cfg.Node, e.Handle)
 	if err != nil {
 		return err
 	}
 	e.ep = ep
+	if e.pool != nil {
+		e.pool.start()
+	}
 	return nil
 }
 
@@ -304,6 +347,16 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	if e.stopped || e.crashed.Load() {
 		return
 	}
+	// Every non-Data message is a barrier for the parallel join path:
+	// the shard pool is quiesced before the handler touches operator
+	// state, so the marker fence, spill victim selection, the 8-step
+	// relocation protocol, checkpointing, drain, and cleanup all see the
+	// same consistent single-threaded view as the serial engine.
+	if _, isData := msg.(proto.Data); !isData {
+		if qerr := e.quiesceShards(); qerr != nil {
+			log.Printf("engine %s: shard worker: %v", e.cfg.Node, qerr)
+		}
+	}
 	var err error
 	switch m := msg.(type) {
 	case proto.Data:
@@ -338,22 +391,40 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	}
 }
 
+// quiesceShards fences the shard pool (no-op on the serial path): on
+// return, every dispatched tuple is fully processed and no worker runs
+// until the next dispatch.
+func (e *Engine) quiesceShards() error {
+	if e.pool == nil {
+		return nil
+	}
+	e.reg.Counter("distq_engine_shard_quiesces_total").Inc()
+	return e.pool.quiesce()
+}
+
 func (e *Engine) onData(m proto.Data) error {
 	batch, err := tuple.DecodeBatch(m.Payload)
 	if err != nil {
 		return fmt.Errorf("decode batch: %w", err)
 	}
-	if e.cfg.PreFilter == nil {
-		if _, err := e.op.ProcessBatch(&batch); err != nil {
-			return err
-		}
-	} else {
-		for i := range batch.Tuples {
-			t, ok := e.cfg.PreFilter.Apply(batch.Tuples[i])
-			if !ok {
-				continue
+	tuples := batch.Tuples
+	if e.cfg.PreFilter != nil {
+		// The pre-filter chain is applied on the handler (stateless
+		// operators carry no concurrency contract), compacting the
+		// batch in place before it is dispatched or processed.
+		kept := tuples[:0]
+		for i := range tuples {
+			if t, ok := e.cfg.PreFilter.Apply(tuples[i]); ok {
+				kept = append(kept, t)
 			}
-			if _, err := e.op.Process(t); err != nil {
+		}
+		tuples = kept
+	}
+	if e.pool != nil {
+		e.pool.dispatch(tuples)
+	} else {
+		for i := range tuples {
+			if _, err := e.op.Process(tuples[i]); err != nil {
 				return err
 			}
 		}
@@ -390,9 +461,14 @@ func (e *Engine) spill(amount int64, kind string) error {
 	span := e.tracer.Start(obs.SpanSpill, string(e.cfg.Node), e.clock.Now())
 	span.SetAttr("kind", spanKind)
 	span.SetAttr("requested_bytes", fmt.Sprintf("%d", amount))
+	// Save and restore the surrounding mode instead of resetting to
+	// normal: a ForceSpill can arrive mid-relocation (active-disk forces
+	// spills at arbitrary machines), and clobbering RelocateMode would
+	// re-enable the local ss_timer spill path during a state move.
+	prev := e.mode
 	e.mode = core.SpillMode
 	res, err := e.mgr.Spill(amount, e.clock.Now())
-	e.mode = core.NormalMode
+	e.mode = prev
 	if err != nil {
 		span.Abort(e.clock.Now(), err.Error())
 		return err
@@ -449,12 +525,18 @@ func (e *Engine) StatsSnapshot() proto.StatsReport {
 
 func (e *Engine) reportResults() error {
 	e.maybeFlushResults(true)
-	delta := e.op.Output() - e.reportedOutput
+	output := e.op.Output()
+	delta := output - e.reportedOutput
 	if delta == 0 {
 		return nil
 	}
-	e.reportedOutput = e.op.Output()
-	return e.ep.Send(e.cfg.AppServer, proto.ResultCount{Node: e.cfg.Node, Delta: delta})
+	if err := e.ep.Send(e.cfg.AppServer, proto.ResultCount{Node: e.cfg.Node, Delta: delta}); err != nil {
+		// Leave the cursor where it was: the unreported delta rides the
+		// next successful report instead of being dropped forever.
+		return err
+	}
+	e.reportedOutput = output
+	return nil
 }
 
 // onCptV implements the engine's cptv event: pick the most productive
@@ -709,6 +791,11 @@ func (e *Engine) Restore() (int, error) {
 // and re-Attach. Callable from any goroutine.
 func (e *Engine) Crash() {
 	e.crashed.Store(true)
+	if e.pool != nil {
+		// Release the workers (and any handler blocked on a dispatch or
+		// barrier) without draining: a crash abandons queued tuples.
+		e.pool.interrupt()
+	}
 	for _, tk := range e.tickers {
 		tk.Stop()
 	}
@@ -733,7 +820,9 @@ func (e *Engine) onCleanup(from partition.NodeID) error {
 	var emit join.EmitFunc
 	switch {
 	case e.cfg.Materialize:
+		e.resultMu.Lock()
 		e.resultPhase = proto.PhaseCleanup
+		e.resultMu.Unlock()
 		emit = func(r tuple.Result) { e.bufferResult(r) }
 	case e.cfg.EnumerateResults:
 		emit = func(tuple.Result) {}
@@ -773,30 +862,63 @@ func (e *Engine) onCleanup(from partition.NodeID) error {
 	return err
 }
 
+// bufferResult encodes one emitted result into the pending payload.
+// It runs on the handler goroutine (serial path), on shard workers
+// (parallel join), and on cleanup workers — resultMu serializes them.
 func (e *Engine) bufferResult(r tuple.Result) {
+	e.resultMu.Lock()
 	e.resultPayload = r.AppendTo(e.resultPayload)
 	e.resultCount++
+	var payload []byte
+	var phase proto.Phase
 	if e.resultCount >= resultFlushThreshold {
-		e.maybeFlushResults(true)
+		payload, phase = e.takeResultsLocked()
 	}
+	e.resultMu.Unlock()
+	e.sendResults(payload, phase)
+}
+
+// takeResultsLocked detaches the pending payload (caller holds
+// resultMu). The receiver retains the payload (the in-process transport
+// hands the message over by reference), so a fresh buffer is started
+// rather than truncating this one.
+func (e *Engine) takeResultsLocked() ([]byte, proto.Phase) {
+	payload := e.resultPayload
+	e.resultPayload = nil
+	e.resultCount = 0
+	return payload, e.resultPhase
 }
 
 func (e *Engine) maybeFlushResults(force bool) {
-	if e.resultCount == 0 || (!force && e.resultCount < resultFlushThreshold) {
+	e.resultMu.Lock()
+	var payload []byte
+	var phase proto.Phase
+	if e.resultCount > 0 && (force || e.resultCount >= resultFlushThreshold) {
+		payload, phase = e.takeResultsLocked()
+	}
+	e.resultMu.Unlock()
+	e.sendResults(payload, phase)
+}
+
+// sendResults ships a detached payload; a nil payload is a no-op.
+// Sending outside resultMu keeps emitters from serializing on the
+// transport; ResultData batches are order-independent sets.
+func (e *Engine) sendResults(payload []byte, phase proto.Phase) {
+	if payload == nil {
 		return
 	}
-	payload := e.resultPayload
-	// The receiver retains the payload (the in-process transport hands the
-	// message over by reference), so start a fresh buffer rather than
-	// truncating this one.
-	e.resultPayload = nil
-	e.resultCount = 0
-	if err := e.ep.Send(e.cfg.AppServer, proto.ResultData{Node: e.cfg.Node, Payload: payload, Phase: e.resultPhase}); err != nil {
+	if err := e.ep.Send(e.cfg.AppServer, proto.ResultData{Node: e.cfg.Node, Payload: payload, Phase: phase}); err != nil {
 		log.Printf("engine %s: flush results: %v", e.cfg.Node, err)
 	}
 }
 
 func (e *Engine) shutdown() {
+	// The Stop message already quiesced the pool (Handle's barrier), so
+	// every dispatched tuple is applied; close waits for the workers to
+	// finish their spans before the done fence releases state readers.
+	if e.pool != nil {
+		e.pool.close()
+	}
 	e.stopped = true
 	for _, tk := range e.tickers {
 		tk.Stop()

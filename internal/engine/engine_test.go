@@ -57,6 +57,16 @@ func expect[T proto.Message](t *testing.T, p *peer) T {
 	}
 }
 
+// mustNew builds an engine, failing the test on config errors.
+func mustNew(t *testing.T, cfg Config, clock vclock.Clock) *Engine {
+	t.Helper()
+	e, err := New(cfg, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
 // rig assembles an engine plus gc/app/gen peers over inproc transport.
 type rig struct {
 	engine *Engine
@@ -85,7 +95,7 @@ func newRig(t *testing.T, mutate func(*Config)) *rig {
 	if mutate != nil {
 		mutate(&cfg)
 	}
-	e := New(cfg, vclock.NewManual())
+	e := mustNew(t, cfg, vclock.NewManual())
 	if err := e.Attach(net); err != nil {
 		t.Fatal(err)
 	}
@@ -218,14 +228,14 @@ func TestEngineRelocationSenderFlow(t *testing.T) {
 		Inputs: 2, Partitions: 4, Store: store,
 		StatsInterval: time.Hour, SpillCheckInterval: time.Hour,
 	}
-	sender := New(cfg, vclock.NewManual())
+	sender := mustNew(t, cfg, vclock.NewManual())
 	if err := sender.Attach(net); err != nil {
 		t.Fatal(err)
 	}
 	cfg2 := cfg
 	cfg2.Node = "m2"
 	cfg2.Store = spill.NewMemStore()
-	receiver := New(cfg2, vclock.NewManual())
+	receiver := mustNew(t, cfg2, vclock.NewManual())
 	if err := receiver.Attach(net); err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +354,7 @@ func TestEngineCptVWithNoStateAborts(t *testing.T) {
 }
 
 func TestEngineStartRequiresAttach(t *testing.T) {
-	e := New(Config{Node: "m1", Inputs: 2, Partitions: 4}, vclock.NewManual())
+	e := mustNew(t, Config{Node: "m1", Inputs: 2, Partitions: 4}, vclock.NewManual())
 	if err := e.Start(); err == nil {
 		t.Fatal("Start before Attach succeeded")
 	}

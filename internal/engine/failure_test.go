@@ -66,7 +66,7 @@ func TestSendStatesToUnreachableReceiverKeepsState(t *testing.T) {
 		Inputs: 2, Partitions: 4, Store: store,
 		StatsInterval: time.Hour, SpillCheckInterval: time.Hour,
 	}
-	sender := New(cfg, vclock.NewManual())
+	sender := mustNew(t, cfg, vclock.NewManual())
 	if err := sender.Attach(net); err != nil {
 		t.Fatal(err)
 	}

@@ -88,6 +88,9 @@ type ChaosConfig struct {
 	DropCount int
 	// Duration is the virtual run-time phase length (default 3 minutes).
 	Duration time.Duration
+	// JoinParallelism sizes each engine's join shard pool (0 or 1 =
+	// serial); faulted parallel runs must stay exact too.
+	JoinParallelism int
 }
 
 // chaosClusterConfig is the shared cluster shape of every chaos run:
@@ -117,6 +120,7 @@ func RunChaos(cc ChaosConfig) (*cluster.Result, error) {
 		duration = 3 * time.Minute
 	}
 	cfg := chaosClusterConfig(chaosWorkload(), duration)
+	cfg.JoinParallelism = cc.JoinParallelism
 
 	inner := transport.NewInproc()
 	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), cc.Faults)

@@ -1,0 +1,119 @@
+// Shard-parity experiments: the engine's intra-machine parallel join
+// path (engine.Config.JoinParallelism) must be output-equivalent to the
+// serial engine on the paper's workload shapes. Partition groups are
+// assigned to shards by partition ID, control messages quiesce the
+// pool, and emission is serialized, so the materialized result set —
+// run-time and cleanup phase alike — is required to be set-identical at
+// any parallelism, including runs dominated by spills (the Figure 5
+// shape) and runs dominated by relocations (the Figure 11 shape).
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/workload"
+)
+
+// Shard-parity workload kinds.
+const (
+	// ShardParitySpill is the Figure 5 shape: one engine under a tight
+	// local spill threshold, so the run crosses many generations.
+	ShardParitySpill = "spill"
+	// ShardParityReloc is the Figure 11 shape: two engines under the
+	// ping-pong strategy, so state moves while data flows.
+	ShardParityReloc = "reloc"
+)
+
+// shardParityConfig builds the cluster shape for one parity run. Both
+// kinds materialize results and run the disk phase, because parity must
+// hold for the cleanup set too (spilled generations join across shards
+// during cleanup).
+func shardParityConfig(kind string, parallelism int) (cluster.Config, error) {
+	wl := workload.Config{
+		Streams:      2,
+		Partitions:   24,
+		Classes:      []workload.Class{{Fraction: 1, JoinRate: 2, TupleRange: 1500}},
+		InterArrival: 25 * time.Millisecond,
+		PayloadBytes: 24,
+		Seed:         11,
+	}
+	duration := 90 * time.Second
+	cfg := cluster.Config{
+		Workload:    wl,
+		Materialize: true,
+		RunCleanup:  true,
+		Scale:       600,
+		Duration:    duration,
+	}
+	switch kind {
+	case ShardParitySpill:
+		cfg.Engines = []partition.NodeID{"m1"}
+		cfg.LocalSpill = true
+		cfg.Spill = core.SpillConfig{
+			MemThreshold: projectedStateBytes(wl, duration) * 25 / 100,
+			Fraction:     0.3,
+		}
+		cfg.Policy = func(partition.NodeID) core.Policy { return core.NewRandomPolicy(17) }
+	case ShardParityReloc:
+		cfg.Engines = []partition.NodeID{"e1", "e2"}
+		cfg.InitialWeights = []int{2, 1}
+		cfg.Strategy = &pingPong{}
+		cfg.LBInterval = 10 * time.Second
+		cfg.RelocTimeout = 30 * time.Second
+	default:
+		return cluster.Config{}, fmt.Errorf("unknown shard-parity kind %q", kind)
+	}
+	cfg.JoinParallelism = parallelism
+	return cfg, nil
+}
+
+// RunShardParity executes one parity run of the given kind at the given
+// join parallelism (1 = the serial baseline).
+func RunShardParity(kind string, parallelism int) (*cluster.Result, error) {
+	cfg, err := shardParityConfig(kind, parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return cluster.Run(cfg)
+}
+
+// CheckShardParity compares a parallel run against its serial baseline.
+// The invariant is exactly-once over the union of both phases: spill
+// tick timing legitimately shifts individual matches between the
+// run-time and cleanup phase from run to run (a tuple arriving just
+// before vs. just after a spill joins in a different generation), so
+// the per-phase sets are compared as a union, while each run's two
+// phases must be disjoint and duplicate-free. It returns human-readable
+// violations (empty means parity holds).
+func CheckShardParity(res, baseline *cluster.Result) []string {
+	var bad []string
+	if res.Generated != baseline.Generated {
+		bad = append(bad, fmt.Sprintf("generated %d tuples, baseline %d", res.Generated, baseline.Generated))
+	}
+	if res.Duplicates != 0 {
+		bad = append(bad, fmt.Sprintf("%d duplicate results", res.Duplicates))
+	}
+	if res.UnresolvedRelocations != 0 {
+		bad = append(bad, fmt.Sprintf("%d unresolved relocations", res.UnresolvedRelocations))
+	}
+	if res.RuntimeSet == nil || res.CleanupSet == nil || baseline.RuntimeSet == nil || baseline.CleanupSet == nil {
+		bad = append(bad, "missing materialized result sets")
+		return bad
+	}
+	if n := res.RuntimeSet.Overlap(res.CleanupSet); n != 0 {
+		bad = append(bad, fmt.Sprintf("%d results produced in both phases", n))
+	}
+	all := res.RuntimeSet.Union(res.CleanupSet)
+	want := baseline.RuntimeSet.Union(baseline.CleanupSet)
+	if miss := want.Diff(all); len(miss) > 0 {
+		bad = append(bad, fmt.Sprintf("%d baseline results missing (first: %s)", len(miss), miss[0]))
+	}
+	if extra := all.Diff(want); len(extra) > 0 {
+		bad = append(bad, fmt.Sprintf("%d extra results not in baseline (first: %s)", len(extra), extra[0]))
+	}
+	return bad
+}

@@ -10,6 +10,17 @@
 // a group is precisely the set of matches whose members all share a
 // generation — which is what makes the timestamp-free cleanup of package
 // cleanup exact.
+//
+// Internally the operator's groups are divided among one or more shards
+// (stable assignment: partition ID mod shard count). Each shard owns its
+// groups, arena, and probe scratch exclusively, so distinct shards can be
+// driven from distinct goroutines concurrently (the engine's shard-worker
+// pool); the single-shard operator behaves exactly like the historical
+// serial implementation. Cross-shard aggregates (MemBytes, Output, Stats)
+// and the group-level state operations (spill extraction, relocation,
+// install, snapshots, purge) are not synchronized and must only be called
+// while no shard is processing — the engine quiesces its pool before every
+// control message for exactly this reason.
 package join
 
 import (
@@ -32,17 +43,34 @@ import (
 // caller and only valid for the duration of the call — the hot path
 // reuses it for the next match instead of allocating per result. An
 // implementation that retains the result beyond the call must copy it
-// first (tuple.Result.Clone). See PROTOCOL.md "Performance".
+// first (tuple.Result.Clone). With a sharded operator the callback runs
+// on whichever goroutine drives the shard that produced the match, and
+// concurrently across shards — implementations must serialize their own
+// state (the engine wraps its result buffer in a mutex). See PROTOCOL.md
+// "Performance".
 type EmitFunc func(tuple.Result)
 
 // Operator is one instance of the partitioned m-way symmetric hash join.
-// It is not safe for concurrent use; each query engine drives its instance
-// from a single goroutine, as in the paper's per-machine query engines.
+// The zero-argument entry points (Process, ProcessBatch) route tuples to
+// the owning shard and are not safe for concurrent use; for parallel
+// execution, drive each Shard from at most one goroutine at a time and
+// keep the group-level operations quiesced (see the package comment).
 type Operator struct {
-	inputs    int
-	part      partition.Func
-	emit      EmitFunc
-	window    time.Duration // 0 = unbounded
+	inputs int
+	part   partition.Func
+	emit   EmitFunc
+	window time.Duration // 0 = unbounded
+	shards []*Shard
+}
+
+// Shard owns an exclusive, stable subset of the operator's partition
+// groups (those with partition ID ≡ index mod shard count) plus the
+// scratch buffers of its probe path. Distinct shards share no mutable
+// state and may be driven concurrently; one shard must only be driven by
+// one goroutine at a time.
+type Shard struct {
+	op        *Operator
+	idx       int
 	groups    map[partition.ID]*group
 	totalSize int64
 	output    uint64
@@ -136,34 +164,84 @@ type group struct {
 	everSpilled bool
 }
 
-// New returns an m-way join operator over inputs streams partitioned by
-// part. It panics if inputs < 2, as a join needs at least two inputs.
+// New returns a serial (single-shard) m-way join operator over inputs
+// streams partitioned by part. It panics if inputs < 2, as a join needs
+// at least two inputs.
 func New(inputs int, part partition.Func, emit EmitFunc) *Operator {
+	return NewSharded(inputs, part, 1, emit)
+}
+
+// NewSharded returns an m-way join operator whose partition groups are
+// divided among shards (clamped to ≥ 1) by partition ID mod shards. The
+// assignment is stable for the operator's lifetime, so a group's tuples
+// stay FIFO within their shard. It panics if inputs < 2.
+func NewSharded(inputs int, part partition.Func, shards int, emit EmitFunc) *Operator {
 	if inputs < 2 {
 		panic(fmt.Sprintf("join: need at least 2 inputs, got %d", inputs))
 	}
-	return &Operator{
-		inputs: inputs,
-		part:   part,
-		emit:   emit,
-		groups: make(map[partition.ID]*group),
-		lists:  make([][]tuple.Tuple, inputs),
-		seqs:   make([]uint64, inputs),
+	if shards < 1 {
+		shards = 1
 	}
+	o := &Operator{inputs: inputs, part: part, emit: emit, shards: make([]*Shard, shards)}
+	for i := range o.shards {
+		o.shards[i] = &Shard{
+			op:     o,
+			idx:    i,
+			groups: make(map[partition.ID]*group),
+			lists:  make([][]tuple.Tuple, inputs),
+			seqs:   make([]uint64, inputs),
+		}
+	}
+	return o
 }
 
 // Inputs reports the number of join inputs.
 func (o *Operator) Inputs() int { return o.inputs }
 
+// NumShards reports the operator's shard count (1 = serial).
+func (o *Operator) NumShards() int { return len(o.shards) }
+
+// Shard returns shard i for external drivers (the engine's worker pool).
+func (o *Operator) Shard(i int) *Shard { return o.shards[i] }
+
+// ShardIndex reports which shard owns the partition group of a join key,
+// so batch dispatchers can bucket tuples without touching shard state.
+func (o *Operator) ShardIndex(key uint64) int {
+	return int(o.part.Of(key)) % len(o.shards)
+}
+
+// shardOf returns the shard owning partition group id.
+func (o *Operator) shardOf(id partition.ID) *Shard {
+	return o.shards[int(id)%len(o.shards)]
+}
+
 // MemBytes reports the total resident operator-state size in bytes.
-func (o *Operator) MemBytes() int64 { return o.totalSize }
+func (o *Operator) MemBytes() int64 {
+	var n int64
+	for _, s := range o.shards {
+		n += s.totalSize
+	}
+	return n
+}
 
 // Output reports the total number of results produced so far.
-func (o *Operator) Output() uint64 { return o.output }
+func (o *Operator) Output() uint64 {
+	var n uint64
+	for _, s := range o.shards {
+		n += s.output
+	}
+	return n
+}
 
 // Groups reports the number of partition groups resident in the operator
 // (including groups whose current generation is empty).
-func (o *Operator) Groups() int { return len(o.groups) }
+func (o *Operator) Groups() int {
+	n := 0
+	for _, s := range o.shards {
+		n += len(s.groups)
+	}
+	return n
+}
 
 // Process runs one tuple through the join: probe the other inputs'
 // resident tables in the tuple's partition group, emit/count all matches,
@@ -174,14 +252,36 @@ func (o *Operator) Process(t tuple.Tuple) (uint64, error) {
 		return 0, fmt.Errorf("join: tuple for stream %d in %d-way join", t.Stream, o.inputs)
 	}
 	id := o.part.Of(t.Key)
-	g, ok := o.groups[id]
+	return o.shardOf(id).process(id, t), nil
+}
+
+// Process runs one tuple through this shard's slice of the join. It
+// rejects tuples whose partition group belongs to a different shard —
+// processing them here would split the group's state across shards and
+// silently lose matches.
+func (s *Shard) Process(t tuple.Tuple) (uint64, error) {
+	if int(t.Stream) >= s.op.inputs {
+		return 0, fmt.Errorf("join: tuple for stream %d in %d-way join", t.Stream, s.op.inputs)
+	}
+	id := s.op.part.Of(t.Key)
+	if int(id)%len(s.op.shards) != s.idx {
+		return 0, fmt.Errorf("join: tuple for partition %d routed to shard %d of %d", id, s.idx, len(s.op.shards))
+	}
+	return s.process(id, t), nil
+}
+
+// process is the per-tuple hot path, called with a validated stream and
+// this shard's own partition ID.
+func (s *Shard) process(id partition.ID, t tuple.Tuple) uint64 {
+	o := s.op
+	g, ok := s.groups[id]
 	if !ok {
 		g = newGroup(id, 0, o.inputs)
-		o.groups[id] = g
+		s.groups[id] = g
 	}
-	produced := o.probe(g, &t)
+	produced := s.probe(g, &t)
 	g.output += produced
-	o.output += produced
+	s.output += produced
 
 	tab := g.tables[t.Stream]
 	kl := tab[t.Key]
@@ -201,13 +301,14 @@ func (o *Operator) Process(t tuple.Tuple) (uint64, error) {
 	g.cum += sz
 	g.count++
 	g.counts[t.Stream]++
-	o.totalSize += sz
-	return produced, nil
+	s.totalSize += sz
+	return produced
 }
 
 // probe counts (and, when materializing, emits) the matches of t against
 // the other inputs' resident tuples in group g.
-func (o *Operator) probe(g *group, t *tuple.Tuple) uint64 {
+func (s *Shard) probe(g *group, t *tuple.Tuple) uint64 {
+	o := s.op
 	count := uint64(1)
 	for i := 0; i < o.inputs; i++ {
 		if i == int(t.Stream) {
@@ -223,32 +324,32 @@ func (o *Operator) probe(g *group, t *tuple.Tuple) uint64 {
 		if len(l) == 0 {
 			return 0
 		}
-		o.lists[i] = l
+		s.lists[i] = l
 		count *= uint64(len(l))
 	}
 	if o.emit != nil {
-		o.seqs[t.Stream] = t.Seq
-		o.enumerate(t, 0)
+		s.seqs[t.Stream] = t.Seq
+		s.enumerate(t, 0)
 	}
 	return count
 }
 
 // enumerate walks the cartesian product of the matched lists, emitting one
 // Result per combination. input is the next stream index to bind. The
-// emitted Result shares the operator's scratch seqs buffer (see the
-// EmitFunc ownership contract), so enumeration allocates nothing.
-func (o *Operator) enumerate(t *tuple.Tuple, input int) {
-	if input == o.inputs {
-		o.emit(tuple.Result{Key: t.Key, Seqs: o.seqs})
+// emitted Result shares the shard's scratch seqs buffer (see the EmitFunc
+// ownership contract), so enumeration allocates nothing.
+func (s *Shard) enumerate(t *tuple.Tuple, input int) {
+	if input == s.op.inputs {
+		s.op.emit(tuple.Result{Key: t.Key, Seqs: s.seqs})
 		return
 	}
 	if input == int(t.Stream) {
-		o.enumerate(t, input+1)
+		s.enumerate(t, input+1)
 		return
 	}
-	for i := range o.lists[input] {
-		o.seqs[input] = o.lists[input][i].Seq
-		o.enumerate(t, input+1)
+	for i := range s.lists[input] {
+		s.seqs[input] = s.lists[input][i].Seq
+		s.enumerate(t, input+1)
 	}
 }
 
@@ -278,9 +379,15 @@ func newGroup(id partition.ID, gen uint32, inputs int) *group {
 // feeds into the spill/move policies, sorted by partition ID for
 // determinism.
 func (o *Operator) Stats() []core.GroupStats {
-	stats := make([]core.GroupStats, 0, len(o.groups))
-	for _, g := range o.groups {
-		stats = append(stats, core.GroupStats{ID: g.id, Size: g.size, CumBytes: g.cum, Output: g.output})
+	n := 0
+	for _, s := range o.shards {
+		n += len(s.groups)
+	}
+	stats := make([]core.GroupStats, 0, n)
+	for _, s := range o.shards {
+		for _, g := range s.groups {
+			stats = append(stats, core.GroupStats{ID: g.id, Size: g.size, CumBytes: g.cum, Output: g.output})
+		}
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].ID < stats[j].ID })
 	return stats
@@ -358,7 +465,8 @@ func snapshotTables(tables []map[uint64]*keyList, counts []int) [][]tuple.Tuple 
 // into a fresh generation, as described in paper §3. Extracting a group
 // with no resident tuples returns nil.
 func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
-	g, ok := o.groups[id]
+	s := o.shardOf(id)
+	g, ok := s.groups[id]
 	if !ok || g.count == 0 {
 		return nil
 	}
@@ -373,7 +481,7 @@ func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
 	}
 	snap.SpilledTs = g.spilledTs
 	snap.EverSpilled = g.everSpilled
-	o.totalSize -= g.size
+	s.totalSize -= g.size
 	g.gen++
 	g.size = 0
 	g.count = 0
@@ -392,15 +500,16 @@ func (o *Operator) ExtractForSpill(id partition.ID) *GroupSnapshot {
 // receiver continues the same generation, since the transferred tuples
 // stay active in memory.
 func (o *Operator) RemoveForRelocation(id partition.ID) *GroupSnapshot {
-	g, ok := o.groups[id]
+	s := o.shardOf(id)
+	g, ok := s.groups[id]
 	if !ok {
 		return nil
 	}
 	snap := &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables, g.counts)}
 	snap.SpilledTs = g.spilledTs
 	snap.EverSpilled = g.everSpilled
-	o.totalSize -= g.size
-	delete(o.groups, id)
+	s.totalSize -= g.size
+	delete(s.groups, id)
 	return snap
 }
 
@@ -412,7 +521,8 @@ func (o *Operator) Install(snap *GroupSnapshot) error {
 	if len(snap.Tuples) != o.inputs {
 		return fmt.Errorf("join: snapshot has %d inputs, operator has %d", len(snap.Tuples), o.inputs)
 	}
-	if _, ok := o.groups[snap.ID]; ok {
+	s := o.shardOf(snap.ID)
+	if _, ok := s.groups[snap.ID]; ok {
 		return fmt.Errorf("join: group %d already resident", snap.ID)
 	}
 	g := newGroup(snap.ID, snap.Gen, o.inputs)
@@ -437,8 +547,8 @@ func (o *Operator) Install(snap *GroupSnapshot) error {
 	}
 	g.spilledTs = snap.SpilledTs
 	g.everSpilled = snap.EverSpilled
-	o.totalSize += g.size
-	o.groups[snap.ID] = g
+	s.totalSize += g.size
+	s.groups[snap.ID] = g
 	return nil
 }
 
@@ -447,7 +557,7 @@ func (o *Operator) Install(snap *GroupSnapshot) error {
 // memory-resident generation with the disk-resident ones. Returns nil if
 // the group is not resident.
 func (o *Operator) ResidentSnapshot(id partition.ID) *GroupSnapshot {
-	g, ok := o.groups[id]
+	g, ok := o.shardOf(id).groups[id]
 	if !ok {
 		return nil
 	}
@@ -456,9 +566,15 @@ func (o *Operator) ResidentSnapshot(id partition.ID) *GroupSnapshot {
 
 // ResidentIDs returns the sorted IDs of all resident groups.
 func (o *Operator) ResidentIDs() []partition.ID {
-	ids := make([]partition.ID, 0, len(o.groups))
-	for id := range o.groups {
-		ids = append(ids, id)
+	n := 0
+	for _, s := range o.shards {
+		n += len(s.groups)
+	}
+	ids := make([]partition.ID, 0, n)
+	for _, s := range o.shards {
+		for id := range s.groups {
+			ids = append(ids, id)
+		}
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids

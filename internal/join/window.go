@@ -23,7 +23,13 @@ import (
 // related work discusses), which is the intro's "infinite data streams as
 // long as operators have finite window sizes" case.
 func NewWindowed(inputs int, part partition.Func, window time.Duration, emit EmitFunc) *Operator {
-	op := New(inputs, part, emit)
+	return NewWindowedSharded(inputs, part, window, 1, emit)
+}
+
+// NewWindowedSharded is NewWindowed with the operator's groups divided
+// among shards (see NewSharded).
+func NewWindowedSharded(inputs int, part partition.Func, window time.Duration, shards int, emit EmitFunc) *Operator {
+	op := NewSharded(inputs, part, shards, emit)
 	op.window = window
 	return op
 }
@@ -51,41 +57,43 @@ func windowBounds(l []tuple.Tuple, ts vclock.Time, window time.Duration) []tuple
 // toward the productivity history.
 func (o *Operator) Purge(cutoff vclock.Time) int {
 	purged := 0
-	for _, g := range o.groups {
-		for i := range g.tables {
-			tab := g.tables[i]
-			for key, kl := range tab {
-				l := kl.tuples
-				// Expired prefix [0, n).
-				n := sort.Search(len(l), func(i int) bool { return l[i].Ts >= cutoff })
-				if n == 0 {
-					continue
-				}
-				// Within the prefix, only tuples newer than the spilled
-				// watermark plus the window are free of pending matches.
-				lo := 0
-				if g.everSpilled {
-					safe := g.spilledTs.Add(o.window)
-					lo = sort.Search(n, func(i int) bool { return l[i].Ts > safe })
-				}
-				if lo >= n {
-					continue
-				}
-				for j := lo; j < n; j++ {
-					sz := l[j].MemSize()
-					g.size -= sz
-					o.totalSize -= sz
-				}
-				g.count -= n - lo
-				g.counts[i] -= n - lo
-				purged += n - lo
-				rest := make([]tuple.Tuple, 0, len(l)-(n-lo))
-				rest = append(rest, l[:lo]...)
-				rest = append(rest, l[n:]...)
-				if len(rest) == 0 {
-					delete(tab, key)
-				} else {
-					kl.tuples = rest
+	for _, s := range o.shards {
+		for _, g := range s.groups {
+			for i := range g.tables {
+				tab := g.tables[i]
+				for key, kl := range tab {
+					l := kl.tuples
+					// Expired prefix [0, n).
+					n := sort.Search(len(l), func(i int) bool { return l[i].Ts >= cutoff })
+					if n == 0 {
+						continue
+					}
+					// Within the prefix, only tuples newer than the spilled
+					// watermark plus the window are free of pending matches.
+					lo := 0
+					if g.everSpilled {
+						safe := g.spilledTs.Add(o.window)
+						lo = sort.Search(n, func(i int) bool { return l[i].Ts > safe })
+					}
+					if lo >= n {
+						continue
+					}
+					for j := lo; j < n; j++ {
+						sz := l[j].MemSize()
+						g.size -= sz
+						s.totalSize -= sz
+					}
+					g.count -= n - lo
+					g.counts[i] -= n - lo
+					purged += n - lo
+					rest := make([]tuple.Tuple, 0, len(l)-(n-lo))
+					rest = append(rest, l[:lo]...)
+					rest = append(rest, l[n:]...)
+					if len(rest) == 0 {
+						delete(tab, key)
+					} else {
+						kl.tuples = rest
+					}
 				}
 			}
 		}

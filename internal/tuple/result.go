@@ -100,6 +100,33 @@ func (s *ResultSet) Contains(r Result) bool {
 	return ok
 }
 
+// Union returns a new set holding every result of s and other (the
+// duplicate counter starts at zero). Phase-split comparisons use it:
+// which phase produces a match depends on spill timing, but the union
+// across phases is invariant.
+func (s *ResultSet) Union(other *ResultSet) *ResultSet {
+	u := NewResultSet()
+	for fp := range s.seen {
+		u.seen[fp] = struct{}{}
+	}
+	for fp := range other.seen {
+		u.seen[fp] = struct{}{}
+	}
+	return u
+}
+
+// Overlap counts results present in both sets (exactly-once checks:
+// the run-time and cleanup sets of one run must not intersect).
+func (s *ResultSet) Overlap(other *ResultSet) int {
+	n := 0
+	for fp := range s.seen {
+		if _, ok := other.seen[fp]; ok {
+			n++
+		}
+	}
+	return n
+}
+
 // Diff returns fingerprints present in s but not in other, sorted for
 // stable test output.
 func (s *ResultSet) Diff(other *ResultSet) []string {
