@@ -28,6 +28,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7001", "listen address")
 		logEvery = flag.Duration("log-every", 5*time.Second, "throughput logging period (wall)")
 		monAddr  = flag.String("monitor", "", "HTTP monitoring address serving /healthz, /stats, and /metrics (empty disables)")
+		pprofOn  = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
 	)
 	flag.Parse()
 
@@ -38,13 +39,17 @@ func main() {
 	reg := obs.NewRegistry()
 	reg.Help("distq_appserver_results_total", "result tuples received from the engines")
 	net.Instrument(cluster.AppServerNode, transport.NewMetrics(reg, "appserver"))
+	logger := obs.NewLogger(obs.LoggerConfig{Node: string(cluster.AppServerNode), Kind: "appserver"})
+	logger.SetOutput(os.Stderr)
 	if *monAddr != "" {
 		mon, err := monitor.StartServer(monitor.Config{
 			Addr: *monAddr,
 			Snapshot: func() monitor.Snapshot {
 				return monitor.Snapshot{Kind: "appserver", Output: total.Load()}
 			},
-			Registry: reg,
+			Registry:        reg,
+			Logger:          logger,
+			EnableProfiling: *pprofOn,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -40,6 +40,7 @@ func main() {
 		lbEvery    = flag.Duration("lb-interval", 10*time.Second, "strategy evaluation period (virtual)")
 		scale      = flag.Float64("scale", 1, "virtual time compression factor")
 		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
 	)
 	flag.Parse()
 
@@ -99,6 +100,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Mirror structured log events to stderr alongside the process log.
+	gc.Logger().SetOutput(os.Stderr)
 	net.Instrument(cluster.CoordinatorNode, transport.NewMetrics(gc.Registry(), "coordinator"))
 	if err := gc.Attach(net); err != nil {
 		log.Fatal(err)
@@ -122,8 +125,10 @@ func main() {
 				}
 				return snap
 			},
-			Registry: gc.Registry(),
-			Tracer:   gc.Tracer(),
+			Registry:        gc.Registry(),
+			Tracer:          gc.Tracer(),
+			Logger:          gc.Logger(),
+			EnableProfiling: *pprofOn,
 		})
 		if err != nil {
 			log.Fatal(err)

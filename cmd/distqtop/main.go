@@ -1,0 +1,196 @@
+// Command distqtop is the cluster's live introspection tool: it polls
+// every node's monitoring endpoint (/stats, optionally /metrics) and
+// renders a refreshing terminal table — memory and groups per engine,
+// mode, output rates, and in-flight adaptations with their trace IDs —
+// the operator's view of the paper's run-time adaptation at work.
+//
+// Point it at the monitor addresses of a running cluster:
+//
+//	distqtop -nodes gc=127.0.0.1:7900,m1=127.0.0.1:7901,m2=127.0.0.1:7902 \
+//	         -interval 2s
+//
+// One poll per interval and node; -once prints a single table and exits
+// (useful in scripts and for capturing a snapshot).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/vclock"
+)
+
+// nodeState is one node's latest poll outcome.
+type nodeState struct {
+	name string
+	addr string
+	snap monitor.Snapshot
+	err  error
+	// prevOutput / prevWall compute the output rate between polls.
+	prevOutput uint64
+	prevWall   time.Time
+	rate       float64
+}
+
+func main() {
+	var (
+		nodes    = flag.String("nodes", "", "monitor endpoints as name=host:port,... (required)")
+		interval = flag.Duration("interval", 2*time.Second, "poll and refresh period (wall)")
+		limit    = flag.Int("limit", 64, "per-node span cap passed as ?limit= to /stats")
+		once     = flag.Bool("once", false, "print one table and exit (no screen refresh)")
+		timeout  = flag.Duration("timeout", 2*time.Second, "per-request HTTP timeout")
+	)
+	flag.Parse()
+	if *nodes == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	states, err := parseNodes(*nodes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := &http.Client{Timeout: *timeout}
+
+	poll := func() {
+		now := vclock.WallNow()
+		for _, st := range states {
+			st.err = pollNode(client, st, *limit)
+			if st.err == nil {
+				if !st.prevWall.IsZero() {
+					if dt := now.Sub(st.prevWall).Seconds(); dt > 0 {
+						st.rate = float64(st.snap.Output-st.prevOutput) / dt
+					}
+				}
+				st.prevOutput, st.prevWall = st.snap.Output, now
+			}
+		}
+	}
+
+	poll()
+	if *once {
+		fmt.Print(render(states))
+		return
+	}
+	tick := vclock.WallTicker(*interval)
+	defer tick.Stop()
+	for {
+		// ANSI home+clear keeps the table refreshing in place.
+		fmt.Print("\033[H\033[2J")
+		fmt.Print(render(states))
+		<-tick.C
+		poll()
+	}
+}
+
+// parseNodes builds the polling set from the -nodes flag.
+func parseNodes(spec string) ([]*nodeState, error) {
+	var states []*nodeState
+	for _, part := range strings.Split(spec, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("distqtop: bad -nodes entry %q (want name=host:port)", part)
+		}
+		states = append(states, &nodeState{name: name, addr: addr})
+	}
+	return states, nil
+}
+
+// pollNode fetches one node's /stats snapshot.
+func pollNode(client *http.Client, st *nodeState, limit int) error {
+	resp, err := client.Get(fmt.Sprintf("http://%s/stats?limit=%d", st.addr, limit))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", st.addr, resp.Status)
+	}
+	st.snap = monitor.Snapshot{}
+	return json.NewDecoder(resp.Body).Decode(&st.snap)
+}
+
+// render formats the cluster table plus the in-flight adaptation lines.
+func render(states []*nodeState) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "distqtop — %d nodes — %s\n\n", len(states), vclock.WallNow().Format(time.TimeOnly))
+	fmt.Fprintf(&b, "%-12s %-12s %12s %8s %8s %12s %10s %8s\n",
+		"NODE", "KIND", "MEM", "GROUPS", "SEGS", "OUTPUT", "RATE/S", "RELOC")
+	for _, st := range states {
+		if st.err != nil {
+			fmt.Fprintf(&b, "%-12s %-12s %s\n", st.name, "-", "unreachable: "+st.err.Error())
+			continue
+		}
+		s := st.snap
+		fmt.Fprintf(&b, "%-12s %-12s %12s %8d %8d %12d %10.0f %8d\n",
+			st.name, s.Kind, formatBytes(s.MemBytes), s.Groups, s.Segments,
+			s.Output, st.rate, s.Relocations)
+	}
+	if lines := inflight(states); len(lines) > 0 {
+		b.WriteString("\nin-flight adaptations:\n")
+		for _, l := range lines {
+			b.WriteString("  " + l + "\n")
+		}
+	}
+	return b.String()
+}
+
+// inflight lists every open adaptation span across the polled nodes,
+// with its trace ID so the operator can correlate the per-node halves.
+func inflight(states []*nodeState) []string {
+	var lines []string
+	for _, st := range states {
+		if st.err != nil {
+			continue
+		}
+		for _, sp := range st.snap.Spans {
+			if sp.Complete {
+				continue
+			}
+			switch sp.Name {
+			case obs.SpanRelocation, obs.SpanForcedSpill,
+				obs.SpanRelocationSend, obs.SpanRelocationReceive:
+				lines = append(lines, fmt.Sprintf("trace %016x  %-20s @%-10s since %s  %s",
+					sp.TraceID, sp.Name, sp.Node, sp.Start, attrSummary(sp)))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// attrSummary compacts a span's attributes into one key=value run.
+func attrSummary(sp obs.SpanData) string {
+	keys := make([]string, 0, len(sp.Attrs))
+	for k := range sp.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, k+"="+sp.Attrs[k])
+	}
+	return strings.Join(parts, " ")
+}
+
+// formatBytes renders a byte count with a binary unit.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -55,6 +55,8 @@ func main() {
 		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
 		scale      = flag.Float64("scale", 1, "virtual time compression factor (must match the generator's)")
 		joinPar    = flag.Int("join-parallelism", 1, "join shard workers (0 or 1 = serial data path)")
+		groupMet   = flag.Int("group-metrics", 0, "export per-group productivity gauges for the top N groups (0 disables)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
 	)
 	flag.Parse()
 
@@ -110,10 +112,13 @@ func main() {
 		Policy:          policy,
 		Store:           store,
 		JoinParallelism: *joinPar,
+		GroupMetrics:    *groupMet,
 	}, vclock.NewScaled(*scale))
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Mirror structured log events to stderr alongside the process log.
+	e.Logger().SetOutput(os.Stderr)
 	net.Instrument(partition.NodeID(*node), transport.NewMetrics(e.Registry(), "engine"))
 	if err := e.Attach(net); err != nil {
 		log.Fatal(err)
@@ -146,8 +151,10 @@ func main() {
 					Segments:     r.DiskSegments,
 				}
 			},
-			Registry: e.Registry(),
-			Tracer:   e.Tracer(),
+			Registry:        e.Registry(),
+			Tracer:          e.Tracer(),
+			Logger:          e.Logger(),
+			EnableProfiling: *pprofOn,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -11,8 +11,11 @@
 //   - names built by concatenation (the transport's per-kind prefix)
 //     have every literal fragment in snake_case, and a literal last
 //     fragment still carries the kind's suffix;
-//   - span and step names passed to Tracer.Start / Span.Step are
-//     snake_case identifiers.
+//   - span and step names passed to Tracer.Start / Tracer.StartChild /
+//     Span.Step are snake_case identifiers;
+//   - log event names passed to Logger.Debug/Info/Warn/Error are
+//     snake_case identifiers, so log streams from different nodes merge
+//     without spelling variants.
 //
 // The obs package itself (which plumbs caller-supplied names through)
 // is exempt. Non-literal names cannot be checked statically and are
@@ -45,12 +48,17 @@ var histogramSuffixes = []string{"_seconds", "_vseconds", "_bytes", "_ns"}
 // methods maps obs method names to the naming rule for their first
 // string argument.
 var methods = map[string]string{
-	"Counter":   "counter",
-	"Gauge":     "gauge",
-	"Histogram": "histogram",
-	"Help":      "metric",
-	"Start":     "span",
-	"Step":      "span",
+	"Counter":    "counter",
+	"Gauge":      "gauge",
+	"Histogram":  "histogram",
+	"Help":       "metric",
+	"Start":      "span",
+	"StartChild": "span",
+	"Step":       "span",
+	"Debug":      "event",
+	"Info":       "event",
+	"Warn":       "event",
+	"Error":      "event",
 }
 
 // Analyzer implements the obs naming check.
@@ -145,6 +153,11 @@ func checkFull(pass *analysis.Pass, kind, name string, pos token.Pos) {
 	case "span":
 		if !spanNameRE.MatchString(name) {
 			pass.Reportf(pos, "span/step name %q is not a snake_case identifier", name)
+		}
+		return
+	case "event":
+		if !spanNameRE.MatchString(name) {
+			pass.Reportf(pos, "log event name %q is not a snake_case identifier", name)
 		}
 		return
 	default:

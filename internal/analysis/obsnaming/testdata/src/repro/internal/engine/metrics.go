@@ -49,6 +49,25 @@ func cleanupWorkers(reg *obs.Registry, tr *obs.Tracer) {
 	tr.Start("Cleanup Worker", "e1")                                 // want `span/step name "Cleanup Worker" is not a snake_case identifier`
 }
 
+// adaptationTracing mirrors the distributed relocation trace (PROTOCOL.md
+// "Observability"): trace-parented child spans on both protocol halves and
+// structured log events, all under the snake_case rule.
+func adaptationTracing(tr *obs.Tracer, lg *obs.Logger) {
+	// Conforming: child spans parented across nodes, and lifecycle events.
+	sp := tr.StartChild("relocation_marker", "m1")
+	sp.Step("acked")
+	lg.Info("relocation_started", obs.F("from", "m1"))
+	lg.Warn("relocation_aborted")
+	lg.Error("handler_error")
+	lg.Debug("tuple_processed")
+
+	// Violations: child spans and log events follow the same snake_case
+	// identifier rule as root spans — fields don't launder a bad name.
+	tr.StartChild("Relocation Marker", "m1")           // want `span/step name "Relocation Marker" is not a snake_case identifier`
+	lg.Info("Relocation Started", obs.F("from", "m1")) // want `log event name "Relocation Started" is not a snake_case identifier`
+	lg.Error("handler-error")                          // want `log event name "handler-error" is not a snake_case identifier`
+}
+
 // shardWorkers mirrors the parallel join path's per-shard
 // instrumentation (PROTOCOL.md "Performance"): a pool-size gauge,
 // per-shard labeled tuple counters, a quiesce counter, and the

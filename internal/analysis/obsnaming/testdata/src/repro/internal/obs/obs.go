@@ -27,6 +27,20 @@ type Span struct{}
 
 func (s *Span) Step(name string) {}
 
+type TraceContext struct{}
+
 type Tracer struct{}
 
-func (t *Tracer) Start(name string, rest ...any) *Span { return &Span{} }
+func (t *Tracer) Start(name string, rest ...any) *Span      { return &Span{} }
+func (t *Tracer) StartChild(name string, rest ...any) *Span { return &Span{} }
+
+type Field struct{ Key, Value string }
+
+func F(key, value string) Field { return Field{key, value} }
+
+type Logger struct{}
+
+func (l *Logger) Debug(event string, attrs ...Field) {}
+func (l *Logger) Info(event string, attrs ...Field)  {}
+func (l *Logger) Warn(event string, attrs ...Field)  {}
+func (l *Logger) Error(event string, attrs ...Field) {}

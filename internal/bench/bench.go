@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/cleanup"
 	"repro/internal/join"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/spill"
 	"repro/internal/tuple"
@@ -98,6 +99,30 @@ func Cases() []Case {
 			Make: func() func(int) {
 				op := join.NewSharded(3, partition.NewFunc(120), 4, nil)
 				return func(i int) {
+					if _, err := op.Process(Tuple(i)); err != nil {
+						panic(err)
+					}
+				}
+			},
+		},
+		{
+			// The count-only path with the observability layer live:
+			// an open trace span and a logger consulted per tuple via
+			// the Enabled guard (the hot-path pattern PROTOCOL.md
+			// prescribes). Gates that tracing and structured logging
+			// add zero allocations to the join data path.
+			Name:     "join_process_observed",
+			DefaultN: 300_000,
+			Make: func() func(int) {
+				op := join.New(3, partition.NewFunc(120), nil)
+				tracer := obs.NewTracer(0)
+				span := tracer.Start(obs.SpanJoinShard, "bench", 0)
+				span.SetAttr("shard", "0")
+				lg := obs.NewLogger(obs.LoggerConfig{Node: "bench", Kind: "engine"})
+				return func(i int) {
+					if lg.Enabled(obs.LevelDebug) {
+						lg.Debug("tuple_processed", obs.FInt("i", int64(i)))
+					}
 					if _, err := op.Process(Tuple(i)); err != nil {
 						panic(err)
 					}

@@ -2,11 +2,11 @@ package cluster
 
 import (
 	"fmt"
-	"log"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/stats"
@@ -23,6 +23,7 @@ type AppServer struct {
 	clock       vclock.Clock
 	ep          transport.Endpoint
 	materialize bool
+	log         *obs.Logger
 
 	onResult func(proto.Phase, tuple.Result)
 
@@ -43,6 +44,7 @@ func NewAppServer(clock vclock.Clock, materialize bool, onResult func(proto.Phas
 		onResult:    onResult,
 		clock:       clock,
 		materialize: materialize,
+		log:         obs.NewLogger(obs.LoggerConfig{Node: string(AppServerNode), Kind: "appserver", Now: clock.Now}),
 		throughput:  stats.NewSeries("output"),
 		cleanupCh:   make(chan proto.CleanupDone, 64),
 	}
@@ -73,17 +75,17 @@ func (a *AppServer) handle(from partition.NodeID, msg proto.Message) {
 		a.mu.Unlock()
 	case proto.ResultData:
 		if err := a.onResultData(m); err != nil {
-			log.Printf("appserver: %v", err)
+			a.log.Error("result_data_error", obs.F("engine", string(m.Node)), obs.FErr(err))
 		}
 	case proto.CleanupDone:
 		a.cleanupCh <- m
 	case proto.Drain:
 		// Fence: all results enqueued before this message are processed.
 		if err := a.ep.Send(from, proto.DrainAck{Token: m.Token, Node: AppServerNode}); err != nil {
-			log.Printf("appserver: drain ack: %v", err)
+			a.log.Error("drain_ack_error", obs.FErr(err))
 		}
 	default:
-		log.Printf("appserver: unexpected message %T from %s", msg, from)
+		a.log.Warn("unexpected_message", obs.F("type", fmt.Sprintf("%T", msg)), obs.F("from", string(from)))
 	}
 }
 

@@ -86,6 +86,10 @@ type Config struct {
 	// (0 or 1 = serial data path; see engine.Config). The result set is
 	// identical at any setting.
 	JoinParallelism int
+	// GroupMetrics, when positive, makes every engine export per-group
+	// productivity gauges for its top GroupMetrics groups (see
+	// engine.Config).
+	GroupMetrics int
 	// StoreDir, when set, gives each engine a file-backed segment store
 	// under StoreDir/<node>; empty means in-memory stores.
 	StoreDir string
@@ -398,6 +402,7 @@ func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
 		SmoothingAlpha:     c.cfg.SmoothingAlpha,
 		CleanupParallelism: c.cfg.CleanupParallelism,
 		JoinParallelism:    c.cfg.JoinParallelism,
+		GroupMetrics:       c.cfg.GroupMetrics,
 		Window:             c.cfg.Window,
 		StatsInterval:      c.cfg.StatsInterval,
 		SpillCheckInterval: c.cfg.SpillCheckInterval,

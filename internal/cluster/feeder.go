@@ -2,9 +2,9 @@ package cluster
 
 import (
 	"fmt"
-	"log"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/proto"
 	"repro/internal/split"
@@ -20,6 +20,7 @@ type feeder struct {
 	clock         vclock.Clock
 	gen           *workload.Generator
 	flushInterval time.Duration
+	log           *obs.Logger
 
 	ep     transport.Endpoint
 	router *split.Router
@@ -42,6 +43,7 @@ func newFeeder(clock vclock.Clock, gen *workload.Generator, flushInterval time.D
 		clock:         clock,
 		gen:           gen,
 		flushInterval: flushInterval,
+		log:           obs.NewLogger(obs.LoggerConfig{Node: string(GeneratorNode), Kind: "generator", Now: clock.Now}),
 		drainCh:       make(chan proto.DrainAck, 64),
 		quiesceCh:     make(chan struct{}, 1),
 		ckptCh:        make(chan proto.CheckpointDone, 8),
@@ -66,7 +68,7 @@ func (f *feeder) attach(net transport.Network, owner []partition.NodeID, version
 func (f *feeder) handle(from partition.NodeID, msg proto.Message) {
 	if handled, err := f.router.HandleControl(msg); handled {
 		if err != nil {
-			log.Printf("generator: %v", err)
+			f.log.Error("router_control_error", obs.FErr(err))
 		}
 		return
 	}
@@ -85,7 +87,7 @@ func (f *feeder) handle(from partition.NodeID, msg proto.Message) {
 		default:
 		}
 	default:
-		log.Printf("generator: unexpected message %T from %s", msg, from)
+		f.log.Warn("unexpected_message", obs.F("type", fmt.Sprintf("%T", msg)), obs.F("from", string(from)))
 	}
 }
 

@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/partition"
+)
+
+// TestRelocationTraceReassembles drives a full 8-step relocation across
+// the coordinator and engines, then rebuilds the distributed trace from
+// the merged per-node span dumps: every relocation must reassemble into
+// a single tree rooted at the coordinator's decision span, with the
+// coordinator's await phases and the sender/receiver protocol spans as
+// children attributed to the nodes that recorded them.
+func TestRelocationTraceReassembles(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Engines = []partition.NodeID{"m1", "m2", "m3"}
+	cfg.InitialWeights = []int{4, 1, 1}
+	cfg.Strategy = core.NewLazyDisk(core.RelocationConfig{Threshold: 0.8, MinGap: 20 * time.Second})
+	cfg.Duration = 3 * time.Minute
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Relocations == 0 {
+		t.Fatal("no relocations despite 4:1:1 placement")
+	}
+
+	trees := trace.ByName(trace.Build(res.Spans), obs.SpanRelocation)
+	if len(trees) != res.Relocations {
+		t.Fatalf("reassembled %d relocation trees, counter says %d", len(trees), res.Relocations)
+	}
+
+	for _, tree := range trees {
+		root := tree.Root.Span
+		if root.Node != string(CoordinatorNode) {
+			t.Fatalf("relocation rooted on %q, want %q", root.Node, CoordinatorNode)
+		}
+		if !root.Complete || root.Attrs["status"] != obs.StatusOK {
+			// The run can end mid-relocation; only completed relocations
+			// carry the full protocol.
+			continue
+		}
+		if len(root.Steps) != len(obs.RelocationSteps) {
+			t.Fatalf("root span has %d steps, want %d", len(root.Steps), len(obs.RelocationSteps))
+		}
+		if len(tree.Orphans) != 0 {
+			t.Fatalf("trace %016x has %d orphans:\n%s", tree.TraceID, len(tree.Orphans), tree.Render())
+		}
+		if got := tree.Root.Descendants(); got < 8 {
+			t.Fatalf("trace %016x has %d child spans, want >= 8:\n%s", tree.TraceID, got, tree.Render())
+		}
+
+		from, to := root.Attrs["sender"], root.Attrs["receiver"]
+		if from == "" || to == "" || from == to {
+			t.Fatalf("root attrs missing endpoints: %v", root.Attrs)
+		}
+		// Expected child -> recording node: the coordinator's four await
+		// phases on gc, the sender's cptv/marker/send on the source
+		// engine, the receiver's install on the destination engine.
+		wantNode := map[string]string{
+			obs.SpanRelocWaitPtV:      string(CoordinatorNode),
+			obs.SpanRelocWaitMarker:   string(CoordinatorNode),
+			obs.SpanRelocWaitInstall:  string(CoordinatorNode),
+			obs.SpanRelocWaitRemapAck: string(CoordinatorNode),
+			obs.SpanRelocationCptV:    from,
+			obs.SpanRelocationMarker:  from,
+			obs.SpanRelocationSend:    from,
+			obs.SpanRelocationReceive: to,
+		}
+		seen := map[string]int{}
+		for _, c := range tree.Root.Children {
+			seen[c.Span.Name]++
+			want, ok := wantNode[c.Span.Name]
+			if !ok {
+				t.Fatalf("unexpected child span %q in:\n%s", c.Span.Name, tree.Render())
+			}
+			if c.Span.Node != want {
+				t.Fatalf("child %s recorded on %q, want %q:\n%s", c.Span.Name, c.Span.Node, want, tree.Render())
+			}
+			if !c.Span.Complete {
+				t.Fatalf("child %s left open:\n%s", c.Span.Name, tree.Render())
+			}
+			if c.Span.TraceID != tree.TraceID {
+				t.Fatalf("child %s trace %016x, tree %016x", c.Span.Name, c.Span.TraceID, tree.TraceID)
+			}
+		}
+		for name := range wantNode {
+			if seen[name] != 1 {
+				t.Fatalf("child %s appears %d times, want 1:\n%s", name, seen[name], tree.Render())
+			}
+		}
+		// The sender's marker fence happens strictly after its cptv
+		// decision in virtual time.
+		cptv := tree.Find(obs.SpanRelocationCptV).Span
+		marker := tree.Find(obs.SpanRelocationMarker).Span
+		if marker.Start < cptv.Start {
+			t.Fatalf("marker at %v before cptv at %v", marker.Start, cptv.Start)
+		}
+	}
+
+	// The trace IDs must separate concurrent relocations: every tree has
+	// a distinct ID.
+	ids := map[uint64]bool{}
+	for _, tree := range trees {
+		if ids[tree.TraceID] {
+			t.Fatalf("trace ID %016x reused", tree.TraceID)
+		}
+		ids[tree.TraceID] = true
+	}
+}

@@ -25,7 +25,6 @@ package coordinator
 
 import (
 	"fmt"
-	"log"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -162,6 +161,10 @@ type Coordinator struct {
 	parts    []partition.ID
 	started  vclock.Time
 	span     *obs.Span
+	// phaseSpan is the child span of the current await phase (one of the
+	// four relocation waits), opened on each transition and closed when
+	// the awaited reply arrives; aborts close it as aborted.
+	phaseSpan *obs.Span
 
 	// Await-phase timeout machinery: pendingTo/pendingMsg is the step
 	// re-sent on timeout, attempts counts re-sends, timeoutSeq
@@ -182,6 +185,7 @@ type Coordinator struct {
 
 	reg           *obs.Registry
 	tracer        *obs.Tracer
+	log           *obs.Logger
 	mRelocations  *obs.Counter
 	mAborted      *obs.Counter
 	mForcedSpills *obs.Counter
@@ -225,6 +229,7 @@ func New(cfg Config, clock vclock.Clock) (*Coordinator, error) {
 		resumes: make(map[uint64]*resumeState),
 		reg:     obs.NewRegistry(),
 		tracer:  obs.NewTracer(0),
+		log:     obs.NewLogger(obs.LoggerConfig{Node: string(cfg.Node), Kind: "coordinator", Now: clock.Now}),
 		done:    make(chan struct{}),
 	}
 	now := clock.Now()
@@ -264,6 +269,10 @@ func (c *Coordinator) Registry() *obs.Registry { return c.reg }
 // Tracer exposes the coordinator's span tracer; every adaptation is
 // recorded there as one span.
 func (c *Coordinator) Tracer() *obs.Tracer { return c.tracer }
+
+// Logger exposes the coordinator's structured logger (level control,
+// output mirroring, the monitor's /logs endpoint).
+func (c *Coordinator) Logger() *obs.Logger { return c.log }
 
 // Attach joins the coordinator to the network.
 func (c *Coordinator) Attach(net transport.Network) error {
@@ -338,7 +347,7 @@ func (c *Coordinator) PendingResumes() int { return int(c.resumeCount.Load()) }
 // OnError sink so a dead link fails loudly instead of stalling a fence.
 func (c *Coordinator) fail(err error) {
 	c.mErrors.Inc()
-	log.Printf("coordinator: %v", err)
+	c.log.Error("handler_error", obs.FErr(err))
 	if c.cfg.OnError != nil {
 		c.cfg.OnError(err)
 	}
@@ -408,6 +417,7 @@ func (c *Coordinator) heartbeat(node partition.NodeID) {
 		info.alive.Store(true)
 		c.mRevivals.Inc()
 		c.events.Add(stats.Event{T: now, Node: node, Kind: stats.EventEngineAlive, Detail: "re-registered"})
+		c.log.Info("engine_revived", obs.F("engine", string(node)))
 		c.resumePartitions(node, "revived engine")
 	}
 }
@@ -516,6 +526,8 @@ func (c *Coordinator) checkHeartbeats(now vclock.Time) {
 				c.mDeaths.Inc()
 				c.events.Add(stats.Event{T: now, Node: node, Kind: stats.EventEngineDead,
 					Detail: fmt.Sprintf("silent for %s", now.Sub(info.lastSeen))})
+				c.log.Warn("engine_dead", obs.F("engine", string(node)),
+					obs.F("silent_for", now.Sub(info.lastSeen).String()))
 				c.pauseDead(node)
 			}
 			continue
@@ -557,6 +569,29 @@ func (c *Coordinator) retryResumes() {
 	}
 }
 
+// beginPhase opens the await-phase child span under the in-flight
+// adaptation span (closing any phase span left open).
+func (c *Coordinator) beginPhase(name string, vt vclock.Time) {
+	c.endPhase(vt)
+	c.phaseSpan = c.tracer.StartChild(name, string(c.cfg.Node), vt, c.span.Context())
+}
+
+// endPhase closes the open await-phase span, if any.
+func (c *Coordinator) endPhase(vt vclock.Time) {
+	if c.phaseSpan != nil {
+		c.phaseSpan.End(vt)
+		c.phaseSpan = nil
+	}
+}
+
+// abortPhase closes the open await-phase span as aborted, if any.
+func (c *Coordinator) abortPhase(vt vclock.Time, reason string) {
+	if c.phaseSpan != nil {
+		c.phaseSpan.Abort(vt, reason)
+		c.phaseSpan = nil
+	}
+}
+
 // startRelocation runs protocol step 1.
 func (c *Coordinator) startRelocation(r *core.Relocation) error {
 	if info, ok := c.engines[r.Sender]; !ok || !info.alive.Load() {
@@ -576,7 +611,11 @@ func (c *Coordinator) startRelocation(r *core.Relocation) error {
 	c.span.SetAttr("receiver", string(r.Receiver))
 	c.span.SetAttr("amount_bytes", strconv.FormatInt(r.Amount, 10))
 	c.span.Step(obs.StepCptV, c.started)
-	return c.sendStep(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver})
+	c.beginPhase(obs.SpanRelocWaitPtV, c.started)
+	c.log.Info("relocation_started",
+		obs.FUint("epoch", c.epoch), obs.F("sender", string(r.Sender)),
+		obs.F("receiver", string(r.Receiver)), obs.FInt("amount_bytes", r.Amount))
+	return c.sendStep(r.Sender, proto.CptV{Epoch: c.epoch, Amount: r.Amount, Receiver: r.Receiver, Trace: c.span.Context()})
 }
 
 func (c *Coordinator) startForcedSpill(f *core.ForcedSpill) error {
@@ -589,7 +628,9 @@ func (c *Coordinator) startForcedSpill(f *core.ForcedSpill) error {
 	c.span = c.tracer.Start(obs.SpanForcedSpill, string(c.cfg.Node), c.clock.Now())
 	c.span.SetAttr("node", string(f.Node))
 	c.span.SetAttr("amount_bytes", strconv.FormatInt(f.Amount, 10))
-	return c.sendStep(f.Node, proto.ForceSpill{Amount: f.Amount, Seq: c.forceSeq})
+	c.log.Info("forced_spill_started",
+		obs.F("engine", string(f.Node)), obs.FInt("amount_bytes", f.Amount), obs.FUint("seq", c.forceSeq))
+	return c.sendStep(f.Node, proto.ForceSpill{Amount: f.Amount, Seq: c.forceSeq, Trace: c.span.Context()})
 }
 
 // sendStep transitions into an await phase: it records the pending
@@ -667,6 +708,7 @@ func (c *Coordinator) escalate() error {
 		// The transfer may have raced the abort: ask the receiver first;
 		// its ack resolves commit-forward versus roll-back.
 		c.phase = abortWaitReceiver
+		c.abortPhase(now, "installed timeout")
 		c.span.SetAttr("abort_from", "wait_installed")
 		return c.sendStep(c.receiver, proto.RelocAbort{Epoch: c.epoch})
 	case relocWaitRemapAck:
@@ -708,6 +750,7 @@ func (c *Coordinator) escalate() error {
 // enterAbortSender starts the sender half of the rollback.
 func (c *Coordinator) enterAbortSender(reason string) error {
 	c.phase = abortWaitSender
+	c.abortPhase(c.clock.Now(), reason)
 	c.span.SetAttr("abort_reason", reason)
 	return c.sendStep(c.sender, proto.RelocAbort{Epoch: c.epoch})
 }
@@ -768,6 +811,7 @@ func (c *Coordinator) onPtV(m proto.PtV) error {
 	}
 	now := c.clock.Now()
 	c.span.Step(obs.StepPtV, now)
+	c.endPhase(now)
 	if len(m.Partitions) == 0 {
 		c.abortAdaptation(now, "empty ptv")
 		return nil
@@ -776,14 +820,17 @@ func (c *Coordinator) onPtV(m proto.PtV) error {
 	c.phase = relocWaitMarker
 	c.span.SetAttr("partitions", strconv.Itoa(len(m.Partitions)))
 	c.span.Step(obs.StepPause, now)
-	return c.sendStep(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender})
+	c.beginPhase(obs.SpanRelocWaitMarker, now)
+	return c.sendStep(c.cfg.SplitHost, proto.Pause{Epoch: c.epoch, Partitions: m.Partitions, Owner: c.sender, Trace: c.span.Context()})
 }
 
 // abortAdaptation closes the in-flight span as aborted and returns the
 // coordinator to idle.
 func (c *Coordinator) abortAdaptation(vt vclock.Time, reason string) {
+	c.abortPhase(vt, reason)
 	c.span.Abort(vt, reason)
 	c.span = nil
+	c.log.Warn("relocation_aborted", obs.FUint("epoch", c.epoch), obs.F("reason", reason))
 	c.mAborted.Inc()
 	c.events.Add(stats.Event{T: vt, Node: c.sender, Kind: stats.EventAbort, Detail: reason})
 	c.disarm()
@@ -800,9 +847,11 @@ func (c *Coordinator) onMarkerAck(m proto.MarkerAck) error {
 	}
 	now := c.clock.Now()
 	c.span.Step(obs.StepMarkerAck, now)
+	c.endPhase(now)
 	c.phase = relocWaitInstalled
 	c.span.Step(obs.StepSendStates, now)
-	return c.sendStep(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver})
+	c.beginPhase(obs.SpanRelocWaitInstall, now)
+	return c.sendStep(c.sender, proto.SendStates{Epoch: c.epoch, Partitions: c.parts, Receiver: c.receiver, Trace: c.span.Context()})
 }
 
 // onInstalled runs protocol step 7: commit the new ownership to the
@@ -811,8 +860,10 @@ func (c *Coordinator) onInstalled(m proto.Installed) error {
 	if c.phase != relocWaitInstalled || m.Epoch != c.epoch || m.Node != c.receiver {
 		return nil
 	}
-	c.span.Step(obs.StepInstalled, c.clock.Now())
-	return c.commitAndRemap(c.clock.Now())
+	now := c.clock.Now()
+	c.span.Step(obs.StepInstalled, now)
+	c.endPhase(now)
+	return c.commitAndRemap(now)
 }
 
 // commitAndRemap commits the new ownership to the master map and orders
@@ -826,6 +877,7 @@ func (c *Coordinator) commitAndRemap(now vclock.Time) error {
 	}
 	c.phase = relocWaitRemapAck
 	c.span.Step(obs.StepRemap, now)
+	c.beginPhase(obs.SpanRelocWaitRemapAck, now)
 	return c.sendStep(c.cfg.SplitHost, proto.Remap{
 		Epoch: c.epoch, Partitions: c.parts, Owner: c.receiver, Version: version,
 	})
@@ -849,10 +901,14 @@ func (c *Coordinator) onRemapAck(m proto.RemapAck) error {
 	switch c.phase {
 	case relocWaitRemapAck:
 		c.span.Step(obs.StepRemapAck, now)
+		c.endPhase(now)
 		c.span.End(now)
 		c.span = nil
 		c.mRelocations.Inc()
 		c.mRelocVSecs.ObserveDuration(now.Sub(c.started))
+		c.log.Info("relocation_complete",
+			obs.FUint("epoch", c.epoch), obs.F("sender", string(c.sender)),
+			obs.F("receiver", string(c.receiver)), obs.FInt("partitions", int64(len(c.parts))))
 		c.events.Add(stats.Event{
 			T: now, Node: c.sender, Kind: stats.EventRelocation,
 			Detail: fmt.Sprintf("%d groups %s->%s in %s", len(c.parts), c.sender, c.receiver, now.Sub(c.started)),
@@ -881,6 +937,7 @@ func (c *Coordinator) onSpillDone(m proto.SpillDone) {
 	c.span.End(c.clock.Now())
 	c.span = nil
 	c.mForcedSpills.Inc()
+	c.log.Info("forced_spill_complete", obs.F("engine", string(m.Node)), obs.FInt("spilled_bytes", m.Bytes))
 	c.events.Add(stats.Event{
 		T: c.clock.Now(), Node: m.Node, Kind: stats.EventForcedSpill,
 		Detail: fmt.Sprintf("%d bytes", m.Bytes),

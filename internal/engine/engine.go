@@ -14,7 +14,8 @@ package engine
 
 import (
 	"fmt"
-	"log"
+	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,6 +97,12 @@ type Config struct {
 	// The cleanup result set is identical at any setting; see
 	// cleanup.Options.
 	CleanupParallelism int
+	// GroupMetrics, when positive, exports per-group tracker statistics
+	// (resident bytes, lifetime bytes, output, productivity rank) as
+	// labeled gauges for the top GroupMetrics most productive groups on
+	// every sr_timer. Off by default: per-group series are for targeted
+	// diagnosis, not always-on fleets.
+	GroupMetrics int
 	// JoinParallelism sizes the shard-worker pool of the run-time join
 	// path: partition groups are assigned to shards by partition ID mod
 	// JoinParallelism (stable, so a group's tuples stay FIFO within
@@ -150,6 +157,10 @@ type Engine struct {
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
+	log    *obs.Logger
+	// gaugedGroups tracks which groups currently carry per-group gauges
+	// so series of departed (relocated, purged) groups are zeroed.
+	gaugedGroups map[partition.ID]bool
 
 	// pendingReloc tracks the in-flight relocation this engine sends.
 	pendingReloc *relocState
@@ -231,6 +242,7 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 		events:          stats.NewEventLog(),
 		reg:             obs.NewRegistry(),
 		tracer:          obs.NewTracer(0),
+		log:             obs.NewLogger(obs.LoggerConfig{Node: string(c.Node), Kind: "engine", Now: clock.Now}),
 		installedEpochs: make(map[uint64]bool),
 		abortedEpochs:   make(map[uint64]bool),
 		done:            make(chan struct{}),
@@ -248,6 +260,10 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 	e.reg.Help("distq_engine_cleanup_results_total", "missed results produced during cleanup")
 	e.reg.Help("distq_engine_cleanup_group_seconds", "wall-clock merge time of one cleanup group")
 	e.reg.Help("distq_engine_shard_workers", "join shard-worker pool size (1 = serial data path)")
+	e.reg.Help("distq_engine_group_resident_bytes", "resident state size of one partition group (GroupMetrics only)")
+	e.reg.Help("distq_engine_group_lifetime_bytes", "lifetime bytes absorbed by one partition group (GroupMetrics only)")
+	e.reg.Help("distq_engine_group_output_results", "cumulative results produced by one partition group (GroupMetrics only)")
+	e.reg.Help("distq_engine_group_productivity_rank", "productivity rank of one partition group, 1 = most productive (GroupMetrics only)")
 	e.reg.Help("distq_engine_shard_tuples_total", "tuples processed by the join shard workers, by shard")
 	e.reg.Help("distq_engine_shard_quiesces_total", "control-message barriers that quiesced the shard pool")
 	if c.SmoothingAlpha > 0 {
@@ -308,7 +324,7 @@ func (e *Engine) Start() error {
 					return
 				}
 			}
-			log.Printf("engine %s: coordinator unreachable for hello", e.cfg.Node)
+			e.log.Error("coordinator_unreachable", obs.F("coordinator", string(e.cfg.Coordinator)))
 		}()
 	}
 	e.armTicker(e.cfg.StatsInterval, proto.TickStats)
@@ -342,6 +358,10 @@ func (e *Engine) Registry() *obs.Registry { return e.reg }
 // engine-side halves of relocations).
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 
+// Logger exposes the engine's structured logger (level control, output
+// mirroring, the monitor's /logs endpoint).
+func (e *Engine) Logger() *obs.Logger { return e.log }
+
 // Handle is the engine's transport handler.
 func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	if e.stopped || e.crashed.Load() {
@@ -354,7 +374,7 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	// same consistent single-threaded view as the serial engine.
 	if _, isData := msg.(proto.Data); !isData {
 		if qerr := e.quiesceShards(); qerr != nil {
-			log.Printf("engine %s: shard worker: %v", e.cfg.Node, qerr)
+			e.log.Error("shard_worker_error", obs.FErr(qerr))
 		}
 	}
 	var err error
@@ -362,7 +382,7 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	case proto.Data:
 		err = e.onData(m)
 	case proto.PauseMarker:
-		err = e.ep.Send(e.cfg.Coordinator, proto.MarkerAck{Epoch: m.Epoch, Node: e.cfg.Node})
+		err = e.onPauseMarker(m)
 	case proto.Tick:
 		err = e.onTick(m)
 	case proto.CptV:
@@ -376,7 +396,7 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	case proto.ForceSpill:
 		err = e.onForceSpill(m)
 	case proto.Checkpoint:
-		err = e.onCheckpoint(from)
+		err = e.onCheckpoint(from, m)
 	case proto.Drain:
 		err = e.onDrain(from, m)
 	case proto.StartCleanup:
@@ -387,8 +407,24 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 		err = fmt.Errorf("unexpected message %T from %s", msg, from)
 	}
 	if err != nil {
-		log.Printf("engine %s: %v", e.cfg.Node, err)
+		e.log.Error("handler_error", obs.FErr(err))
 	}
+}
+
+// onPauseMarker acknowledges the drain fence (protocol step 4): the
+// transport is FIFO, so the marker's arrival proves every earlier tuple
+// for the moving partitions was processed. The trace context the split
+// host echoed from the coordinator's Pause parents the fence span under
+// the relocation's trace.
+func (e *Engine) onPauseMarker(m proto.PauseMarker) error {
+	span := e.tracer.StartChild(obs.SpanRelocationMarker, string(e.cfg.Node), e.clock.Now(), m.Trace)
+	span.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
+	if err := e.ep.Send(e.cfg.Coordinator, proto.MarkerAck{Epoch: m.Epoch, Node: e.cfg.Node}); err != nil {
+		span.Abort(e.clock.Now(), err.Error())
+		return err
+	}
+	span.End(e.clock.Now())
+	return nil
 }
 
 // quiesceShards fences the shard pool (no-op on the serial path): on
@@ -447,18 +483,21 @@ func (e *Engine) onTick(m proto.Tick) error {
 		if amount <= 0 {
 			return nil
 		}
-		return e.spill(amount, stats.EventSpill)
+		return e.spill(amount, stats.EventSpill, obs.TraceContext{})
 	default:
 		return fmt.Errorf("unknown tick %q", m.Kind)
 	}
 }
 
-func (e *Engine) spill(amount int64, kind string) error {
+// spill runs one spill cycle. A forced spill carries the coordinator's
+// trace context so the engine-side span joins the forced-spill trace;
+// local (ss_timer) spills pass the zero context and trace standalone.
+func (e *Engine) spill(amount int64, kind string, trace obs.TraceContext) error {
 	spanKind := "local"
 	if kind == stats.EventForcedSpill {
 		spanKind = "forced"
 	}
-	span := e.tracer.Start(obs.SpanSpill, string(e.cfg.Node), e.clock.Now())
+	span := e.tracer.StartChild(obs.SpanSpill, string(e.cfg.Node), e.clock.Now(), trace)
 	span.SetAttr("kind", spanKind)
 	span.SetAttr("requested_bytes", fmt.Sprintf("%d", amount))
 	// Save and restore the surrounding mode instead of resetting to
@@ -507,10 +546,45 @@ func (e *Engine) reportStats() error {
 	e.reg.Gauge("distq_engine_groups").Set(float64(report.Groups))
 	e.reg.Gauge("distq_engine_disk_segments").Set(float64(report.DiskSegments))
 	e.reg.Gauge("distq_engine_output_results").Set(float64(report.Output))
+	if e.cfg.GroupMetrics > 0 {
+		e.reportGroupMetrics()
+	}
 	if err := e.ep.Send(e.cfg.Coordinator, report); err != nil {
 		return err
 	}
 	return e.reportResults()
+}
+
+// reportGroupMetrics exports per-group tracker statistics as labeled
+// gauges for the top Config.GroupMetrics most productive groups; gauges
+// of groups that left the top set (relocated away, purged, outranked)
+// are zeroed so departed series do not read as live state.
+func (e *Engine) reportGroupMetrics() {
+	gs := e.op.Stats()
+	sort.SliceStable(gs, func(i, j int) bool { return gs[i].Productivity() > gs[j].Productivity() })
+	seen := make(map[partition.ID]bool, e.cfg.GroupMetrics)
+	for rank, g := range gs {
+		if rank >= e.cfg.GroupMetrics {
+			break
+		}
+		seen[g.ID] = true
+		gl := obs.L("group", strconv.Itoa(int(g.ID)))
+		e.reg.Gauge("distq_engine_group_resident_bytes", gl).Set(float64(g.Size))
+		e.reg.Gauge("distq_engine_group_lifetime_bytes", gl).Set(float64(g.CumBytes))
+		e.reg.Gauge("distq_engine_group_output_results", gl).Set(float64(g.Output))
+		e.reg.Gauge("distq_engine_group_productivity_rank", gl).Set(float64(rank + 1))
+	}
+	for id := range e.gaugedGroups {
+		if seen[id] {
+			continue
+		}
+		gl := obs.L("group", strconv.Itoa(int(id)))
+		e.reg.Gauge("distq_engine_group_resident_bytes", gl).Set(0)
+		e.reg.Gauge("distq_engine_group_lifetime_bytes", gl).Set(0)
+		e.reg.Gauge("distq_engine_group_output_results", gl).Set(0)
+		e.reg.Gauge("distq_engine_group_productivity_rank", gl).Set(0)
+	}
+	e.gaugedGroups = seen
 }
 
 // StatsSnapshot returns the engine's most recent statistics report. It is
@@ -548,6 +622,9 @@ func (e *Engine) onCptV(m proto.CptV) error {
 	if e.pendingReloc != nil && e.pendingReloc.epoch == m.Epoch {
 		return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: e.pendingReloc.parts})
 	}
+	span := e.tracer.StartChild(obs.SpanRelocationCptV, string(e.cfg.Node), e.clock.Now(), m.Trace)
+	span.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
+	span.SetAttr("amount_bytes", strconv.FormatInt(m.Amount, 10))
 	e.savedXfer = nil // at most one outbound relocation's state is retained
 	e.mode = core.RelocateMode
 	var parts []partition.ID
@@ -561,6 +638,8 @@ func (e *Engine) onCptV(m proto.CptV) error {
 		e.mode = core.NormalMode
 		e.pendingReloc = nil
 	}
+	span.SetAttr("partitions", strconv.Itoa(len(parts)))
+	span.End(e.clock.Now())
 	return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: parts})
 }
 
@@ -586,11 +665,12 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 		e.mode = core.NormalMode
 		e.pendingReloc = nil
 	}()
-	span := e.tracer.Start(obs.SpanRelocationSend, string(e.cfg.Node), e.clock.Now())
+	span := e.tracer.StartChild(obs.SpanRelocationSend, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
 	span.SetAttr("receiver", string(m.Receiver))
 	span.SetAttr("partitions", fmt.Sprintf("%d", len(m.Partitions)))
-	xfer := proto.StateTransfer{Epoch: m.Epoch}
+	// Forward the trace so the receiver's install span joins too.
+	xfer := proto.StateTransfer{Epoch: m.Epoch, Trace: m.Trace}
 	var residents []*join.GroupSnapshot
 	var segments []*join.GroupSnapshot
 	for _, id := range m.Partitions {
@@ -703,7 +783,7 @@ func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
 	if e.installedEpochs[m.Epoch] {
 		return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
 	}
-	span := e.tracer.Start(obs.SpanRelocationReceive, string(e.cfg.Node), e.clock.Now())
+	span := e.tracer.StartChild(obs.SpanRelocationReceive, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
 	span.SetAttr("resident_groups", fmt.Sprintf("%d", len(m.Resident)))
 	span.SetAttr("segments", fmt.Sprintf("%d", len(m.Segments)))
@@ -745,7 +825,7 @@ func (e *Engine) onForceSpill(m proto.ForceSpill) error {
 	var bytes int64
 	if err := func() error {
 		before := e.mgr.SpilledBytes()
-		if err := e.spill(m.Amount, stats.EventForcedSpill); err != nil {
+		if err := e.spill(m.Amount, stats.EventForcedSpill, m.Trace); err != nil {
 			return err
 		}
 		bytes = e.mgr.SpilledBytes() - before
@@ -759,7 +839,8 @@ func (e *Engine) onForceSpill(m proto.ForceSpill) error {
 
 // onCheckpoint persists the resident operator state into the configured
 // checkpoint directory and reports the outcome to the requester.
-func (e *Engine) onCheckpoint(from partition.NodeID) error {
+func (e *Engine) onCheckpoint(from partition.NodeID, m proto.Checkpoint) error {
+	span := e.tracer.StartChild(obs.SpanCheckpoint, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	done := proto.CheckpointDone{Node: e.cfg.Node}
 	if e.cfg.CheckpointDir == "" {
 		done.Error = "no checkpoint directory configured"
@@ -768,6 +849,12 @@ func (e *Engine) onCheckpoint(from partition.NodeID) error {
 		done.Error = err.Error()
 	} else {
 		done.Groups = n
+	}
+	span.SetAttr("groups", strconv.Itoa(done.Groups))
+	if done.Error != "" {
+		span.Abort(e.clock.Now(), done.Error)
+	} else {
+		span.End(e.clock.Now())
 	}
 	return e.ep.Send(from, done)
 }
@@ -908,7 +995,7 @@ func (e *Engine) sendResults(payload []byte, phase proto.Phase) {
 		return
 	}
 	if err := e.ep.Send(e.cfg.AppServer, proto.ResultData{Node: e.cfg.Node, Payload: payload, Phase: phase}); err != nil {
-		log.Printf("engine %s: flush results: %v", e.cfg.Node, err)
+		e.log.Error("result_flush_error", obs.FErr(err))
 	}
 }
 

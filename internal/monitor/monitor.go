@@ -1,9 +1,11 @@
 // Package monitor exposes a node's operational state over HTTP for the
 // multi-process cluster binaries: /healthz for liveness, /stats for a
 // JSON snapshot (memory, output, adaptation counters, recent events and
-// spans), and /metrics for Prometheus text exposition of the node's
-// obs.Registry. Handlers pull from a caller-provided snapshot function,
-// so the package stays independent of engine/coordinator internals.
+// spans), /metrics for Prometheus text exposition of the node's
+// obs.Registry, /logs for the structured logger's recent entries, and —
+// opt-in — the net/http/pprof profiling endpoints. Handlers pull from a
+// caller-provided snapshot function, so the package stays independent of
+// engine/coordinator internals.
 package monitor
 
 import (
@@ -12,6 +14,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,8 +62,17 @@ type Config struct {
 	Registry *obs.Registry
 	// Tracer, when set, contributes its most recent spans to /stats.
 	Tracer *obs.Tracer
-	// RecentSpans bounds the spans embedded in /stats (default 32).
+	// RecentSpans bounds the spans embedded in /stats (default 32). A
+	// request's ?limit= query parameter caps both the spans and the
+	// events of that response (it lowers, never raises, this bound).
 	RecentSpans int
+	// Logger, when set, serves its recent entries at /logs as JSON
+	// (?limit= caps the entry count).
+	Logger *obs.Logger
+	// EnableProfiling mounts the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: profiling endpoints expose stacks
+	// and heap contents, so they are opt-in per node.
+	EnableProfiling bool
 }
 
 // Server serves the monitoring endpoints for one node.
@@ -103,8 +116,19 @@ func StartServer(cfg Config) (*Server, error) {
 		snap := cfg.Snapshot()
 		snap.UptimeSec = time.Since(s.started).Seconds()
 		snap.HTTPRequests = s.requests.Load()
-		if cfg.Tracer != nil {
-			snap.Spans = cfg.Tracer.Recent(cfg.RecentSpans)
+		spanLimit := cfg.RecentSpans
+		if n, ok := queryLimit(r); ok && n < spanLimit {
+			spanLimit = n
+		}
+		// Recent treats n <= 0 as "all", so a ?limit=0 request ("no
+		// spans, counters only") must skip the tracer entirely.
+		if cfg.Tracer != nil && spanLimit > 0 {
+			snap.Spans = cfg.Tracer.Recent(spanLimit)
+		}
+		if len(snap.Events) > spanLimit {
+			// Keep the newest events: a bounded snapshot must still show
+			// what happened last, not what happened first.
+			snap.Events = snap.Events[len(snap.Events)-spanLimit:]
 		}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
@@ -113,6 +137,30 @@ func StartServer(cfg Config) (*Server, error) {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("/logs", func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Add(1)
+		if cfg.Logger == nil {
+			http.Error(w, "no logger configured", http.StatusNotFound)
+			return
+		}
+		limit := 0 // all retained entries
+		if n, ok := queryLimit(r); ok {
+			limit = n
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(cfg.Logger.Recent(limit)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	if cfg.EnableProfiling {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		s.requests.Add(1)
 		if cfg.Registry == nil {
@@ -127,6 +175,21 @@ func StartServer(cfg Config) (*Server, error) {
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.srv.Serve(l) //nolint:errcheck // Serve always returns on Close
 	return s, nil
+}
+
+// queryLimit parses a request's ?limit= parameter. Non-numeric and
+// negative values are ignored (ok = false) rather than erroring: a
+// malformed scrape should degrade to the default bound, not fail.
+func queryLimit(r *http.Request) (int, bool) {
+	v := r.URL.Query().Get("limit")
+	if v == "" {
+		return 0, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // Addr reports the bound address (useful with ":0").

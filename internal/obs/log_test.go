@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestLoggerLevels(t *testing.T) {
+	l := NewLogger(LoggerConfig{Node: "m1", Kind: "engine"})
+	if l.Enabled(LevelDebug) {
+		t.Fatal("debug enabled by default; default minimum is info")
+	}
+	for _, lv := range []Level{LevelInfo, LevelWarn, LevelError} {
+		if !l.Enabled(lv) {
+			t.Fatalf("level %s not enabled by default", lv)
+		}
+	}
+	l.Debug("dropped")
+	l.Info("kept_info")
+	l.Warn("kept_warn")
+	l.Error("kept_error")
+	got := l.Recent(0)
+	if len(got) != 3 {
+		t.Fatalf("recorded %d entries, want 3 (debug dropped): %+v", len(got), got)
+	}
+	if got[0].Event != "kept_info" || got[0].Level != "info" {
+		t.Fatalf("first entry = %+v", got[0])
+	}
+
+	l.SetLevel(LevelDebug)
+	if !l.Enabled(LevelDebug) {
+		t.Fatal("debug still disabled after SetLevel")
+	}
+	l.Debug("now_kept")
+	if got := l.Recent(1); len(got) != 1 || got[0].Event != "now_kept" {
+		t.Fatalf("after SetLevel: %+v", got)
+	}
+
+	l.SetLevel(LevelError)
+	l.Warn("dropped_warn")
+	if got := l.Recent(1); got[0].Event != "now_kept" {
+		t.Fatalf("warn recorded at error minimum: %+v", got)
+	}
+}
+
+func TestLoggerRingEviction(t *testing.T) {
+	l := NewLogger(LoggerConfig{Node: "m1", Capacity: 4})
+	for _, ev := range []string{"e1", "e2", "e3", "e4", "e5", "e6"} {
+		l.Info(ev)
+	}
+	got := l.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring holds %d entries, want 4", len(got))
+	}
+	// Oldest first, newest retained.
+	if got[0].Event != "e3" || got[3].Event != "e6" {
+		t.Fatalf("ring contents = %+v", got)
+	}
+	// Recent(n) returns the newest n of the retained window.
+	if tail := l.Recent(2); len(tail) != 2 || tail[0].Event != "e5" || tail[1].Event != "e6" {
+		t.Fatalf("Recent(2) = %+v", tail)
+	}
+}
+
+func TestLoggerEntryRendering(t *testing.T) {
+	l := NewLogger(LoggerConfig{
+		Node: "m1", Kind: "engine",
+		Now: func() vclock.Time { return vclock.Time(90 * time.Second) },
+	})
+	l.Info("relocation_started",
+		F("to", "m2"),
+		FInt("amount", -7),
+		FUint("epoch", 3),
+		FErr(errors.New("boom boom")),
+		F("empty", ""),
+	)
+	e := l.Recent(1)[0]
+	if e.VT != vclock.Time(90*time.Second) {
+		t.Fatalf("vt = %v", e.VT)
+	}
+	line := e.String()
+	want := `t=1m30s level=info kind=engine node=m1 event=relocation_started to=m2 amount=-7 epoch=3 err="boom boom" empty=""`
+	if line != want {
+		t.Fatalf("rendered line:\n got %q\nwant %q", line, want)
+	}
+}
+
+func TestLoggerQuoting(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":       "plain",
+		"":            `""`,
+		"a b":         `"a b"`,
+		"k=v":         `"k=v"`,
+		`say "hi"`:    `"say \"hi\""`,
+		"line\nbreak": `"line\nbreak"`,
+	} {
+		if got := quoteIfNeeded(in); got != want {
+			t.Errorf("quoteIfNeeded(%q) = %s, want %s", in, got, want)
+		}
+	}
+}
+
+func TestLoggerOutputMirror(t *testing.T) {
+	var buf strings.Builder
+	l := NewLogger(LoggerConfig{Node: "gc", Kind: "coordinator", Output: &buf})
+	l.Info("relocation_complete", F("from", "m1"), F("to", "m2"))
+	l.Debug("dropped") // below minimum: not mirrored either
+	out := buf.String()
+	if !strings.Contains(out, "event=relocation_complete from=m1 to=m2") {
+		t.Fatalf("mirror output = %q", out)
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Fatalf("mirror wrote %d lines, want 1: %q", strings.Count(out, "\n"), out)
+	}
+}
+
+func TestNilLoggerIsNoOp(t *testing.T) {
+	var l *Logger
+	if l.Enabled(LevelError) {
+		t.Fatal("nil logger claims enabled")
+	}
+	l.SetLevel(LevelDebug)
+	l.SetOutput(&strings.Builder{})
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x", FErr(errors.New("e")))
+	if l.Recent(0) != nil {
+		t.Fatal("nil logger returned entries")
+	}
+}
+
+// TestLoggerConcurrency hammers one logger from writers and readers
+// simultaneously — the logging path must be race-free (run with -race).
+func TestLoggerConcurrency(t *testing.T) {
+	l := NewLogger(LoggerConfig{Node: "m1", Capacity: 32})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.Info("tick", FInt("worker", int64(w)), FInt("i", int64(i)))
+			}
+		}(w)
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				for _, e := range l.Recent(8) {
+					_ = e.String()
+				}
+				l.SetLevel(LevelInfo)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := l.Recent(0); len(got) != 32 {
+		t.Fatalf("ring holds %d entries after churn, want 32", len(got))
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the complete /metrics document for a
+// representative registry — family ordering, HELP/TYPE lines, label
+// rendering and escaping, cumulative histogram buckets with the +Inf
+// bucket, and float formatting — so any drift in the exposition format
+// shows up as a full-document diff, not a missing substring.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Help("distq_engine_spills_total", "spill cycles executed")
+	r.Counter("distq_engine_spills_total", L("kind", "local")).Add(3)
+	r.Counter("distq_engine_spills_total", L("kind", "forced")).Inc()
+	r.Help("distq_engine_mem_bytes", "resident state size")
+	r.Gauge("distq_engine_mem_bytes").Set(4096)
+	r.Gauge("distq_engine_group_resident_bytes", L("group", "7")).Set(1.5)
+	r.Counter("distq_engine_esc_total", L("detail", "a\"b\\c\nd")).Inc()
+	h := r.Histogram("distq_engine_reloc_vseconds", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	golden := `# TYPE distq_engine_esc_total counter
+distq_engine_esc_total{detail="a\"b\\c\nd"} 1
+# TYPE distq_engine_group_resident_bytes gauge
+distq_engine_group_resident_bytes{group="7"} 1.5
+# HELP distq_engine_mem_bytes resident state size
+# TYPE distq_engine_mem_bytes gauge
+distq_engine_mem_bytes 4096
+# TYPE distq_engine_reloc_vseconds histogram
+distq_engine_reloc_vseconds_bucket{le="1"} 1
+distq_engine_reloc_vseconds_bucket{le="10"} 2
+distq_engine_reloc_vseconds_bucket{le="+Inf"} 3
+distq_engine_reloc_vseconds_sum 55.5
+distq_engine_reloc_vseconds_count 3
+# HELP distq_engine_spills_total spill cycles executed
+# TYPE distq_engine_spills_total counter
+distq_engine_spills_total{kind="forced"} 1
+distq_engine_spills_total{kind="local"} 3
+`
+	if got := b.String(); got != golden {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+// TestWritePrometheusStableUnderConcurrentUpdates renders the exposition
+// while every series keeps mutating and new label sets appear; each
+// rendered document must stay well-formed (every sample line belongs to
+// a declared family) even mid-churn. Run with -race.
+func TestWritePrometheusStableUnderConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			labels := []Label{L("w", string(rune('a'+w)))}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("distq_engine_ops_total", labels...).Inc()
+				r.Gauge("distq_engine_mem_bytes", labels...).Set(float64(i))
+				r.Histogram("distq_engine_lat_vseconds", []float64{1, 10}, labels...).Observe(float64(i % 12))
+			}
+		}(w)
+	}
+
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		doc := b.String()
+		if doc == "" {
+			// First scrapes can race the writers' first registrations.
+			continue
+		}
+		declared := map[string]bool{}
+		for _, line := range strings.Split(strings.TrimSuffix(doc, "\n"), "\n") {
+			if line == "" {
+				t.Fatal("blank line in exposition")
+			}
+			if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+				declared[strings.Fields(rest)[0]] = true
+				continue
+			}
+			if strings.HasPrefix(line, "# HELP ") {
+				continue
+			}
+			name := line
+			if i := strings.IndexAny(name, "{ "); i >= 0 {
+				name = name[:i]
+			}
+			base := name
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if cut, ok := strings.CutSuffix(name, suffix); ok && declared[cut] {
+					base = cut
+					break
+				}
+			}
+			if !declared[base] {
+				t.Fatalf("sample %q has no preceding TYPE declaration in:\n%s", line, b.String())
+			}
+		}
+	}
+	close(stop)
+	writers.Wait()
+}

@@ -50,11 +50,45 @@ var RelocationSteps = []string{
 	StepSendStates, StepInstalled, StepRemap, StepRemapAck,
 }
 
+// Span names of the distributed-trace children introduced with trace
+// propagation: the coordinator's await phases and the engine-side
+// acknowledgment points of the relocation protocol, plus the engine's
+// checkpoint save. All are children of a root span through TraceContext.
+const (
+	// Coordinator await phases, one span per protocol wait.
+	SpanRelocWaitPtV      = "relocation_wait_ptv"
+	SpanRelocWaitMarker   = "relocation_wait_marker"
+	SpanRelocWaitInstall  = "relocation_wait_installed"
+	SpanRelocWaitRemapAck = "relocation_wait_remap_ack"
+	// Sender-engine protocol points (cptv choice, marker fence).
+	SpanRelocationCptV   = "relocation_cptv"
+	SpanRelocationMarker = "relocation_marker"
+	// SpanCheckpoint covers one checkpoint save on an engine.
+	SpanCheckpoint = "checkpoint"
+)
+
 // Attribute values for the status attr.
 const (
 	StatusOK      = "ok"
 	StatusAborted = "aborted"
 )
+
+// TraceContext is the compact trace identity carried on control-plane
+// protocol messages: which distributed trace an operation belongs to and
+// which span (on which node) is its parent. The zero value means
+// "untraced"; spans started under it become roots of fresh traces.
+// TraceContext is a plain value type so proto messages can embed it and
+// gob-encode it without registration.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id,omitempty"`
+	// SpanID / Node identify the parent span within its node's tracer
+	// (span IDs are only unique per node).
+	SpanID uint64 `json:"span_id,omitempty"`
+	Node   string `json:"node,omitempty"`
+}
+
+// Valid reports whether the context names a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
 
 // StepData is one recorded protocol transition within a span.
 type StepData struct {
@@ -67,16 +101,22 @@ type StepData struct {
 // /stats endpoint and the JSONL run reports. Virtual times are
 // nanoseconds since the virtual epoch.
 type SpanData struct {
-	ID        uint64            `json:"id"`
-	Name      string            `json:"name"`
-	Node      string            `json:"node"`
-	Start     vclock.Time       `json:"start_vt_ns"`
-	End       vclock.Time       `json:"end_vt_ns"`
-	WallStart time.Time         `json:"wall_start"`
-	WallEnd   time.Time         `json:"wall_end"`
-	Complete  bool              `json:"complete"`
-	Attrs     map[string]string `json:"attrs,omitempty"`
-	Steps     []StepData        `json:"steps,omitempty"`
+	ID   uint64 `json:"id"`
+	Name string `json:"name"`
+	Node string `json:"node"`
+	// TraceID groups spans of one distributed operation across nodes;
+	// ParentID/ParentNode link to the parent span within the trace
+	// (zero/empty for a trace root). See TraceContext.
+	TraceID    uint64            `json:"trace_id,omitempty"`
+	ParentID   uint64            `json:"parent_id,omitempty"`
+	ParentNode string            `json:"parent_node,omitempty"`
+	Start      vclock.Time       `json:"start_vt_ns"`
+	End        vclock.Time       `json:"end_vt_ns"`
+	WallStart  time.Time         `json:"wall_start"`
+	WallEnd    time.Time         `json:"wall_end"`
+	Complete   bool              `json:"complete"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Steps      []StepData        `json:"steps,omitempty"`
 }
 
 // Duration is the span's virtual duration (zero while incomplete).
@@ -133,28 +173,66 @@ func NewTracer(capacity int) *Tracer {
 	return &Tracer{cap: capacity}
 }
 
-// Start opens a span at virtual time vt. The returned span is mutated by
-// its owner (typically a node's serial handler goroutine) and snapshotted
-// concurrently through the tracer.
+// Start opens a root span at virtual time vt: it begins a fresh trace
+// whose ID is derived from the node name and the span's sequence number
+// (deterministic, cluster-unique without a wall clock or randomness).
+// The returned span is mutated by its owner (typically a node's serial
+// handler goroutine) and snapshotted concurrently through the tracer.
 func (t *Tracer) Start(name, node string, vt vclock.Time) *Span {
+	return t.StartChild(name, node, vt, TraceContext{})
+}
+
+// StartChild opens a span under a parent trace context, as propagated on
+// a control-plane protocol message. A zero (invalid) parent makes the
+// span the root of a fresh trace, so call sites need not guard against
+// untraced messages.
+func (t *Tracer) StartChild(name, node string, vt vclock.Time, parent TraceContext) *Span {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.nextID++
-	s := &Span{t: t, d: SpanData{
+	d := SpanData{
 		ID:        t.nextID,
 		Name:      name,
 		Node:      node,
 		Start:     vt,
 		WallStart: time.Now(),
-	}}
+	}
+	if parent.Valid() {
+		d.TraceID = parent.TraceID
+		d.ParentID = parent.SpanID
+		d.ParentNode = parent.Node
+	} else {
+		d.TraceID = traceID(node, t.nextID)
+	}
+	s := &Span{t: t, d: d}
 	t.spans = append(t.spans, s)
 	if len(t.spans) > t.cap {
 		t.spans = append(t.spans[:0], t.spans[len(t.spans)-t.cap:]...)
 	}
 	return s
+}
+
+// traceID derives a cluster-unique trace identifier from the opening
+// node's name (FNV-1a hashed into the high bits) and the span's
+// per-node sequence number. Never zero: zero means "untraced".
+func traceID(node string, seq uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(node); i++ {
+		h ^= uint64(node[i])
+		h *= prime64
+	}
+	id := (h << 20) ^ seq
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // Spans snapshots every retained span, oldest first.
@@ -186,6 +264,18 @@ func (t *Tracer) Recent(n int) []SpanData {
 type Span struct {
 	t *Tracer
 	d SpanData
+}
+
+// Context returns the trace context that makes later spans children of
+// this one; stamp it on the protocol message that hands the operation to
+// another node. A nil span returns the zero (untraced) context.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	return TraceContext{TraceID: s.d.TraceID, SpanID: s.d.ID, Node: s.d.Node}
 }
 
 // Step records a protocol transition at virtual time vt.

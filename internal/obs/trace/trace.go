@@ -1,0 +1,231 @@
+// Package trace reassembles distributed traces from per-node span
+// dumps. Each node's obs.Tracer records only its own spans; the trace
+// context propagated on control-plane protocol messages (obs.TraceContext)
+// stamps every span with a cluster-unique TraceID and its parent's
+// identity, so gathering the spans of all nodes — a cluster Result's
+// merged Spans, or the /stats scrapes of every monitor endpoint — is
+// enough to rebuild each adaptation as one causal tree: the coordinator's
+// decision span on top, its await phases and the engines' cptv / marker /
+// transfer / install spans beneath it.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Node is one span within a reassembled trace tree.
+type Node struct {
+	Span     obs.SpanData
+	Children []*Node
+}
+
+// Descendants counts the spans below this node.
+func (n *Node) Descendants() int {
+	total := 0
+	for _, c := range n.Children {
+		total += 1 + c.Descendants()
+	}
+	return total
+}
+
+// Walk visits the node and every descendant, parents before children.
+func (n *Node) Walk(fn func(*Node)) {
+	fn(n)
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Tree is one reassembled trace.
+type Tree struct {
+	TraceID uint64
+	Root    *Node
+	// Orphans are spans of this trace whose recorded parent span was not
+	// in the input (evicted from a tracer ring, or a node not scraped).
+	// They are still part of the trace but cannot be attached.
+	Orphans []*Node
+}
+
+// Spans counts every span in the tree, root and orphans included.
+func (t *Tree) Spans() int {
+	n := 1 + t.Root.Descendants()
+	for _, o := range t.Orphans {
+		n += 1 + o.Descendants()
+	}
+	return n
+}
+
+// Nodes lists the distinct cluster nodes contributing spans, sorted.
+func (t *Tree) Nodes() []string {
+	seen := map[string]bool{}
+	visit := func(n *Node) { seen[n.Span.Node] = true }
+	t.Root.Walk(visit)
+	for _, o := range t.Orphans {
+		o.Walk(visit)
+	}
+	out := make([]string, 0, len(seen))
+	for n := range seen {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// spanKey identifies a span within a trace; span IDs are per-node
+// sequence numbers, so the node disambiguates.
+type spanKey struct {
+	node string
+	id   uint64
+}
+
+// Build groups spans by TraceID and links each trace into a tree.
+// Trees are returned ordered by their earliest span's virtual start;
+// children within a node are ordered the same way. Spans without a
+// TraceID (recorded before trace propagation, or hand-built) each form
+// a single-span tree.
+func Build(spans []obs.SpanData) []*Tree {
+	byTrace := make(map[uint64][]obs.SpanData)
+	var untraced []obs.SpanData
+	for _, s := range spans {
+		if s.TraceID == 0 {
+			untraced = append(untraced, s)
+			continue
+		}
+		byTrace[s.TraceID] = append(byTrace[s.TraceID], s)
+	}
+
+	var trees []*Tree
+	for id, group := range byTrace {
+		trees = append(trees, link(id, group))
+	}
+	for _, s := range untraced {
+		trees = append(trees, &Tree{Root: &Node{Span: s}})
+	}
+	sort.SliceStable(trees, func(i, j int) bool {
+		return trees[i].Root.Span.Start < trees[j].Root.Span.Start
+	})
+	return trees
+}
+
+// link assembles one trace's spans into root + orphans.
+func link(id uint64, spans []obs.SpanData) *Tree {
+	nodes := make(map[spanKey]*Node, len(spans))
+	ordered := make([]*Node, 0, len(spans))
+	for _, s := range spans {
+		n := &Node{Span: s}
+		nodes[spanKey{s.Node, s.ID}] = n
+		ordered = append(ordered, n)
+	}
+	t := &Tree{TraceID: id}
+	for _, n := range ordered {
+		s := n.Span
+		if s.ParentID == 0 && s.ParentNode == "" {
+			if t.Root == nil {
+				t.Root = n
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+			continue
+		}
+		if p, ok := nodes[spanKey{s.ParentNode, s.ParentID}]; ok && p != n {
+			p.Children = append(p.Children, n)
+		} else {
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	if t.Root == nil && len(t.Orphans) > 0 {
+		// No true root survived the ring: promote the earliest orphan so
+		// the tree still renders.
+		sort.SliceStable(t.Orphans, func(i, j int) bool {
+			return t.Orphans[i].Span.Start < t.Orphans[j].Span.Start
+		})
+		t.Root, t.Orphans = t.Orphans[0], t.Orphans[1:]
+	}
+	sortChildren(t.Root)
+	for _, o := range t.Orphans {
+		sortChildren(o)
+	}
+	return t
+}
+
+func sortChildren(n *Node) {
+	if n == nil {
+		return
+	}
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		a, b := n.Children[i].Span, n.Children[j].Span
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Node < b.Node
+	})
+	for _, c := range n.Children {
+		sortChildren(c)
+	}
+}
+
+// ByName filters trees down to those whose root span bears name.
+func ByName(trees []*Tree, name string) []*Tree {
+	var out []*Tree
+	for _, t := range trees {
+		if t.Root != nil && t.Root.Span.Name == name {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Find returns the first node in the tree bearing name (depth-first),
+// or nil.
+func (t *Tree) Find(name string) *Node {
+	var found *Node
+	visit := func(n *Node) {
+		if found == nil && n.Span.Name == name {
+			found = n
+		}
+	}
+	t.Root.Walk(visit)
+	for _, o := range t.Orphans {
+		if found == nil {
+			o.Walk(visit)
+		}
+	}
+	return found
+}
+
+// Render formats the tree as indented text, one span per line with its
+// node, virtual interval, status, and step count — the human view of one
+// adaptation's causal story.
+func (t *Tree) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x (%d spans, nodes: %s)\n", t.TraceID, t.Spans(), strings.Join(t.Nodes(), ","))
+	renderNode(&b, t.Root, 1)
+	for _, o := range t.Orphans {
+		b.WriteString("  (orphaned)\n")
+		renderNode(&b, o, 2)
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, depth int) {
+	s := n.Span
+	status := "open"
+	if s.Complete {
+		status = s.Attrs["status"]
+		if status == "" {
+			status = obs.StatusOK
+		}
+	}
+	fmt.Fprintf(b, "%s%s @%s [%s → %s] %s", strings.Repeat("  ", depth), s.Name, s.Node, s.Start, s.End, status)
+	if len(s.Steps) > 0 {
+		fmt.Fprintf(b, " steps=%d", len(s.Steps))
+	}
+	b.WriteByte('\n')
+	for _, c := range n.Children {
+		renderNode(b, c, depth+1)
+	}
+}

@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/vclock"
+)
+
+func vt(d time.Duration) vclock.Time { return vclock.Time(d) }
+
+// relocationSpans simulates the per-node tracers of one relocation:
+// the coordinator's root + await phases, the sender's protocol spans,
+// and the receiver's install span — then merges the dumps, as a
+// cluster Result or a set of /stats scrapes would.
+func relocationSpans(t *testing.T) []obs.SpanData {
+	t.Helper()
+	gc := obs.NewTracer(0)
+	m1 := obs.NewTracer(0)
+	m2 := obs.NewTracer(0)
+
+	root := gc.Start(obs.SpanRelocation, "gc", vt(10*time.Second))
+	rctx := root.Context()
+	for _, name := range []string{
+		obs.SpanRelocWaitPtV, obs.SpanRelocWaitMarker,
+		obs.SpanRelocWaitInstall, obs.SpanRelocWaitRemapAck,
+	} {
+		p := gc.StartChild(name, "gc", vt(11*time.Second), rctx)
+		p.End(vt(12 * time.Second))
+	}
+
+	// Sender-side children, parented by the context the coordinator
+	// stamped on CptV / Pause / SendStates.
+	for _, name := range []string{
+		obs.SpanRelocationCptV, obs.SpanRelocationMarker, obs.SpanRelocationSend,
+	} {
+		s := m1.StartChild(name, "m1", vt(13*time.Second), rctx)
+		s.End(vt(14 * time.Second))
+	}
+	// Receiver install, parented by the context forwarded on StateTransfer.
+	recv := m2.StartChild(obs.SpanRelocationReceive, "m2", vt(14*time.Second), rctx)
+	recv.End(vt(15 * time.Second))
+
+	root.End(vt(16 * time.Second))
+	return append(append(gc.Spans(), m1.Spans()...), m2.Spans()...)
+}
+
+func TestBuildReassemblesRelocation(t *testing.T) {
+	trees := Build(relocationSpans(t))
+	if len(trees) != 1 {
+		t.Fatalf("built %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Root.Span.Name != obs.SpanRelocation || tree.Root.Span.Node != "gc" {
+		t.Fatalf("root = %+v", tree.Root.Span)
+	}
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("orphans = %d, want 0", len(tree.Orphans))
+	}
+	if got := tree.Root.Descendants(); got != 8 {
+		t.Fatalf("root has %d descendants, want 8", got)
+	}
+	if got := tree.Spans(); got != 9 {
+		t.Fatalf("tree spans = %d, want 9", got)
+	}
+	wantNodes := []string{"gc", "m1", "m2"}
+	gotNodes := tree.Nodes()
+	if len(gotNodes) != len(wantNodes) {
+		t.Fatalf("nodes = %v", gotNodes)
+	}
+	for i, n := range wantNodes {
+		if gotNodes[i] != n {
+			t.Fatalf("nodes = %v, want %v", gotNodes, wantNodes)
+		}
+	}
+	// Every child attributes to the node whose tracer recorded it.
+	byName := map[string]string{}
+	for _, c := range tree.Root.Children {
+		byName[c.Span.Name] = c.Span.Node
+	}
+	for name, node := range map[string]string{
+		obs.SpanRelocWaitPtV:      "gc",
+		obs.SpanRelocationCptV:    "m1",
+		obs.SpanRelocationSend:    "m1",
+		obs.SpanRelocationReceive: "m2",
+	} {
+		if byName[name] != node {
+			t.Errorf("child %s on node %q, want %q", name, byName[name], node)
+		}
+	}
+	// Children ordered by virtual start (gc phases at 11s precede the
+	// engine spans at 13s+).
+	if first := tree.Root.Children[0].Span; first.Start != vt(11*time.Second) {
+		t.Fatalf("first child starts at %v", first.Start)
+	}
+	if last := tree.Root.Children[len(tree.Root.Children)-1].Span; last.Name != obs.SpanRelocationReceive {
+		t.Fatalf("last child = %s", last.Name)
+	}
+}
+
+func TestBuildSeparatesTracesAndUntraced(t *testing.T) {
+	// One tracer per node, as in the real cluster: trace IDs derive from
+	// the node name and the per-node span sequence, so two roots on the
+	// same tracer start two distinct traces.
+	gc := obs.NewTracer(0)
+	m1 := obs.NewTracer(0)
+	ra := gc.Start(obs.SpanRelocation, "gc", vt(2*time.Second))
+	m1.StartChild(obs.SpanRelocationCptV, "m1", vt(3*time.Second), ra.Context())
+	gc.Start(obs.SpanForcedSpill, "gc", vt(1*time.Second))
+	// Hand-built span without a trace: its own single-span tree.
+	untraced := obs.SpanData{Name: obs.SpanCleanup, Node: "m1", Start: vt(4 * time.Second)}
+
+	trees := Build(append(append(gc.Spans(), m1.Spans()...), untraced))
+	if len(trees) != 3 {
+		t.Fatalf("built %d trees, want 3", len(trees))
+	}
+	// Ordered by earliest root start: forced spill (1s), relocation (2s),
+	// untraced cleanup (4s).
+	if trees[0].Root.Span.Name != obs.SpanForcedSpill ||
+		trees[1].Root.Span.Name != obs.SpanRelocation ||
+		trees[2].Root.Span.Name != obs.SpanCleanup {
+		t.Fatalf("tree order = %s, %s, %s",
+			trees[0].Root.Span.Name, trees[1].Root.Span.Name, trees[2].Root.Span.Name)
+	}
+	if trees[2].TraceID != 0 || len(trees[1].Root.Children) != 1 {
+		t.Fatalf("untraced id=%d, reloc children=%d", trees[2].TraceID, len(trees[1].Root.Children))
+	}
+
+	reloc := ByName(trees, obs.SpanRelocation)
+	if len(reloc) != 1 || reloc[0] != trees[1] {
+		t.Fatalf("ByName(relocation) = %v", reloc)
+	}
+	if n := reloc[0].Find(obs.SpanRelocationCptV); n == nil || n.Span.Node != "m1" {
+		t.Fatalf("Find(cptv) = %+v", n)
+	}
+	if reloc[0].Find("no_such_span") != nil {
+		t.Fatal("Find invented a span")
+	}
+}
+
+func TestBuildOrphansAndRootPromotion(t *testing.T) {
+	gc := obs.NewTracer(0)
+	m1 := obs.NewTracer(0)
+	root := gc.Start(obs.SpanRelocation, "gc", vt(1*time.Second))
+	child := m1.StartChild(obs.SpanRelocationSend, "m1", vt(2*time.Second), root.Context())
+	// A span whose parent (the send) is NOT in the dump below: orphan.
+	grand := m1.StartChild(obs.SpanRelocationReceive, "m2", vt(3*time.Second), child.Context())
+	_ = grand
+
+	// Dump missing the middle span — as if m1's ring evicted it.
+	var spans []obs.SpanData
+	for _, s := range append(gc.Spans(), m1.Spans()...) {
+		if s.Name == obs.SpanRelocationSend {
+			continue
+		}
+		spans = append(spans, s)
+	}
+	trees := Build(spans)
+	if len(trees) != 1 {
+		t.Fatalf("built %d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Root.Span.Name != obs.SpanRelocation || len(tree.Orphans) != 1 {
+		t.Fatalf("root=%s orphans=%d", tree.Root.Span.Name, len(tree.Orphans))
+	}
+	if tree.Orphans[0].Span.Name != obs.SpanRelocationReceive {
+		t.Fatalf("orphan = %s", tree.Orphans[0].Span.Name)
+	}
+	if tree.Spans() != 2 {
+		t.Fatalf("spans = %d", tree.Spans())
+	}
+
+	// No root at all (coordinator not scraped): earliest orphan promoted.
+	var noRoot []obs.SpanData
+	for _, s := range m1.Spans() {
+		noRoot = append(noRoot, s)
+	}
+	trees = Build(noRoot)
+	if len(trees) != 1 || trees[0].Root == nil {
+		t.Fatalf("trees = %+v", trees)
+	}
+	if trees[0].Root.Span.Name != obs.SpanRelocationSend {
+		t.Fatalf("promoted root = %s", trees[0].Root.Span.Name)
+	}
+	// The grand-child's parent IS present here, so it attaches.
+	if len(trees[0].Root.Children) != 1 || len(trees[0].Orphans) != 0 {
+		t.Fatalf("promoted tree: children=%d orphans=%d", len(trees[0].Root.Children), len(trees[0].Orphans))
+	}
+}
+
+func TestRender(t *testing.T) {
+	trees := Build(relocationSpans(t))
+	out := trees[0].Render()
+	if !strings.HasPrefix(out, "trace ") {
+		t.Fatalf("render = %q", out)
+	}
+	for _, want := range []string{
+		"(9 spans, nodes: gc,m1,m2)",
+		"\n  relocation @gc [10s → 16s] ok",
+		"\n    relocation_receive @m2 [14s → 15s] ok",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "(orphaned)") {
+		t.Errorf("complete trace rendered orphans:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != 10 {
+		t.Errorf("render has %d lines, want 10:\n%s", got, out)
+	}
+}

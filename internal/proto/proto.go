@@ -9,6 +9,7 @@ package proto
 import (
 	"encoding/gob"
 
+	"repro/internal/obs"
 	"repro/internal/partition"
 )
 
@@ -68,6 +69,9 @@ type Data struct {
 //distq:handledby engine
 type PauseMarker struct {
 	Epoch uint64
+	// Trace is echoed from the Pause that triggered the marker, so the
+	// sender's drain-fence span joins the coordinator's relocation trace.
+	Trace obs.TraceContext
 }
 
 // MarkerAck tells the coordinator the relocation sender drained its data
@@ -131,6 +135,10 @@ type CptV struct {
 	Epoch    uint64
 	Amount   int64
 	Receiver partition.NodeID
+	// Trace parents the sender's spans under the coordinator's relocation
+	// decision span. Trace contexts ride only these control-plane
+	// messages — never Data — so the data hot path stays allocation-free.
+	Trace obs.TraceContext
 }
 
 // PtV returns the chosen partition groups to the coordinator (step 2).
@@ -150,6 +158,8 @@ type Pause struct {
 	Epoch      uint64
 	Partitions []partition.ID
 	Owner      partition.NodeID
+	// Trace is echoed onto the PauseMarker pushed to Owner.
+	Trace obs.TraceContext
 }
 
 // SendStates tells the sender to transfer the moving groups to the
@@ -160,6 +170,9 @@ type SendStates struct {
 	Epoch      uint64
 	Partitions []partition.ID
 	Receiver   partition.NodeID
+	// Trace parents the sender's extraction span; the sender forwards it
+	// on the StateTransfer so the receiver's install span joins too.
+	Trace obs.TraceContext
 }
 
 // StateTransfer carries the moving partition groups: the resident
@@ -172,6 +185,8 @@ type StateTransfer struct {
 	Epoch    uint64
 	Resident [][]byte
 	Segments [][]byte
+	// Trace is forwarded from the SendStates that ordered the transfer.
+	Trace obs.TraceContext
 }
 
 // Installed tells the coordinator the receiver installed the transferred
@@ -211,6 +226,9 @@ type RemapAck struct {
 type ForceSpill struct {
 	Amount int64
 	Seq    uint64
+	// Trace parents the engine's spill span under the coordinator's
+	// forced-spill decision span.
+	Trace obs.TraceContext
 }
 
 // SpillDone acknowledges a forced spill, echoing its Seq.
@@ -264,7 +282,11 @@ type RelocAbortAck struct {
 // snapshots). The engine answers the requester with CheckpointDone.
 //
 //distq:handledby engine
-type Checkpoint struct{}
+type Checkpoint struct {
+	// Trace parents the engine's checkpoint span (zero when the requester
+	// is untraced).
+	Trace obs.TraceContext
+}
 
 // CheckpointDone reports a checkpoint outcome to the requester (the
 // experiment harness on the generator node). A non-empty Error means
@@ -325,6 +347,8 @@ const (
 //distq:handledby engine, appserver
 type Drain struct {
 	Token uint64
+	// Trace identifies the requester's span, if any (zero when untraced).
+	Trace obs.TraceContext
 }
 
 // DrainAck acknowledges a Drain.

@@ -197,7 +197,7 @@ func (r *Router) pause(m proto.Pause) error {
 		}
 	}
 	r.mu.Unlock()
-	return r.ep.Send(m.Owner, proto.PauseMarker{Epoch: m.Epoch})
+	return r.ep.Send(m.Owner, proto.PauseMarker{Epoch: m.Epoch, Trace: m.Trace})
 }
 
 // remap implements protocol step 7: adopt the new map version, release

@@ -48,6 +48,7 @@ func benchCase(b *testing.B, name string) {
 
 func BenchmarkJoinProcessCountOnly(b *testing.B)     { benchCase(b, "join_process_count_only") }
 func BenchmarkJoinProcessParallel(b *testing.B)      { benchCase(b, "join_process_parallel") }
+func BenchmarkJoinProcessObserved(b *testing.B)      { benchCase(b, "join_process_observed") }
 func BenchmarkJoinProcessMaterializing(b *testing.B) { benchCase(b, "join_process_materializing") }
 func BenchmarkTupleDecode(b *testing.B)              { benchCase(b, "tuple_decode") }
 func BenchmarkBatchRoundTrip(b *testing.B)           { benchCase(b, "batch_round_trip") }
