@@ -9,9 +9,9 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build lint test test-race chaos-smoke fuzz-smoke bench
+.PHONY: check vet build lint lint-waivers test test-race chaos-smoke fuzz-smoke bench
 
-check: vet build lint test-race chaos-smoke fuzz-smoke
+check: vet build lint lint-waivers test-race chaos-smoke fuzz-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,11 @@ build:
 # exhaustiveness, obs naming, spill error handling). See PROTOCOL.md.
 lint:
 	$(GO) run ./cmd/distqlint ./...
+
+# lint-waivers audits the //distqlint:allow ledger: every waiver must
+# name a known analyzer and carry a rationale, or the audit fails.
+lint-waivers:
+	$(GO) run ./cmd/distqlint -waivers ./...
 
 test:
 	$(GO) test ./...

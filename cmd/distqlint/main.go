@@ -3,46 +3,63 @@
 //
 //	go run ./cmd/distqlint ./...
 //	go run ./cmd/distqlint -only vclockdiscipline ./internal/engine
+//	go run ./cmd/distqlint -json ./... | jq .
+//	go run ./cmd/distqlint -waivers ./...
 //
 // It prints one line per finding (file:line:col: analyzer: message) and
-// exits 1 if anything fired. Findings are suppressed by a
-// //distqlint:allow <analyzer>: <rationale> comment on or directly
-// above the offending line. The suite is part of `make check` and the
-// CI gate; it must stay green.
+// exits 1 if anything fired; -json emits the findings as a JSON array
+// instead (CI converts them to GitHub Actions error annotations).
+// Findings are suppressed by a //distqlint:allow <analyzer>: <rationale>
+// comment on or directly above the offending line; -waivers audits that
+// ledger — every waiver with its analyzer, rationale, and location —
+// and exits non-zero on malformed or analyzer-unknown waivers. The
+// suite is part of `make check` and the CI gate; it must stay green.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"repro/internal/analysis"
+	"repro/internal/analysis/aliasretain"
 	"repro/internal/analysis/componentboundary"
 	"repro/internal/analysis/obsnaming"
 	"repro/internal/analysis/protoexhaustive"
 	"repro/internal/analysis/senderrcheck"
+	"repro/internal/analysis/shardquiesce"
 	"repro/internal/analysis/spillerrcheck"
+	"repro/internal/analysis/stopfence"
+	"repro/internal/analysis/tracepropagation"
 	"repro/internal/analysis/vclockdiscipline"
 )
 
 // all lists every analyzer in the suite, in report order.
 var all = []*analysis.Analyzer{
+	aliasretain.Analyzer,
 	componentboundary.Analyzer,
 	obsnaming.Analyzer,
 	protoexhaustive.Analyzer,
 	senderrcheck.Analyzer,
+	shardquiesce.Analyzer,
 	spillerrcheck.Analyzer,
+	stopfence.Analyzer,
+	tracepropagation.Analyzer,
 	vclockdiscipline.Analyzer,
 }
 
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text lines")
+	audit := flag.Bool("waivers", false, "audit //distqlint:allow waivers instead of linting")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: distqlint [-only names] [-list] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: distqlint [-only names] [-list] [-json] [-waivers] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -73,7 +90,11 @@ func main() {
 	}
 
 	loader := analysis.NewLoader(analysis.ModuleResolver(modRoot, modPath))
-	bad := false
+	if *audit {
+		os.Exit(auditWaivers(loader, paths, modRoot, *jsonOut))
+	}
+
+	found := []jsonDiag{}
 	for _, p := range paths {
 		pkg, err := loader.Load(p)
 		if err != nil {
@@ -84,13 +105,130 @@ func main() {
 			fatal(err)
 		}
 		for _, d := range diags {
-			bad = true
-			fmt.Println(relativize(modRoot, d))
+			d.Pos.Filename = relPath(modRoot, d.Pos.Filename)
+			found = append(found, jsonDiag{
+				File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+				Analyzer: d.Analyzer, Message: d.Message,
+			})
+			if !*jsonOut {
+				fmt.Println(d.String())
+			}
 		}
 	}
-	if bad {
+	if *jsonOut {
+		emitJSON(found)
+	}
+	if len(found) > 0 {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// waiverEntry is one //distqlint:allow occurrence in the audit ledger.
+type waiverEntry struct {
+	File      string   `json:"file"`
+	Line      int      `json:"line"`
+	Analyzers []string `json:"analyzers"`
+	Rationale string   `json:"rationale"`
+	Problems  []string `json:"problems,omitempty"`
+}
+
+// emitJSON writes v as a JSON array, never null, for pipeline safety.
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+// auditWaivers lists every waiver directive with its analyzer names,
+// rationale, and location. A waiver that names no known analyzer or
+// carries no rationale defeats the ledger and fails the audit.
+func auditWaivers(loader *analysis.Loader, paths []string, modRoot string, jsonOut bool) int {
+	known := make(map[string]bool, len(all))
+	for _, a := range all {
+		known[a.Name] = true
+	}
+	entries := []waiverEntry{}
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					rest, ok := strings.CutPrefix(c.Text, analysis.WaiverDirective)
+					if !ok {
+						continue
+					}
+					entries = append(entries, parseWaiver(pkg.Fset.Position(c.Pos()), rest, known, modRoot))
+				}
+			}
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		return entries[i].Line < entries[j].Line
+	})
+	bad := false
+	for _, e := range entries {
+		if len(e.Problems) > 0 {
+			bad = true
+		}
+	}
+	if jsonOut {
+		emitJSON(entries)
+	} else {
+		for _, e := range entries {
+			if len(e.Problems) > 0 {
+				fmt.Printf("%s:%d: MALFORMED waiver (%s)\n", e.File, e.Line, strings.Join(e.Problems, "; "))
+				continue
+			}
+			fmt.Printf("%s:%d: %s: %s\n", e.File, e.Line, strings.Join(e.Analyzers, ","), e.Rationale)
+		}
+		fmt.Printf("%d waivers\n", len(entries))
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}
+
+// parseWaiver splits one directive payload into analyzer names and
+// rationale, collecting everything wrong with it.
+func parseWaiver(pos token.Position, rest string, known map[string]bool, modRoot string) waiverEntry {
+	e := waiverEntry{File: relPath(modRoot, pos.Filename), Line: pos.Line}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		e.Problems = append(e.Problems, "directive not followed by a space")
+		return e
+	}
+	names, rationale, hasRationale := strings.Cut(rest, ":")
+	e.Analyzers = strings.Fields(strings.ReplaceAll(names, ",", " "))
+	e.Rationale = strings.TrimSpace(rationale)
+	if len(e.Analyzers) == 0 {
+		e.Problems = append(e.Problems, "names no analyzer (blanket waivers are not allowed)")
+	}
+	for _, name := range e.Analyzers {
+		if !known[name] {
+			e.Problems = append(e.Problems, fmt.Sprintf("unknown analyzer %q", name))
+		}
+	}
+	if !hasRationale || e.Rationale == "" {
+		e.Problems = append(e.Problems, "missing rationale after ':'")
+	}
+	return e
 }
 
 func fatal(err error) {
@@ -244,10 +382,11 @@ func hasGoSource(dir string) bool {
 	return false
 }
 
-// relativize shortens diagnostic file paths for readable output.
-func relativize(modRoot string, d analysis.Diagnostic) string {
-	if rel, err := filepath.Rel(modRoot, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
+// relPath shortens a file path under the module root for readable
+// output and stable CI annotations.
+func relPath(modRoot, filename string) string {
+	if rel, err := filepath.Rel(modRoot, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
 	}
-	return d.String()
+	return filename
 }

@@ -1,0 +1,15 @@
+package aliasretain_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/aliasretain"
+	"repro/internal/analysis/analysistest"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", aliasretain.Analyzer,
+		"repro/internal/tuple",  // producer side: exempt, no findings
+		"repro/internal/engine", // every retention shape incl. the PR-4 bug
+	)
+}

@@ -1,0 +1,274 @@
+// Package dataflow is the shared intra-procedural analysis engine under
+// the repo's flow-aware analyzers (aliasretain, shardquiesce,
+// tracepropagation, stopfence). It provides three layers, all on the
+// stdlib-only tolerant loader of internal/analysis:
+//
+//   - a statement-level control-flow graph over one function body (CFG);
+//   - classic reaching definitions over that CFG (Reach), so analyzers
+//     can follow a value through local aliases (`op := e.op; op.X()`);
+//   - a provenance-tracking taint/escape pass (Escapes) with per-callee
+//     summaries for in-module functions (Summarizer), so "does this
+//     scratch buffer outlive the call" survives helper indirection.
+//
+// Like the rest of internal/analysis, the engine treats type information
+// as best-effort: external imports are stubs, so unknown callees are
+// handled optimistically (no taint flow, no retention) and in-module
+// callees contribute real summaries.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of CFG elements. Elements are
+// statements, plus the expressions and headers evaluated for control
+// flow (if/for conditions, range and type-switch headers), in execution
+// order.
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A Graph is the CFG of one function body. Exit is the single synthetic
+// exit block (returns and the body's fallthrough both reach it).
+type Graph struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+}
+
+// BuildCFG constructs the control-flow graph of body. Function literals
+// inside body are treated as opaque values: their bodies are not part of
+// this graph (analyze them separately).
+func BuildCFG(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &cfgBuilder{g: g}
+	g.Entry = b.newBlock()
+	g.Exit = b.newBlock()
+	last := b.stmts(g.Entry, body.List)
+	b.edge(last, g.Exit)
+	return g
+}
+
+type loopCtx struct {
+	brk, cont *Block
+}
+
+type cfgBuilder struct {
+	g     *Graph
+	loops []loopCtx
+	// brks is the innermost break target for switch/select bodies.
+	brks []*Block
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// edge connects from to to; a nil from means the predecessor path was
+// terminated (return/branch) and there is nothing to connect.
+func (b *cfgBuilder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// stmts lays out a statement list starting in cur and returns the block
+// that falls through the end (nil if the path always terminates).
+func (b *cfgBuilder) stmts(cur *Block, list []ast.Stmt) *Block {
+	for _, s := range list {
+		cur = b.stmt(cur, s)
+	}
+	return cur
+}
+
+func (b *cfgBuilder) stmt(cur *Block, s ast.Stmt) *Block {
+	if cur == nil {
+		// Unreachable code after return/branch: park it in a detached
+		// block so its defs still exist (harmless over-approximation).
+		cur = b.newBlock()
+	}
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		return b.stmts(cur, st.List)
+	case *ast.LabeledStmt:
+		return b.stmt(cur, st.Stmt)
+	case *ast.ReturnStmt:
+		cur.Nodes = append(cur.Nodes, st)
+		b.edge(cur, b.g.Exit)
+		return nil
+	case *ast.BranchStmt:
+		cur.Nodes = append(cur.Nodes, st)
+		switch st.Tok {
+		case token.BREAK:
+			if n := len(b.brks); n > 0 {
+				b.edge(cur, b.brks[n-1])
+			} else {
+				b.edge(cur, b.g.Exit)
+			}
+			return nil
+		case token.CONTINUE:
+			if n := len(b.loops); n > 0 {
+				b.edge(cur, b.loops[n-1].cont)
+			} else {
+				b.edge(cur, b.g.Exit)
+			}
+			return nil
+		case token.GOTO:
+			// Unsupported precisely; terminate the path (the target's
+			// defs are reached through its other predecessors).
+			b.edge(cur, b.g.Exit)
+			return nil
+		}
+		return cur // fallthrough: treated as falling out of the case
+	case *ast.IfStmt:
+		if st.Init != nil {
+			cur.Nodes = append(cur.Nodes, st.Init)
+		}
+		cur.Nodes = append(cur.Nodes, &exprNode{st.Cond})
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		thenEnd := b.stmts(thenB, st.Body.List)
+		join := b.newBlock()
+		b.edge(thenEnd, join)
+		if st.Else != nil {
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			elseEnd := b.stmt(elseB, st.Else)
+			b.edge(elseEnd, join)
+		} else {
+			b.edge(cur, join)
+		}
+		return join
+	case *ast.ForStmt:
+		if st.Init != nil {
+			cur.Nodes = append(cur.Nodes, st.Init)
+		}
+		head := b.newBlock()
+		b.edge(cur, head)
+		if st.Cond != nil {
+			head.Nodes = append(head.Nodes, &exprNode{st.Cond})
+		}
+		join := b.newBlock()
+		post := b.newBlock()
+		if st.Post != nil {
+			post.Nodes = append(post.Nodes, st.Post)
+		}
+		b.edge(post, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		if st.Cond != nil {
+			b.edge(head, join) // condition false
+		}
+		b.loops = append(b.loops, loopCtx{brk: join, cont: post})
+		b.brks = append(b.brks, join)
+		bodyEnd := b.stmts(body, st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.brks = b.brks[:len(b.brks)-1]
+		b.edge(bodyEnd, post)
+		return join
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(cur, head)
+		// The RangeStmt itself is the header element: it evaluates X and
+		// defines Key/Value on each iteration.
+		head.Nodes = append(head.Nodes, st)
+		join := b.newBlock()
+		b.edge(head, join) // range exhausted
+		body := b.newBlock()
+		b.edge(head, body)
+		b.loops = append(b.loops, loopCtx{brk: join, cont: head})
+		b.brks = append(b.brks, join)
+		bodyEnd := b.stmts(body, st.Body.List)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.brks = b.brks[:len(b.brks)-1]
+		b.edge(bodyEnd, head)
+		return join
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			cur.Nodes = append(cur.Nodes, st.Init)
+		}
+		if st.Tag != nil {
+			cur.Nodes = append(cur.Nodes, &exprNode{st.Tag})
+		}
+		return b.cases(cur, st.Body, nil)
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			cur.Nodes = append(cur.Nodes, st.Init)
+		}
+		if st.Assign != nil {
+			cur.Nodes = append(cur.Nodes, st.Assign)
+		}
+		return b.cases(cur, st.Body, st)
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		hasDefault := false
+		b.brks = append(b.brks, join)
+		for _, c := range st.Body.List {
+			cc, ok := c.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseB := b.newBlock()
+			b.edge(cur, caseB)
+			if cc.Comm != nil {
+				caseB.Nodes = append(caseB.Nodes, cc.Comm)
+			} else {
+				hasDefault = true
+			}
+			end := b.stmts(caseB, cc.Body)
+			b.edge(end, join)
+		}
+		b.brks = b.brks[:len(b.brks)-1]
+		_ = hasDefault // a select with no ready case blocks; join is still the only exit
+		return join
+	default:
+		// Assign, Decl, Expr, Go, Defer, Send, IncDec, Empty: plain.
+		cur.Nodes = append(cur.Nodes, s)
+		return cur
+	}
+}
+
+// cases lays out a (type) switch body. ts is non-nil for type switches
+// and is attached to each CaseClause element so reaching definitions can
+// bind the per-case implicit variable.
+func (b *cfgBuilder) cases(cur *Block, body *ast.BlockStmt, ts *ast.TypeSwitchStmt) *Block {
+	join := b.newBlock()
+	b.brks = append(b.brks, join)
+	hasDefault := false
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+		}
+		caseB := b.newBlock()
+		b.edge(cur, caseB)
+		// The CaseClause element evaluates the case expressions and, for
+		// type switches, defines the per-case implicit variable.
+		caseB.Nodes = append(caseB.Nodes, cc)
+		end := b.stmts(caseB, cc.Body)
+		b.edge(end, join)
+	}
+	b.brks = b.brks[:len(b.brks)-1]
+	if !hasDefault {
+		b.edge(cur, join)
+	}
+	return join
+}
+
+// exprNode wraps an expression evaluated for control flow (an if/for
+// condition or switch tag) so it can sit in a Block's element list.
+type exprNode struct {
+	X ast.Expr
+}
+
+func (e *exprNode) Pos() token.Pos { return e.X.Pos() }
+func (e *exprNode) End() token.Pos { return e.X.End() }

@@ -1,0 +1,454 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// checkSrc parses and type-checks one synthetic file the same tolerant
+// way the loader does (no imports needed for these fixtures).
+func checkSrc(t *testing.T, src string) (*token.FileSet, *ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("fixture", fset, []*ast.File{f}, info)
+	return fset, f, info
+}
+
+// funcNamed finds the declared function name in f.
+func funcNamed(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %q in fixture", name)
+	return nil
+}
+
+// argIdent finds the first call to sink and returns its first argument
+// as an ident — the "use" under test.
+func argIdent(t *testing.T, fd *ast.FuncDecl, sink string) *ast.Ident {
+	t.Helper()
+	var out *ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if out != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == sink {
+			out = call.Args[0].(*ast.Ident)
+			return false
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no call to %s in fixture", sink)
+	}
+	return out
+}
+
+// rhsNames renders the defs' defining expressions for assertions.
+func rhsNames(defs []*Def) []string {
+	var out []string
+	for _, d := range defs {
+		switch {
+		case d.Kind == DefParam:
+			out = append(out, "param")
+		case d.Rhs == nil:
+			out = append(out, "zero")
+		default:
+			if id, ok := d.Rhs.(*ast.Ident); ok {
+				out = append(out, id.Name)
+			} else if call, ok := d.Rhs.(*ast.CallExpr); ok {
+				out = append(out, "call:"+call.Fun.(*ast.Ident).Name)
+			} else {
+				out = append(out, "expr")
+			}
+		}
+	}
+	return out
+}
+
+func wantDefs(t *testing.T, got []*Def, want ...string) {
+	t.Helper()
+	names := rhsNames(got)
+	if len(names) != len(want) {
+		t.Fatalf("got defs %v, want %v", names, want)
+	}
+	seen := make(map[string]bool)
+	for _, n := range names {
+		seen[n] = true
+	}
+	for _, w := range want {
+		if !seen[w] {
+			t.Fatalf("got defs %v, want %v", names, want)
+		}
+	}
+}
+
+func solve(t *testing.T, f *ast.File, info *types.Info, fn string) (*ast.FuncDecl, *Reach) {
+	t.Helper()
+	fd := funcNamed(t, f, fn)
+	r := Analyze(info, fd)
+	if r == nil {
+		t.Fatalf("no body for %s", fn)
+	}
+	return fd, r
+}
+
+func TestReachStraightLineKill(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(a, b []int) {
+	x := a
+	use(x)
+	x = b
+	use(x)
+}`)
+	fd, r := solve(t, f, info, "f")
+	var uses []*ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				uses = append(uses, call.Args[0].(*ast.Ident))
+			}
+		}
+		return true
+	})
+	if len(uses) != 2 {
+		t.Fatalf("want 2 uses, got %d", len(uses))
+	}
+	wantDefs(t, r.DefsReaching(uses[0]), "a")
+	wantDefs(t, r.DefsReaching(uses[1]), "b")
+}
+
+func TestReachBranchMerge(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(cond bool, a, b []int) {
+	x := a
+	if cond {
+		x = b
+	}
+	use(x)
+}`)
+	fd, r := solve(t, f, info, "f")
+	wantDefs(t, r.DefsReaching(argIdent(t, fd, "use")), "a", "b")
+}
+
+func TestReachBranchKillsOnBothArms(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(cond bool, a, b, c []int) {
+	x := a
+	if cond {
+		x = b
+	} else {
+		x = c
+	}
+	use(x)
+}`)
+	fd, r := solve(t, f, info, "f")
+	wantDefs(t, r.DefsReaching(argIdent(t, fd, "use")), "b", "c")
+}
+
+func TestReachLoopBackEdge(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func next() []int { return nil }
+func f(a []int) {
+	x := a
+	for i := 0; i < 3; i++ {
+		use(x)
+		x = next()
+	}
+}`)
+	fd, r := solve(t, f, info, "f")
+	// Inside the loop both the initial def and the back-edge def reach.
+	wantDefs(t, r.DefsReaching(argIdent(t, fd, "use")), "a", "call:next")
+}
+
+func TestReachClosureSeesAllDefs(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(a, b []int) {
+	x := a
+	g := func() { use(x) }
+	x = b
+	g()
+}`)
+	fd, r := solve(t, f, info, "f")
+	// The closure body may run after x = b: both defs must reach.
+	wantDefs(t, r.DefsReaching(argIdent(t, fd, "use")), "a", "b")
+}
+
+func TestReachRangeAndTypeSwitch(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(items [][]int, v interface{}) {
+	for _, it := range items {
+		use(it)
+	}
+	switch m := v.(type) {
+	case []int:
+		use(m)
+	}
+}`)
+	fd, r := solve(t, f, info, "f")
+	var uses []*ast.Ident
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "use" {
+				uses = append(uses, call.Args[0].(*ast.Ident))
+			}
+		}
+		return true
+	})
+	itDefs := r.DefsReaching(uses[0])
+	if len(itDefs) != 1 || itDefs[0].Kind != DefRange {
+		t.Fatalf("range var: got %+v", itDefs)
+	}
+	mDefs := r.DefsReaching(uses[1])
+	if len(mDefs) != 1 || mDefs[0].Kind != DefCase {
+		t.Fatalf("type-switch var: got %+v", mDefs)
+	}
+}
+
+func TestCFGSelectAndBreak(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func use(interface{}) {}
+func f(ch chan []int, stop chan struct{}, a []int) {
+	x := a
+	for {
+		select {
+		case v := <-ch:
+			x = v
+		case <-stop:
+			use(x)
+			return
+		}
+	}
+}`)
+	fd, r := solve(t, f, info, "f")
+	// Both the initial def and the select-case def reach the use.
+	wantDefs(t, r.DefsReaching(argIdent(t, fd, "use")), "a", "v")
+}
+
+// sources marks parameters named "src" as tainted.
+func srcConfig(info *types.Info) TaintConfig {
+	return TaintConfig{
+		Info: info,
+		IsSource: func(expr ast.Expr) (string, bool) {
+			if id, ok := expr.(*ast.Ident); ok && id.Name == "src" {
+				if _, isVar := info.Uses[id].(*types.Var); isVar {
+					return "src", true
+				}
+				if _, isVar := info.Defs[id].(*types.Var); isVar {
+					return "src", true
+				}
+			}
+			return "", false
+		},
+	}
+}
+
+func escKinds(escs []Escape) []EscapeKind {
+	var out []EscapeKind
+	for _, e := range escs {
+		out = append(out, e.Kind)
+	}
+	return out
+}
+
+func TestEscapeFieldStore(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+type S struct{ buf []byte }
+func (s *S) keep(src []byte) {
+	s.buf = src
+}`)
+	_, r := solve(t, f, info, "keep")
+	escs := Escapes(r, srcConfig(info))
+	if len(escs) != 1 || escs[0].Kind != EscStore {
+		t.Fatalf("want one EscStore, got %v", escKinds(escs))
+	}
+}
+
+func TestEscapeThroughLocalAlias(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+type S struct{ buf []byte }
+func (s *S) keep(src []byte) {
+	tmp := src
+	s.buf = tmp
+}`)
+	_, r := solve(t, f, info, "keep")
+	escs := Escapes(r, srcConfig(info))
+	if len(escs) != 1 || escs[0].Kind != EscStore {
+		t.Fatalf("want one EscStore through alias, got %v", escKinds(escs))
+	}
+}
+
+func TestEscapeLocalStoreThenReturn(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+type box struct{ b []byte }
+func f(src []byte) box {
+	var out box
+	out.b = src
+	return out
+}`)
+	_, r := solve(t, f, info, "f")
+	escs := Escapes(r, srcConfig(info))
+	if len(escs) != 1 || escs[0].Kind != EscReturn {
+		t.Fatalf("want EscReturn via augmented local, got %v", escKinds(escs))
+	}
+}
+
+func TestNoEscapeLocalOnly(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func sum(src []uint64) uint64 {
+	var total uint64
+	for _, v := range src {
+		total += v
+	}
+	return total
+}`)
+	_, r := solve(t, f, info, "sum")
+	if escs := Escapes(r, srcConfig(info)); len(escs) != 0 {
+		t.Fatalf("value-typed result should not escape, got %v", escKinds(escs))
+	}
+}
+
+func TestEscapeValueCopyKillsTaint(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+type S struct{ keep []uint64 }
+func (s *S) clone(src []uint64) {
+	s.keep = append([]uint64(nil), src...)
+}`)
+	_, r := solve(t, f, info, "clone")
+	if escs := Escapes(r, srcConfig(info)); len(escs) != 0 {
+		t.Fatalf("append of value elements into a fresh slice must be clean, got %v", escKinds(escs))
+	}
+}
+
+func TestEscapeAppendAliasesBase(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+type S struct{ keep []byte }
+func (s *S) keepIt(src []byte) {
+	s.keep = append(src, 0)
+}`)
+	_, r := solve(t, f, info, "keepIt")
+	escs := Escapes(r, srcConfig(info))
+	if len(escs) != 1 || escs[0].Kind != EscStore {
+		t.Fatalf("append aliases arg0's backing, got %v", escKinds(escs))
+	}
+}
+
+func TestEscapeSendAndGoCapture(t *testing.T) {
+	_, f, info := checkSrc(t, `package p
+func f(src []byte, ch chan []byte) {
+	ch <- src
+	go func() {
+		_ = len(src)
+	}()
+}`)
+	_, r := solve(t, f, info, "f")
+	escs := Escapes(r, srcConfig(info))
+	kinds := escKinds(escs)
+	var send, capture bool
+	for _, k := range kinds {
+		if k == EscSend {
+			send = true
+		}
+		if k == EscGoCapture {
+			capture = true
+		}
+	}
+	if !send || !capture {
+		t.Fatalf("want EscSend and EscGoCapture, got %v", kinds)
+	}
+}
+
+// TestSummarizerCrossFunction checks retention through a helper: the
+// caller passes a source to a callee that stores it, and the Summarizer
+// propagates that as EscCallRetain.
+func TestSummarizerCrossFunction(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+type sink struct{ held []byte }
+
+func (s *sink) hold(b []byte) { s.held = b }
+
+func (s *sink) passThrough(b []byte) []byte { return b }
+
+func (s *sink) consume(b []byte) int { return len(b) }
+
+func f(s *sink, src []byte) {
+	s.hold(src)
+}
+
+func g(s *sink, src []byte) []byte {
+	return s.passThrough(src)
+}
+
+func h(s *sink, src []byte) int {
+	return s.consume(src)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(analysis.ModuleResolver(dir, "fixture"))
+	pkg, err := loader.Load("fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := NewSummarizer(loader)
+	cfg := TaintConfig{
+		Info: pkg.Info,
+		IsSource: func(expr ast.Expr) (string, bool) {
+			if id, ok := expr.(*ast.Ident); ok && id.Name == "src" {
+				return "src", true
+			}
+			return "", false
+		},
+		Summary: func(call *ast.CallExpr) *Summary {
+			return sums.ForCall(pkg.Info, call)
+		},
+	}
+	run := func(fn string) []Escape {
+		fd := funcNamed(t, pkg.Files[0], fn)
+		r := Analyze(pkg.Info, fd)
+		return Escapes(r, cfg)
+	}
+	if escs := run("f"); len(escs) != 1 || escs[0].Kind != EscCallRetain {
+		t.Fatalf("f: want EscCallRetain via hold summary, got %v", escKinds(escs))
+	}
+	if escs := run("g"); len(escs) != 1 || escs[0].Kind != EscReturn {
+		t.Fatalf("g: want EscReturn via passThrough flow, got %v", escKinds(escs))
+	}
+	if escs := run("h"); len(escs) != 0 {
+		t.Fatalf("h: consume neither retains nor flows, got %v", escKinds(escs))
+	}
+}

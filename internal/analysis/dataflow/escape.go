@@ -1,0 +1,666 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// EscapeKind classifies how a tainted value outlives its function.
+type EscapeKind int
+
+const (
+	// EscStore: stored into a field, map, slice element, or pointer
+	// target rooted outside the function's locals.
+	EscStore EscapeKind = iota
+	// EscSend: sent on a channel.
+	EscSend
+	// EscReturn: returned to the caller.
+	EscReturn
+	// EscGoCapture: captured by a go (or defer) statement's function.
+	EscGoCapture
+	// EscCallRetain: passed to a callee whose summary retains the
+	// argument.
+	EscCallRetain
+)
+
+func (k EscapeKind) String() string {
+	switch k {
+	case EscStore:
+		return "stored"
+	case EscSend:
+		return "sent on a channel"
+	case EscReturn:
+		return "returned"
+	case EscGoCapture:
+		return "captured by a goroutine"
+	case EscCallRetain:
+		return "retained by the callee"
+	}
+	return "escaped"
+}
+
+// An Escape records one point where a tainted value may outlive the
+// enclosing call.
+type Escape struct {
+	Kind    EscapeKind
+	Node    ast.Node // the sink statement or expression
+	Expr    ast.Expr // the tainted expression at the sink
+	Sources []string // sorted source labels
+}
+
+// A Summary describes one callee's effect on its operands. Operand 0 is
+// the receiver when the callee is a method; parameters follow. For a
+// variadic callee the last entry covers every trailing argument.
+type Summary struct {
+	// Retains[i]: operand i may be stored somewhere that outlives the
+	// call.
+	Retains []bool
+	// Flows[i]: operand i's taint may flow into a result value.
+	Flows []bool
+}
+
+// TaintConfig parameterizes one Escapes run.
+type TaintConfig struct {
+	Info *types.Info
+
+	// IsSource reports whether evaluating expr introduces taint (e.g. a
+	// tuple.DecodeSlab call, a pool Get, a scratch parameter ident) and
+	// with what label.
+	IsSource func(expr ast.Expr) (string, bool)
+
+	// Sanitizes reports whether call launders its operands' taint (e.g.
+	// Result.Clone). Optional.
+	Sanitizes func(call *ast.CallExpr) bool
+
+	// Summary returns the callee summary for call, or nil when the
+	// callee is unknown or external (treated optimistically: arguments
+	// neither retained nor flowing to results). Optional.
+	Summary func(call *ast.CallExpr) *Summary
+
+	// SourceResult refines IsSource for multi-value source calls: when
+	// a definition binds result `index` of a call that IsSource
+	// matched, SourceResult decides whether that particular result is
+	// tainted (e.g. DecodeSlab's Tuple result aliases the slab but its
+	// int/error results do not). Optional; when nil, every result of a
+	// source call is tainted.
+	SourceResult func(call *ast.CallExpr, index int) (string, bool)
+
+	// IgnoreReturn suppresses EscReturn sinks (useful when the caller's
+	// contract is exactly "return the scratch value"). Optional.
+	IgnoreReturn bool
+}
+
+// labelset is a small provenance set.
+type labelset map[string]bool
+
+func (s labelset) add(o labelset) {
+	for k := range o {
+		s[k] = true
+	}
+}
+
+func (s labelset) sorted() []string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(s))
+	for k := range s {
+		out = append(out, k)
+	}
+	// insertion sort: sets are tiny
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+type escaper struct {
+	r   *Reach
+	cfg TaintConfig
+
+	// memo caches taintOf per expression node; inProgress guards cycles
+	// (x = x aliasing through defs) — a cycle contributes no new taint.
+	memo       map[ast.Expr]labelset
+	inProgress map[ast.Expr]bool
+	// varMemo caches per-variable taint (union over defs + augment).
+	varMemo   map[*types.Var]labelset
+	varActive map[*types.Var]bool
+	// augment holds extra taint a local variable picked up through
+	// stores into its fields/elements (lv.f = tainted ⇒ lv tainted).
+	augment map[*types.Var]labelset
+
+	escapes []Escape
+}
+
+// Escapes runs the provenance-tracking escape analysis over one
+// function. r must be the ReachingDefs solution for the same body.
+func Escapes(r *Reach, cfg TaintConfig) []Escape {
+	e := &escaper{
+		r:          r,
+		cfg:        cfg,
+		memo:       make(map[ast.Expr]labelset),
+		inProgress: make(map[ast.Expr]bool),
+		varMemo:    make(map[*types.Var]labelset),
+		varActive:  make(map[*types.Var]bool),
+		augment:    make(map[*types.Var]labelset),
+	}
+	// Pass 1: collect augmented taint from stores whose root is local.
+	// Iterate to a fixed point: `a.f = src; b.f = a; e.g = b` needs two
+	// rounds for b. Bounded by the number of locals.
+	for changed := true; changed; {
+		changed = false
+		e.varMemo = make(map[*types.Var]labelset)
+		e.memo = make(map[ast.Expr]labelset)
+		for _, blk := range r.Graph.Blocks {
+			for _, n := range blk.Nodes {
+				if changed2 := e.collectAugments(nodeOf(n)); changed2 {
+					changed = true
+				}
+			}
+		}
+	}
+	// Pass 2: report sinks.
+	for _, blk := range r.Graph.Blocks {
+		for _, n := range blk.Nodes {
+			e.visitSinks(nodeOf(n))
+		}
+	}
+	return e.escapes
+}
+
+// rootVar returns the local variable at the base of a selector/index
+// chain (a.b[i].c → a), or nil when the base is not a plain local.
+func (e *escaper) rootVar(x ast.Expr) *types.Var {
+	for {
+		switch t := x.(type) {
+		case *ast.ParenExpr:
+			x = t.X
+		case *ast.SelectorExpr:
+			x = t.X
+		case *ast.IndexExpr:
+			x = t.X
+		case *ast.StarExpr:
+			x = t.X
+		case *ast.Ident:
+			if v, ok := e.r.Info.Uses[t].(*types.Var); ok && !v.IsField() {
+				return v
+			}
+			if v, ok := e.r.Info.Defs[t].(*types.Var); ok {
+				return v
+			}
+			return nil
+		default:
+			return nil
+		}
+	}
+}
+
+// storeIsAugment reports whether a store through root stays inside the
+// function: root must be a true local (not a parameter or receiver —
+// those alias caller-provided memory, so a store through them outlives
+// the call).
+func (e *escaper) storeIsAugment(root *types.Var) bool {
+	if root == nil || !e.isLocal(root) {
+		return false
+	}
+	for _, d := range e.r.byVar[root] {
+		if d.Kind == DefParam {
+			return false
+		}
+	}
+	return true
+}
+
+// isLocal reports whether v is one of this function's variables (has a
+// definition or is a known var at all). Package-level vars and fields
+// are not local.
+func (e *escaper) isLocal(v *types.Var) bool {
+	if v == nil || v.IsField() {
+		return false
+	}
+	// A variable we collected defs for is function-local; package-level
+	// vars never appear in byVar.
+	if len(e.r.byVar[v]) > 0 {
+		return true
+	}
+	// Closure-captured or otherwise unseen: treat params/locals of the
+	// enclosing scope conservatively as non-local.
+	return false
+}
+
+// collectAugments records lv-taint for stores into a local root and
+// reports whether anything changed.
+func (e *escaper) collectAugments(n ast.Node) bool {
+	changed := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if fl, ok := c.(*ast.FuncLit); ok {
+			_ = fl
+			return false
+		}
+		as, ok := c.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if _, isIdent := lhs.(*ast.Ident); isIdent {
+				continue // plain assignment: handled by reaching defs
+			}
+			if !e.storeIsAugment(e.rootVar(lhs)) {
+				continue
+			}
+			root := e.rootVar(lhs)
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			}
+			if rhs == nil {
+				continue
+			}
+			t := e.taintOf(rhs)
+			if len(t) == 0 {
+				continue
+			}
+			aug := e.augment[root]
+			if aug == nil {
+				aug = make(labelset)
+				e.augment[root] = aug
+			}
+			before := len(aug)
+			aug.add(t)
+			if len(aug) != before {
+				changed = true
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// visitSinks walks one CFG element reporting escapes.
+func (e *escaper) visitSinks(n ast.Node) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		switch st := c.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if id, isIdent := lhs.(*ast.Ident); isIdent {
+					// Local rebinding is handled by reaching defs; only a
+					// store to a package-level variable escapes here.
+					v, ok := e.r.Info.Uses[id].(*types.Var)
+					if !ok || e.isLocal(v) || v.IsField() {
+						continue
+					}
+				} else if e.storeIsAugment(e.rootVar(lhs)) {
+					continue // augments the local; not an escape by itself
+				}
+				var rhs ast.Expr
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				} else if len(st.Rhs) == 1 {
+					rhs = st.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if t := e.taintOf(rhs); len(t) > 0 {
+					e.escapes = append(e.escapes, Escape{Kind: EscStore, Node: st, Expr: rhs, Sources: t.sorted()})
+				}
+			}
+		case *ast.SendStmt:
+			if t := e.taintOf(st.Value); len(t) > 0 {
+				e.escapes = append(e.escapes, Escape{Kind: EscSend, Node: st, Expr: st.Value, Sources: t.sorted()})
+			}
+		case *ast.ReturnStmt:
+			if e.cfg.IgnoreReturn {
+				return true
+			}
+			for _, res := range st.Results {
+				if t := e.taintOf(res); len(t) > 0 {
+					e.escapes = append(e.escapes, Escape{Kind: EscReturn, Node: st, Expr: res, Sources: t.sorted()})
+				}
+			}
+		case *ast.GoStmt:
+			e.goCapture(st, st.Call)
+		case *ast.DeferStmt:
+			e.goCapture(st, st.Call)
+		case *ast.CallExpr:
+			e.callRetain(st)
+		}
+		return true
+	})
+}
+
+// goCapture flags tainted values reachable from a go/defer call: tainted
+// arguments, and tainted locals referenced inside a function-literal
+// body.
+func (e *escaper) goCapture(stmt ast.Node, call *ast.CallExpr) {
+	for _, arg := range call.Args {
+		if t := e.taintOf(arg); len(t) > 0 {
+			e.escapes = append(e.escapes, Escape{Kind: EscGoCapture, Node: stmt, Expr: arg, Sources: t.sorted()})
+		}
+	}
+	fl, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(fl.Body, func(c ast.Node) bool {
+		id, ok := c.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := e.r.Info.Uses[id].(*types.Var)
+		if !ok || !e.isLocal(v) {
+			return true
+		}
+		if t := e.varTaint(v); len(t) > 0 {
+			e.escapes = append(e.escapes, Escape{Kind: EscGoCapture, Node: stmt, Expr: id, Sources: t.sorted()})
+		}
+		return true
+	})
+}
+
+// callRetain flags tainted arguments passed to callees whose summary
+// says the operand is retained. Unknown callees are optimistic.
+func (e *escaper) callRetain(call *ast.CallExpr) {
+	if e.cfg.Summary == nil {
+		return
+	}
+	sum := e.cfg.Summary(call)
+	if sum == nil {
+		return
+	}
+	ops := operands(e.r.Info, call)
+	for i, op := range ops {
+		ri := i
+		if ri >= len(sum.Retains) {
+			ri = len(sum.Retains) - 1 // variadic tail
+		}
+		if ri < 0 || !sum.Retains[ri] {
+			continue
+		}
+		if t := e.taintOf(op); len(t) > 0 {
+			e.escapes = append(e.escapes, Escape{Kind: EscCallRetain, Node: call, Expr: op, Sources: t.sorted()})
+		}
+	}
+}
+
+// operands lists a call's receiver (for method calls like x.M(...))
+// followed by its arguments, matching Summary indexing. A package
+// qualifier (pkg.F) is not a receiver.
+func operands(info *types.Info, call *ast.CallExpr) []ast.Expr {
+	var ops []ast.Expr
+	if sel, ok := unparen(call.Fun).(*ast.SelectorExpr); ok {
+		isPkg := false
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if _, pkgName := info.Uses[id].(*types.PkgName); pkgName {
+				isPkg = true
+			}
+		}
+		if !isPkg {
+			ops = append(ops, sel.X)
+		}
+	}
+	return append(ops, call.Args...)
+}
+
+func unparen(x ast.Expr) ast.Expr {
+	for {
+		p, ok := x.(*ast.ParenExpr)
+		if !ok {
+			return x
+		}
+		x = p.X
+	}
+}
+
+// refTyped reports whether t can carry an alias to shared backing
+// storage. Plain value types (numerics, bool, string) kill taint.
+func refTyped(t types.Type) bool {
+	if t == nil {
+		return true // unknown: stay conservative, keep taint
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.Invalid
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Array:
+		return refTyped(u.Elem())
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if refTyped(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// taintOf computes the provenance set of expr.
+func (e *escaper) taintOf(expr ast.Expr) labelset {
+	if expr == nil {
+		return nil
+	}
+	if m, ok := e.memo[expr]; ok {
+		return m
+	}
+	if e.inProgress[expr] {
+		return nil
+	}
+	e.inProgress[expr] = true
+	t := e.taintOf1(expr)
+	delete(e.inProgress, expr)
+	// Value-typed expressions cannot carry an alias out.
+	if len(t) > 0 {
+		if tv, ok := e.r.Info.Types[expr]; ok && !refTyped(tv.Type) {
+			t = nil
+		}
+	}
+	e.memo[expr] = t
+	return t
+}
+
+func (e *escaper) taintOf1(expr ast.Expr) labelset {
+	out := make(labelset)
+	if e.cfg.IsSource != nil {
+		if label, ok := e.cfg.IsSource(expr); ok {
+			out[label] = true
+			return out
+		}
+	}
+	switch x := expr.(type) {
+	case *ast.Ident:
+		v, ok := e.r.Info.Uses[x].(*types.Var)
+		if !ok {
+			return nil
+		}
+		out.add(e.varTaintAt(v, x))
+	case *ast.ParenExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.SelectorExpr:
+		// Field access aliases the base's backing.
+		out.add(e.taintOf(x.X))
+	case *ast.IndexExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.SliceExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.StarExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.UnaryExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.TypeAssertExpr:
+		out.add(e.taintOf(x.X))
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			out.add(e.taintOf(el))
+		}
+	case *ast.CallExpr:
+		out.add(e.callTaint(x))
+	case *ast.BinaryExpr:
+		// Only string concat could propagate, and strings are immutable
+		// copies of their operands' bytes only when built via +; but a
+		// string header still aliases in conversions, not in +. Safe to
+		// drop.
+		return nil
+	}
+	return out
+}
+
+// callTaint computes the taint of a call's results.
+func (e *escaper) callTaint(call *ast.CallExpr) labelset {
+	if e.cfg.Sanitizes != nil && e.cfg.Sanitizes(call) {
+		return nil
+	}
+	// Builtins that alias their operand's backing.
+	if id, ok := unparen(call.Fun).(*ast.Ident); ok {
+		switch id.Name {
+		case "append":
+			out := make(labelset)
+			if len(call.Args) > 0 {
+				out.add(e.taintOf(call.Args[0]))
+			}
+			for i, a := range call.Args[1:] {
+				t := types.Type(nil)
+				if tv, ok := e.r.Info.Types[a]; ok {
+					t = tv.Type
+				}
+				// append(dst, src...) copies src's elements, so the
+				// element type decides whether aliases are carried in.
+				if call.Ellipsis.IsValid() && i == len(call.Args)-2 && t != nil {
+					if sl, ok := t.Underlying().(*types.Slice); ok {
+						t = sl.Elem()
+					}
+				}
+				if t != nil && !refTyped(t) {
+					continue // value elements are copied in
+				}
+				out.add(e.taintOf(a))
+			}
+			return out
+		case "copy", "len", "cap", "delete", "make", "new", "min", "max":
+			return nil
+		}
+	}
+	// Conversions alias for slice<->slice / string<->[]byte... a
+	// conversion T(x) shows up as a CallExpr whose Fun is a type.
+	if tv, ok := e.r.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return e.taintOf(call.Args[0]).clone()
+		}
+		return nil
+	}
+	sum := (*Summary)(nil)
+	if e.cfg.Summary != nil {
+		sum = e.cfg.Summary(call)
+	}
+	if sum == nil {
+		return nil // unknown/external callee: optimistic
+	}
+	out := make(labelset)
+	for i, op := range operands(e.r.Info, call) {
+		fi := i
+		if fi >= len(sum.Flows) {
+			fi = len(sum.Flows) - 1
+		}
+		if fi < 0 || !sum.Flows[fi] {
+			continue
+		}
+		out.add(e.taintOf(op))
+	}
+	return out
+}
+
+func (s labelset) clone() labelset {
+	c := make(labelset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+// varTaintAt computes the taint of variable v at a particular use,
+// following the defs that reach it.
+func (e *escaper) varTaintAt(v *types.Var, use *ast.Ident) labelset {
+	defs := e.r.DefsReaching(use)
+	if defs == nil {
+		return e.varTaint(v)
+	}
+	out := make(labelset)
+	out.add(e.augment[v])
+	for _, d := range defs {
+		out.add(e.defTaint(d))
+	}
+	return out
+}
+
+// varTaint is the flow-insensitive union over every def of v.
+func (e *escaper) varTaint(v *types.Var) labelset {
+	if m, ok := e.varMemo[v]; ok {
+		return m
+	}
+	if e.varActive[v] {
+		return nil
+	}
+	e.varActive[v] = true
+	out := make(labelset)
+	out.add(e.augment[v])
+	for _, d := range e.r.byVar[v] {
+		out.add(e.defTaint(d))
+	}
+	delete(e.varActive, v)
+	e.varMemo[v] = out
+	return out
+}
+
+func (e *escaper) defTaint(d *Def) labelset {
+	switch d.Kind {
+	case DefParam:
+		if e.cfg.IsSource != nil {
+			if id, ok := d.Node.(*ast.Ident); ok {
+				if label, ok := e.cfg.IsSource(id); ok {
+					return labelset{label: true}
+				}
+			}
+		}
+		return nil
+	case DefDecl:
+		return nil
+	case DefAssign, DefRange:
+		if d.Rhs == nil {
+			return nil
+		}
+		// A variable of pure value type cannot carry an alias no matter
+		// what defined it (the multi-value Rhs has tuple type, so the
+		// per-expression kill in taintOf does not see it).
+		if d.Var != nil && !refTyped(d.Var.Type()) {
+			return nil
+		}
+		if d.Multi && e.cfg.SourceResult != nil {
+			if call, ok := unparen(d.Rhs).(*ast.CallExpr); ok && e.cfg.IsSource != nil {
+				if _, isSrc := e.cfg.IsSource(call); isSrc {
+					if label, ok := e.cfg.SourceResult(call, d.RhsIndex); ok {
+						return labelset{label: true}
+					}
+					return nil
+				}
+			}
+		}
+		return e.taintOf(d.Rhs)
+	case DefCase:
+		// Type-switch case var inherits from the switch operand; the
+		// operand expression isn't recorded here, so stay conservative
+		// only if the clause node's switch is tainted — callers that
+		// care seed the case var via IsSource.
+		return nil
+	}
+	return nil
+}

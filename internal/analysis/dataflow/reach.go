@@ -1,0 +1,359 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DefKind classifies how a definition binds its variable.
+type DefKind int
+
+const (
+	// DefAssign is an ordinary assignment or initialized var spec; Rhs is
+	// the defining expression and RhsIndex the result slot (x, y := f()
+	// gives y RhsIndex 1).
+	DefAssign DefKind = iota
+	// DefParam is a parameter, receiver, or named result (no Rhs).
+	DefParam
+	// DefDecl is an uninitialized var declaration (zero value, no Rhs).
+	DefDecl
+	// DefRange binds a range key/value; Rhs is the ranged-over operand
+	// (the value aliases its elements).
+	DefRange
+	// DefCase binds a type-switch case's implicit variable; Rhs is the
+	// switch operand.
+	DefCase
+)
+
+// A Def is one definition of a local variable.
+type Def struct {
+	Var      *types.Var
+	Kind     DefKind
+	Rhs      ast.Expr
+	RhsIndex int
+	// Multi marks a definition from a multi-value assignment
+	// (x, y := f()); RhsIndex is meaningful only then.
+	Multi bool
+	Node  ast.Node // the defining statement/clause
+	id    int
+}
+
+// Pos reports the definition site.
+func (d *Def) Pos() token.Pos { return d.Node.Pos() }
+
+// Reach holds the reaching-definitions solution for one function body.
+type Reach struct {
+	Graph *Graph
+	Info  *types.Info
+
+	defs  []*Def
+	byVar map[*types.Var][]*Def
+	// pre maps each CFG element to the set of defs reaching its start.
+	pre map[ast.Node]defset
+	// elems lists CFG elements in block layout order, for position lookup.
+	elems []ast.Node
+	// lits are the ranges of function literals inside elements: uses
+	// inside a literal see every def of the variable (the closure may run
+	// at any later point).
+	lits []posRange
+}
+
+type posRange struct{ lo, hi token.Pos }
+
+type defset map[int]bool
+
+func (s defset) clone() defset {
+	c := make(defset, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func (s defset) addAll(o defset) bool {
+	changed := false
+	for k := range o {
+		if !s[k] {
+			s[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ReachingDefs solves reaching definitions for fn's body over its CFG.
+// recv may be nil. Tolerant of missing type info: idents the checker
+// could not resolve simply contribute no definitions.
+func ReachingDefs(g *Graph, info *types.Info, ftype *ast.FuncType, recv *ast.FieldList) *Reach {
+	r := &Reach{
+		Graph: g,
+		Info:  info,
+		byVar: make(map[*types.Var][]*Def),
+		pre:   make(map[ast.Node]defset),
+	}
+	entry := make(defset)
+	addParam := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if v := r.objOf(name); v != nil {
+					d := r.newDef(&Def{Var: v, Kind: DefParam, Node: name})
+					entry[d.id] = true
+				}
+			}
+		}
+	}
+	addParam(recv)
+	if ftype != nil {
+		addParam(ftype.Params)
+		addParam(ftype.Results)
+	}
+
+	// Collect every def, per element.
+	elemDefs := make(map[ast.Node][]*Def)
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			ds := r.defsOf(n)
+			elemDefs[n] = ds
+			r.elems = append(r.elems, n)
+			ast.Inspect(nodeOf(n), func(c ast.Node) bool {
+				if fl, ok := c.(*ast.FuncLit); ok {
+					r.lits = append(r.lits, posRange{fl.Body.Pos(), fl.Body.End()})
+					return false
+				}
+				return true
+			})
+		}
+	}
+
+	// Worklist over blocks: in = union of preds' out; out via replay.
+	in := make([]defset, len(g.Blocks))
+	out := make([]defset, len(g.Blocks))
+	for i := range in {
+		in[i] = make(defset)
+		out[i] = make(defset)
+	}
+	in[g.Entry.Index] = entry.clone()
+	preds := make([][]int, len(g.Blocks))
+	for _, blk := range g.Blocks {
+		for _, s := range blk.Succs {
+			preds[s.Index] = append(preds[s.Index], blk.Index)
+		}
+	}
+	work := make([]int, 0, len(g.Blocks))
+	for i := range g.Blocks {
+		work = append(work, i)
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		blk := g.Blocks[bi]
+		state := in[bi].clone()
+		for _, p := range preds[bi] {
+			state.addAll(out[p])
+		}
+		in[bi] = state.clone()
+		for _, n := range blk.Nodes {
+			r.apply(state, elemDefs[n])
+		}
+		if out[bi].addAll(state) {
+			for _, s := range blk.Succs {
+				work = append(work, s.Index)
+			}
+		}
+	}
+
+	// Final replay to record each element's pre-state.
+	for _, blk := range g.Blocks {
+		state := in[blk.Index].clone()
+		for _, p := range preds[blk.Index] {
+			state.addAll(out[p])
+		}
+		for _, n := range blk.Nodes {
+			r.pre[n] = state.clone()
+			r.apply(state, elemDefs[n])
+		}
+	}
+	return r
+}
+
+// apply kills the state's defs of each newly defined var and adds the
+// new defs.
+func (r *Reach) apply(state defset, ds []*Def) {
+	for _, d := range ds {
+		for _, old := range r.byVar[d.Var] {
+			delete(state, old.id)
+		}
+	}
+	for _, d := range ds {
+		state[d.id] = true
+	}
+}
+
+// Defs returns every definition of v in the function.
+func (r *Reach) Defs(v *types.Var) []*Def { return r.byVar[v] }
+
+// DefsReaching returns the definitions of use's variable that may reach
+// the use. A use inside a function literal sees every definition (the
+// closure can run at any later point). A use of an unknown or non-local
+// variable returns nil.
+func (r *Reach) DefsReaching(use *ast.Ident) []*Def {
+	v := r.objOf(use)
+	if v == nil {
+		return nil
+	}
+	all := r.byVar[v]
+	if len(all) == 0 {
+		return nil
+	}
+	for _, lr := range r.lits {
+		if use.Pos() >= lr.lo && use.Pos() < lr.hi {
+			return all
+		}
+	}
+	elem := r.elemContaining(use.Pos())
+	if elem == nil {
+		return all
+	}
+	state := r.pre[elem]
+	var out []*Def
+	for _, d := range all {
+		if state[d.id] {
+			out = append(out, d)
+		}
+	}
+	if out == nil {
+		// The use's def is inside the same element (x := f(); use in the
+		// same statement list position) or flow was imprecise; fall back
+		// to all defs rather than claiming the variable is undefined.
+		return all
+	}
+	return out
+}
+
+// elemContaining finds the innermost CFG element covering pos.
+func (r *Reach) elemContaining(pos token.Pos) ast.Node {
+	var best ast.Node
+	var bestSpan token.Pos = 1 << 60
+	for _, n := range r.elems {
+		node := nodeOf(n)
+		if pos < node.Pos() || pos >= node.End() {
+			continue
+		}
+		if span := node.End() - node.Pos(); span < bestSpan {
+			best, bestSpan = n, span
+		}
+	}
+	return best
+}
+
+// objOf resolves an ident to the *types.Var it defines or uses.
+func (r *Reach) objOf(id *ast.Ident) *types.Var {
+	if obj, ok := r.Info.Defs[id]; ok {
+		if v, ok := obj.(*types.Var); ok {
+			return v
+		}
+	}
+	if v, ok := r.Info.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func (r *Reach) newDef(d *Def) *Def {
+	d.id = len(r.defs)
+	r.defs = append(r.defs, d)
+	r.byVar[d.Var] = append(r.byVar[d.Var], d)
+	return d
+}
+
+// defsOf extracts the definitions generated by one CFG element.
+func (r *Reach) defsOf(n ast.Node) []*Def {
+	var out []*Def
+	switch st := n.(type) {
+	case *ast.AssignStmt:
+		multi := len(st.Lhs) > 1 && len(st.Rhs) == 1
+		for i, lhs := range st.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := r.objOf(id)
+			if v == nil {
+				continue
+			}
+			d := &Def{Var: v, Kind: DefAssign, Node: st}
+			if multi {
+				d.Rhs, d.RhsIndex, d.Multi = st.Rhs[0], i, true
+			} else if i < len(st.Rhs) {
+				d.Rhs = st.Rhs[i]
+			}
+			out = append(out, r.newDef(d))
+		}
+	case *ast.IncDecStmt:
+		if id, ok := st.X.(*ast.Ident); ok {
+			if v := r.objOf(id); v != nil {
+				out = append(out, r.newDef(&Def{Var: v, Kind: DefAssign, Rhs: st.X, Node: st}))
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := st.Decl.(*ast.GenDecl)
+		if !ok {
+			return out
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				v := r.objOf(name)
+				if v == nil {
+					continue
+				}
+				d := &Def{Var: v, Node: st}
+				switch {
+				case len(vs.Values) == 1 && len(vs.Names) > 1:
+					d.Kind, d.Rhs, d.RhsIndex, d.Multi = DefAssign, vs.Values[0], i, true
+				case i < len(vs.Values):
+					d.Kind, d.Rhs = DefAssign, vs.Values[i]
+				default:
+					d.Kind = DefDecl
+				}
+				out = append(out, r.newDef(d))
+			}
+		}
+	case *ast.RangeStmt:
+		for _, lhs := range []ast.Expr{st.Key, st.Value} {
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			if v := r.objOf(id); v != nil {
+				out = append(out, r.newDef(&Def{Var: v, Kind: DefRange, Rhs: st.X, Node: st}))
+			}
+		}
+	case *ast.CaseClause:
+		// Type-switch implicit variable: one distinct object per clause.
+		if obj, ok := r.Info.Implicits[st]; ok {
+			if v, ok := obj.(*types.Var); ok {
+				out = append(out, r.newDef(&Def{Var: v, Kind: DefCase, Rhs: nil, Node: st}))
+			}
+		}
+	}
+	return out
+}
+
+// nodeOf unwraps the cfg's exprNode wrapper.
+func nodeOf(n ast.Node) ast.Node {
+	if e, ok := n.(*exprNode); ok {
+		return e.X
+	}
+	return n
+}

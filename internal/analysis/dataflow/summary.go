@@ -1,0 +1,203 @@
+package dataflow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// A Summarizer computes and caches per-function Summaries for
+// in-module callees, resolving their declarations through the shared
+// Loader. External (stubbed) callees and recursion cycles yield the
+// optimistic all-false summary, matching the framework's best-effort
+// stance.
+type Summarizer struct {
+	loader *analysis.Loader
+	cache  map[*types.Func]*Summary
+	active map[*types.Func]bool
+}
+
+// NewSummarizer returns a Summarizer resolving declarations through l.
+func NewSummarizer(l *analysis.Loader) *Summarizer {
+	return &Summarizer{
+		loader: l,
+		cache:  make(map[*types.Func]*Summary),
+		active: make(map[*types.Func]bool),
+	}
+}
+
+// ForCall resolves call's callee and returns its Summary, or nil when
+// the callee is unknown, external, or body-less (treat optimistically).
+// info must be the types.Info of the package containing the call.
+func (s *Summarizer) ForCall(info *types.Info, call *ast.CallExpr) *Summary {
+	fn := CalleeFunc(info, call)
+	if fn == nil {
+		return nil
+	}
+	return s.ForFunc(fn)
+}
+
+// CalleeFunc resolves a call expression to the *types.Func it invokes
+// (function or method), or nil for builtins, conversions, function
+// values, and unresolved callees.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// ForFunc returns fn's Summary, computing and caching it on first use.
+func (s *Summarizer) ForFunc(fn *types.Func) *Summary {
+	if sum, ok := s.cache[fn]; ok {
+		return sum
+	}
+	if s.active[fn] {
+		return s.optimistic(fn) // recursion: assume no retention
+	}
+	s.active[fn] = true
+	defer delete(s.active, fn)
+	sum := s.compute(fn)
+	s.cache[fn] = sum
+	return sum
+}
+
+// optimistic builds the all-false summary sized to fn's operands.
+func (s *Summarizer) optimistic(fn *types.Func) *Summary {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	n := sig.Params().Len()
+	if sig.Recv() != nil {
+		n++
+	}
+	return &Summary{Retains: make([]bool, n), Flows: make([]bool, n)}
+}
+
+// compute summarizes fn by running the escape analysis over its body
+// with every operand (receiver + params) as a taint source.
+func (s *Summarizer) compute(fn *types.Func) *Summary {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	pkg, err := s.loader.Load(fn.Pkg().Path())
+	if err != nil {
+		return nil // external or unloadable: optimistic
+	}
+	decl, _ := FindDecl(pkg, fn)
+	if decl == nil || decl.Body == nil {
+		return nil
+	}
+
+	// Label each operand var op0..opN in summary order.
+	labelOf := make(map[*types.Var]string)
+	var order []*types.Var
+	addVar := func(v *types.Var) {
+		if v == nil {
+			return
+		}
+		labelOf[v] = fmt.Sprintf("op%d", len(order))
+		order = append(order, v)
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	if sig.Recv() != nil {
+		addVar(sig.Recv())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		addVar(sig.Params().At(i))
+	}
+	if len(order) == 0 {
+		return &Summary{}
+	}
+
+	g := BuildCFG(decl.Body)
+	r := ReachingDefs(g, pkg.Info, decl.Type, decl.Recv)
+	escapes := Escapes(r, TaintConfig{
+		Info: pkg.Info,
+		IsSource: func(expr ast.Expr) (string, bool) {
+			id, ok := expr.(*ast.Ident)
+			if !ok {
+				return "", false
+			}
+			v, ok := pkg.Info.Uses[id].(*types.Var)
+			if !ok {
+				if v, ok = pkg.Info.Defs[id].(*types.Var); !ok {
+					return "", false
+				}
+			}
+			label, ok := labelOf[v]
+			return label, ok
+		},
+		Summary: func(call *ast.CallExpr) *Summary {
+			return s.ForCall(pkg.Info, call)
+		},
+	})
+
+	sum := &Summary{Retains: make([]bool, len(order)), Flows: make([]bool, len(order))}
+	idx := make(map[string]int, len(order))
+	for i := range order {
+		idx[fmt.Sprintf("op%d", i)] = i
+	}
+	for _, esc := range escapes {
+		for _, label := range esc.Sources {
+			i, ok := idx[label]
+			if !ok {
+				continue
+			}
+			if esc.Kind == EscReturn {
+				sum.Flows[i] = true
+			} else {
+				sum.Retains[i] = true
+			}
+		}
+	}
+	return sum
+}
+
+// FindDecl locates fn's declaration in pkg, returning the decl and its
+// file. Object identity holds because one Loader (one FileSet, one
+// type-checker universe) serves the whole lint run.
+func FindDecl(pkg *analysis.Package, fn *types.Func) (*ast.FuncDecl, *ast.File) {
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok && obj == fn {
+				return fd, f
+			}
+		}
+	}
+	return nil, nil
+}
+
+// Analyze is the common front half of a flow-aware analyzer: build the
+// CFG and reaching-definitions solution for one declared function body.
+// Returns nil for body-less declarations.
+func Analyze(info *types.Info, decl *ast.FuncDecl) *Reach {
+	if decl.Body == nil {
+		return nil
+	}
+	return AnalyzeFunc(info, decl.Type, decl.Recv, decl.Body)
+}
+
+// AnalyzeFunc is Analyze for an arbitrary function shape — use it to
+// analyze a FuncLit's body (recv nil) as its own function.
+func AnalyzeFunc(info *types.Info, ftype *ast.FuncType, recv *ast.FieldList, body *ast.BlockStmt) *Reach {
+	g := BuildCFG(body)
+	return ReachingDefs(g, info, ftype, recv)
+}

@@ -1,0 +1,15 @@
+package shardquiesce_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardquiesce"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", shardquiesce.Analyzer,
+		"repro/internal/join",   // no barrier struct: out of scope
+		"repro/internal/engine", // barrier shapes incl. the PR-5 mode clobber
+	)
+}

@@ -1,0 +1,10 @@
+// Package core is a miniature of the real package: the adaptation mode.
+package core
+
+// Mode is the engine's adaptation mode.
+type Mode int
+
+const (
+	NormalMode Mode = iota
+	SpillMode
+)

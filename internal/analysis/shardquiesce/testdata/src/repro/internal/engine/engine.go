@@ -1,0 +1,121 @@
+// Package engine exercises every shardquiesce shape: the PR-5 spill
+// mode-clobber (a handler flipping core.Mode without the barrier),
+// goroutines touching operator state, the exempt per-shard worker
+// scope, and alias resolution through locals.
+package engine
+
+import (
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/proto"
+	"repro/internal/spill"
+)
+
+// pool owns the shard workers; quiesce is the barrier.
+type pool struct {
+	workers []*worker
+	stop    chan struct{}
+}
+
+func (p *pool) quiesce() error { return nil }
+
+type worker struct {
+	shard *join.Shard
+	work  chan uint64
+}
+
+// Engine is the barrier struct: it holds a pool with a quiesce method.
+type Engine struct {
+	pool *pool
+	op   *join.Operator
+	mgr  *spill.Manager
+	mode core.Mode
+}
+
+// Handle is the well-formed handler: the barrier precedes the switch,
+// with Data exempted on the fast path.
+func (e *Engine) Handle(msg proto.Message) {
+	if _, isData := msg.(proto.Data); !isData {
+		if err := e.pool.quiesce(); err != nil {
+			return
+		}
+	}
+	switch m := msg.(type) {
+	case proto.Data:
+		_ = m
+	case proto.ForceSpill:
+		prev := e.mode
+		e.mode = core.SpillMode
+		_, _ = e.mgr.Spill(m.Amount)
+		e.mode = prev
+	}
+}
+
+// handleUnfenced is the PR-5 spill mode-clobber shape: the handler
+// flips the adaptation mode while shard workers may still be running.
+func (e *Engine) handleUnfenced(msg proto.Message) {
+	switch m := msg.(type) { // want `protocol handler enters its message switch without quiescing the shard pool`
+	case proto.ForceSpill:
+		e.mode = core.SpillMode
+		_, _ = e.mgr.Spill(m.Amount)
+		e.mode = core.NormalMode
+	case proto.Stop:
+		e.op.Purge(0)
+	}
+}
+
+// run is a worker loop: the shard is its own partition scope, exempt.
+func (e *Engine) run(w *worker) {
+	for {
+		select {
+		case <-e.pool.stop:
+			return
+		case t := <-w.work:
+			if _, err := w.shard.Process(t); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// start launches workers through a same-package callee: the analyzer
+// inlines run one level deep and finds only exempt shard access.
+func (e *Engine) start() {
+	for _, w := range e.pool.workers {
+		go e.run(w)
+	}
+}
+
+// spillAsync mutates operator and mode state from a goroutine.
+func (e *Engine) spillAsync(amount int64) {
+	go func() {
+		e.mode = core.SpillMode    // want `goroutine mutates core\.Mode state without the quiesce barrier`
+		_, _ = e.mgr.Spill(amount) // want `goroutine calls spill\.Manager\.Spill without the quiesce barrier`
+		e.mode = core.NormalMode   // want `goroutine mutates core\.Mode state without the quiesce barrier`
+		e.op.Purge(0)              // want `goroutine calls join\.Operator\.Purge without the quiesce barrier`
+	}()
+}
+
+// purgeAliased hides the operator behind a local: the value's type
+// still gives it away.
+func (e *Engine) purgeAliased() {
+	op := e.op
+	go func() {
+		op.Purge(0) // want `goroutine calls join\.Operator\.Purge without the quiesce barrier`
+	}()
+}
+
+// readStats is a read, but reads race with shard workers too: method
+// calls on guarded values are flagged regardless.
+func (e *Engine) readStats(out chan int64) {
+	go func() {
+		out <- e.op.MemBytes() // want `goroutine calls join\.Operator\.MemBytes without the quiesce barrier`
+	}()
+}
+
+// waived documents a deliberate exception.
+func (e *Engine) waived() {
+	go func() {
+		e.op.Purge(0) //distqlint:allow shardquiesce: startup path, pool not running yet
+	}()
+}

@@ -1,0 +1,16 @@
+// Package join is a miniature of the real package: the sharded
+// operator and its per-worker shard handle.
+package join
+
+// Operator is the sharded join operator.
+type Operator struct{ mem int64 }
+
+func (o *Operator) Process(t uint64) error { return nil }
+func (o *Operator) Purge(now int64)        {}
+func (o *Operator) MemBytes() int64        { return o.mem }
+func (o *Operator) Shard(i int) *Shard     { return &Shard{} }
+
+// Shard is one worker's exclusively-owned partition scope.
+type Shard struct{ n int }
+
+func (s *Shard) Process(t uint64) (uint64, error) { s.n++; return 0, nil }

@@ -1,0 +1,14 @@
+// Package proto is a miniature of the real package: the message
+// vocabulary handlers switch over.
+package proto
+
+type Message interface{}
+
+// Data is the hot-path message; its handler path skips the barrier.
+type Data struct{ Payload []byte }
+
+// ForceSpill orders an engine to spill.
+type ForceSpill struct{ Amount int64 }
+
+// Stop shuts a component down.
+type Stop struct{}

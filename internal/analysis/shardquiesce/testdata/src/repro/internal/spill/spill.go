@@ -1,0 +1,8 @@
+// Package spill is a miniature of the real package.
+package spill
+
+// Manager moves partition groups between memory and disk.
+type Manager struct{ bytes int64 }
+
+func (m *Manager) Spill(amount int64) (int64, error) { return amount, nil }
+func (m *Manager) SpilledBytes() int64               { return m.bytes }

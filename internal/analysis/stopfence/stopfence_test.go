@@ -1,0 +1,14 @@
+package stopfence_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/stopfence"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", stopfence.Analyzer,
+		"repro/internal/engine", // every launch shape incl. the PR-2 leak
+	)
+}

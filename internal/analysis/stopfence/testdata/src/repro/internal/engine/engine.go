@@ -1,0 +1,156 @@
+// Package engine exercises every stopfence shape: the PR-2 ticker
+// leak (ranging a channel Stop never closes), the fenced select, the
+// unbounded retry sleeper, WaitGroup workers, queue drains bounded by
+// close(), inlined same-package callees, foreign serve loops, and
+// connection-scoped readers.
+package engine
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+type ticker struct {
+	C chan int
+}
+
+func (t *ticker) Stop() {}
+
+type conn struct{}
+
+func (c *conn) Read() (int, error) { return 0, nil }
+func (c *conn) Close() error       { return nil }
+
+type listener struct{}
+
+func (l *listener) Accept() (*conn, error) { return nil, nil }
+func (l *listener) Close() error           { return nil }
+
+// Engine launches every goroutine shape below.
+type Engine struct {
+	done     chan struct{}
+	queue    chan int
+	wg       sync.WaitGroup
+	listener *listener
+	srv      *http.Server
+}
+
+// armLeaky is the PR-2 wall-clock leak: Stop never closes tk.C, so
+// the range never ends and the goroutine outlives shutdown.
+func (e *Engine) armLeaky(tk *ticker) {
+	go func() { // want `goroutine has no stop fence`
+		for range tk.C {
+		}
+	}()
+}
+
+// armFenced is the fixed shape: the done channel bounds the loop.
+func (e *Engine) armFenced(tk *ticker) {
+	go func() {
+		for {
+			select {
+			case <-tk.C:
+			case <-e.done:
+				return
+			}
+		}
+	}()
+}
+
+// retryLoop sleeps its way past shutdown with nothing to stop it.
+func (e *Engine) retryLoop() {
+	go func() { // want `goroutine has no stop fence`
+		for i := 0; i < 20; i++ {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// worker registers with the WaitGroup: the launcher joins it.
+func (e *Engine) worker() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		for i := 0; i < 10; i++ {
+		}
+	}()
+}
+
+// drain ranges a queue the package close()s (see Close below).
+func (e *Engine) drain() {
+	go func() {
+		for range e.queue {
+		}
+	}()
+}
+
+// run selects on the stop channel; start inlines it one level deep.
+func (e *Engine) run(work chan int) {
+	for {
+		select {
+		case <-work:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+func (e *Engine) start(work chan int) {
+	go e.run(work)
+}
+
+// spin has no fence even through the inlined callee.
+func (e *Engine) spin() {
+	for {
+	}
+}
+
+func (e *Engine) startSpin() {
+	go e.spin() // want `goroutine has no stop fence`
+}
+
+// acceptLoop blocks in Accept on a listener Close shuts (see below).
+func (e *Engine) acceptLoop() {
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return
+		}
+		go e.readLoop(c)
+	}
+}
+
+// readLoop is connection-scoped: it defers Close on the resource it
+// reads, so the loop is bounded by the connection's lifetime.
+func (e *Engine) readLoop(c *conn) {
+	defer c.Close()
+	for {
+		if _, err := c.Read(); err != nil {
+			return
+		}
+	}
+}
+
+// serve hands the foreign loop a receiver the package shuts down.
+func (e *Engine) serve() {
+	go e.srv.Serve(nil)
+	go e.acceptLoop()
+}
+
+// waived documents a deliberate exception.
+func (e *Engine) waived() {
+	go func() { //distqlint:allow stopfence: process-lifetime metrics pump, reaped at exit
+		for {
+		}
+	}()
+}
+
+// Close is the shutdown path the fences above lean on.
+func (e *Engine) Close() {
+	close(e.done)
+	close(e.queue)
+	e.listener.Close()
+	e.srv.Shutdown(nil)
+	e.wg.Wait()
+}

@@ -1,0 +1,72 @@
+// Package engine exercises the handler-side echo shapes: replies built
+// without the incoming trace, explicit zero contexts, echo through
+// locals with branch merges, span forwarding, and the exempt data path.
+package engine
+
+import (
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+type endpoint struct{}
+
+func (ep *endpoint) Send(to uint64, m proto.Message) error { return nil }
+
+// Engine handles control messages and replies to them.
+type Engine struct {
+	ep   *endpoint
+	id   uint64
+	span *obs.Span
+}
+
+// Handle covers the type-switch scopes.
+func (e *Engine) Handle(msg proto.Message) {
+	switch m := msg.(type) {
+	case proto.CptV:
+		_ = e.ep.Send(0, proto.PtV{Epoch: m.Epoch, Node: e.id}) // want `constructs proto\.PtV without propagating a trace while handling proto\.CptV`
+		_ = e.ep.Send(0, proto.PtV{Epoch: m.Epoch, Node: e.id, Trace: m.Trace})
+	case proto.SendStates:
+		xfer := proto.StateTransfer{Epoch: m.Epoch, Trace: obs.TraceContext{}} // want `sets proto\.StateTransfer\.Trace to a value not derived from the incoming trace`
+		_ = e.ep.Send(m.Receiver, xfer)
+		_ = e.ep.Send(m.Receiver, proto.StateTransfer{Epoch: m.Epoch, Trace: m.Trace})
+	case proto.Data:
+		// Data is untraced: literals on the hot path are out of scope.
+		_ = e.ep.Send(0, proto.Data{Payload: m.Payload})
+	}
+}
+
+// onSendStates is a helper handler: the parameter makes the whole body
+// a traced scope.
+func (e *Engine) onSendStates(m proto.SendStates) {
+	xfer := proto.StateTransfer{Epoch: m.Epoch} // want `constructs proto\.StateTransfer without propagating a trace while handling proto\.SendStates`
+	_ = e.ep.Send(m.Receiver, xfer)
+}
+
+// ackViaSpan forwards an active span instead of echoing: also legal.
+func (e *Engine) ackViaSpan(m proto.CptV) {
+	_ = e.ep.Send(0, proto.MarkerAck{Epoch: m.Epoch, Node: e.id, Trace: e.span.Context()})
+}
+
+// ackViaLocal echoes through a local alias: reaching defs resolve it.
+func (e *Engine) ackViaLocal(m proto.CptV) {
+	tc := m.Trace
+	if !tc.Valid() {
+		tc = e.span.Context()
+	}
+	_ = e.ep.Send(0, proto.MarkerAck{Epoch: m.Epoch, Node: e.id, Trace: tc})
+}
+
+// ackZeroLocal launders the drop through an uninitialized local: one
+// reaching definition is the zero value, so the trace may be lost.
+func (e *Engine) ackZeroLocal(m proto.CptV) {
+	var tc obs.TraceContext
+	if m.Epoch > 0 {
+		tc = m.Trace
+	}
+	_ = e.ep.Send(0, proto.MarkerAck{Epoch: m.Epoch, Node: e.id, Trace: tc}) // want `sets proto\.MarkerAck\.Trace to a value not derived from the incoming trace`
+}
+
+// waived documents a deliberate exception.
+func (e *Engine) waived(m proto.CptV) {
+	_ = e.ep.Send(0, proto.PtV{Epoch: m.Epoch}) //distqlint:allow tracepropagation: reply is consumed by an untraced test harness
+}

@@ -1,0 +1,21 @@
+// Package obs mirrors the trace-context surface the analyzer resolves.
+package obs
+
+// TraceContext is the compact trace identity carried on control-plane
+// messages.
+type TraceContext struct {
+	TraceID uint64
+	SpanID  uint64
+	Node    string
+}
+
+// Valid reports whether tc identifies a trace.
+func (tc TraceContext) Valid() bool { return tc.TraceID != 0 }
+
+// Span is a minimal span handle.
+type Span struct {
+	ctx TraceContext
+}
+
+// Context returns the span's trace identity.
+func (s *Span) Context() TraceContext { return s.ctx }

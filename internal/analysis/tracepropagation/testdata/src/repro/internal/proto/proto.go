@@ -1,0 +1,98 @@
+// Package proto mirrors the message-vocabulary shapes the proto-side
+// check enforces: traced control messages, //distq:plane data
+// exemptions, and every directive failure mode.
+package proto
+
+import (
+	"encoding/gob"
+
+	"repro/internal/obs"
+)
+
+// Message is any registered value.
+type Message any
+
+// Data is the data-plane tuple batch: exempt, and barred from Trace.
+//
+//distq:plane data
+type Data struct {
+	Payload    []byte
+	MapVersion uint64
+}
+
+// ResultCount declares itself data-plane yet smuggles a trace.
+//
+//distq:plane data
+type ResultCount struct { // want `proto\.ResultCount is data-plane \(//distq:plane data\) but carries a Trace field`
+	Delta uint64
+	Trace obs.TraceContext
+}
+
+// Installed is a control-plane message that forgot its Trace field —
+// the pre-PR-7 vocabulary shape.
+type Installed struct { // want `proto\.Installed carries no Trace obs\.TraceContext field`
+	Epoch uint64
+	Node  uint64
+}
+
+// Tick names a plane nobody knows.
+//
+//distq:plane control
+type Tick struct { // want `proto\.Tick: unknown plane "control" in //distq:plane directive`
+	Kind  string
+	Trace obs.TraceContext
+}
+
+// Draft carries a plane directive but never travels the wire.
+//
+//distq:plane data
+type Draft struct { // want `proto\.Draft carries a //distq:plane directive but is never gob-registered`
+	Note string
+}
+
+// CptV asks the sender to compute the partitions to move.
+type CptV struct {
+	Epoch uint64
+	Trace obs.TraceContext
+}
+
+// PtV returns the chosen partitions.
+type PtV struct {
+	Epoch      uint64
+	Node       uint64
+	Partitions []uint64
+	Trace      obs.TraceContext
+}
+
+// MarkerAck reports the sender drained its data path.
+type MarkerAck struct {
+	Epoch uint64
+	Node  uint64
+	Trace obs.TraceContext
+}
+
+// SendStates orders the state transfer.
+type SendStates struct {
+	Epoch    uint64
+	Receiver uint64
+	Trace    obs.TraceContext
+}
+
+// StateTransfer carries the moving groups.
+type StateTransfer struct {
+	Epoch    uint64
+	Resident [][]byte
+	Trace    obs.TraceContext
+}
+
+func init() {
+	gob.Register(Data{})
+	gob.Register(ResultCount{})
+	gob.Register(Installed{})
+	gob.Register(Tick{})
+	gob.Register(CptV{})
+	gob.Register(PtV{})
+	gob.Register(MarkerAck{})
+	gob.Register(SendStates{})
+	gob.Register(StateTransfer{})
+}

@@ -1,0 +1,15 @@
+package tracepropagation_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/tracepropagation"
+)
+
+func TestAnalyzer(t *testing.T) {
+	analysistest.Run(t, "testdata", tracepropagation.Analyzer,
+		"repro/internal/proto",  // vocabulary checks incl. directive failure modes
+		"repro/internal/engine", // handler echo shapes
+	)
+}

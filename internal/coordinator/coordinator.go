@@ -293,8 +293,13 @@ func (c *Coordinator) Start() error {
 	c.ticker = c.clock.NewTicker(c.cfg.LBInterval)
 	self := c.cfg.Node
 	go func() {
-		for range c.ticker.C {
-			if err := c.ep.Send(self, proto.Tick{Kind: proto.TickLB}); err != nil {
+		for {
+			select {
+			case <-c.ticker.C:
+				if err := c.ep.Send(self, proto.Tick{Kind: proto.TickLB}); err != nil {
+					return
+				}
+			case <-c.done:
 				return
 			}
 		}
@@ -797,6 +802,7 @@ func (c *Coordinator) onRelocAbortAck(m proto.RelocAbortAck) error {
 		c.phase = abortWaitResume
 		return c.sendStep(c.cfg.SplitHost, proto.Remap{
 			Epoch: c.epoch, Partitions: c.parts, Owner: c.sender, Version: c.cfg.Map.Version(),
+			Trace: c.span.Context(),
 		})
 	default:
 		return nil

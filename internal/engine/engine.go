@@ -319,7 +319,11 @@ func (e *Engine) Start() error {
 	if err := e.ep.Send(e.cfg.Coordinator, hello); err != nil {
 		go func() {
 			for i := 0; i < 20; i++ {
-				e.clock.Sleep(250 * time.Millisecond)
+				select {
+				case <-e.clock.After(250 * time.Millisecond):
+				case <-e.done:
+					return
+				}
 				if e.ep.Send(e.cfg.Coordinator, hello) == nil {
 					return
 				}
@@ -339,8 +343,13 @@ func (e *Engine) armTicker(period time.Duration, kind string) {
 	e.tickers = append(e.tickers, tk)
 	self := e.cfg.Node
 	go func() {
-		for range tk.C {
-			if err := e.ep.Send(self, proto.Tick{Kind: kind}); err != nil {
+		for {
+			select {
+			case <-tk.C:
+				if err := e.ep.Send(self, proto.Tick{Kind: kind}); err != nil {
+					return
+				}
+			case <-e.done:
 				return
 			}
 		}
@@ -419,7 +428,7 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 func (e *Engine) onPauseMarker(m proto.PauseMarker) error {
 	span := e.tracer.StartChild(obs.SpanRelocationMarker, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	span.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
-	if err := e.ep.Send(e.cfg.Coordinator, proto.MarkerAck{Epoch: m.Epoch, Node: e.cfg.Node}); err != nil {
+	if err := e.ep.Send(e.cfg.Coordinator, proto.MarkerAck{Epoch: m.Epoch, Node: e.cfg.Node, Trace: m.Trace}); err != nil {
 		span.Abort(e.clock.Now(), err.Error())
 		return err
 	}
@@ -620,7 +629,7 @@ func (e *Engine) reportResults() error {
 // sides agree on the moving set.
 func (e *Engine) onCptV(m proto.CptV) error {
 	if e.pendingReloc != nil && e.pendingReloc.epoch == m.Epoch {
-		return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: e.pendingReloc.parts})
+		return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: e.pendingReloc.parts, Trace: m.Trace})
 	}
 	span := e.tracer.StartChild(obs.SpanRelocationCptV, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	span.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
@@ -640,7 +649,7 @@ func (e *Engine) onCptV(m proto.CptV) error {
 	}
 	span.SetAttr("partitions", strconv.Itoa(len(parts)))
 	span.End(e.clock.Now())
-	return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: parts})
+	return e.ep.Send(e.cfg.Coordinator, proto.PtV{Epoch: m.Epoch, Node: e.cfg.Node, Partitions: parts, Trace: m.Trace})
 }
 
 // onSendStates implements protocol step 5/6: extract the moving groups —
@@ -747,7 +756,7 @@ func (e *Engine) reinstallSaved() error {
 // every non-installed case the epoch is marked aborted so a transfer
 // arriving late is discarded rather than forking the state.
 func (e *Engine) onRelocAbort(m proto.RelocAbort) error {
-	ack := proto.RelocAbortAck{Epoch: m.Epoch, Node: e.cfg.Node}
+	ack := proto.RelocAbortAck{Epoch: m.Epoch, Node: e.cfg.Node, Trace: m.Trace}
 	switch {
 	case e.installedEpochs[m.Epoch]:
 		ack.Installed = true
@@ -781,7 +790,7 @@ func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
 		return nil
 	}
 	if e.installedEpochs[m.Epoch] {
-		return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
+		return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node, Trace: m.Trace})
 	}
 	span := e.tracer.StartChild(obs.SpanRelocationReceive, string(e.cfg.Node), e.clock.Now(), m.Trace)
 	span.SetAttr("epoch", fmt.Sprintf("%d", m.Epoch))
@@ -812,7 +821,7 @@ func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
 	span.End(e.clock.Now())
 	e.installedEpochs[m.Epoch] = true
 	e.reg.Counter("distq_engine_relocations_in_total").Inc()
-	return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node})
+	return e.ep.Send(e.cfg.Coordinator, proto.Installed{Epoch: m.Epoch, Node: e.cfg.Node, Trace: m.Trace})
 }
 
 // onForceSpill implements the active-disk start_ss event. A duplicated
@@ -820,7 +829,7 @@ func (e *Engine) onStateTransfer(m proto.StateTransfer) error {
 // with the recorded outcome instead of spilling twice.
 func (e *Engine) onForceSpill(m proto.ForceSpill) error {
 	if m.Seq != 0 && m.Seq == e.lastForceSeq {
-		return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: e.lastForceBytes, Seq: m.Seq})
+		return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: e.lastForceBytes, Seq: m.Seq, Trace: m.Trace})
 	}
 	var bytes int64
 	if err := func() error {
@@ -834,14 +843,14 @@ func (e *Engine) onForceSpill(m proto.ForceSpill) error {
 		return err
 	}
 	e.lastForceSeq, e.lastForceBytes = m.Seq, bytes
-	return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: bytes, Seq: m.Seq})
+	return e.ep.Send(e.cfg.Coordinator, proto.SpillDone{Node: e.cfg.Node, Bytes: bytes, Seq: m.Seq, Trace: m.Trace})
 }
 
 // onCheckpoint persists the resident operator state into the configured
 // checkpoint directory and reports the outcome to the requester.
 func (e *Engine) onCheckpoint(from partition.NodeID, m proto.Checkpoint) error {
 	span := e.tracer.StartChild(obs.SpanCheckpoint, string(e.cfg.Node), e.clock.Now(), m.Trace)
-	done := proto.CheckpointDone{Node: e.cfg.Node}
+	done := proto.CheckpointDone{Node: e.cfg.Node, Trace: m.Trace}
 	if e.cfg.CheckpointDir == "" {
 		done.Error = "no checkpoint directory configured"
 	} else if n, err := checkpoint.Save(e.op, e.cfg.CheckpointDir); err != nil {
@@ -896,7 +905,7 @@ func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {
 	if err := e.reportStats(); err != nil {
 		return err
 	}
-	return e.ep.Send(from, proto.DrainAck{Token: m.Token, Node: e.cfg.Node})
+	return e.ep.Send(from, proto.DrainAck{Token: m.Token, Node: e.cfg.Node, Trace: m.Trace})
 }
 
 // onCleanup runs the disk-phase cleanup over this engine's store and

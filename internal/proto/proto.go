@@ -49,11 +49,15 @@ type Message any
 type Hello struct {
 	Node partition.NodeID
 	Kind Kind
+	// Trace identifies the node-startup span, if any (zero when
+	// untraced).
+	Trace obs.TraceContext
 }
 
 // Data carries an encoded tuple.Batch from a split operator to a query
 // engine, stamped with the partition map version it was routed under.
 //
+//distq:plane data
 //distq:handledby engine
 type Data struct {
 	Payload    []byte
@@ -81,6 +85,8 @@ type PauseMarker struct {
 type MarkerAck struct {
 	Epoch uint64
 	Node  partition.NodeID
+	// Trace is echoed from the PauseMarker that fenced the drain.
+	Trace obs.TraceContext
 }
 
 // StatsReport is the light-weight statistic each query engine pushes to
@@ -97,11 +103,14 @@ type StatsReport struct {
 	SpillCount   int
 	SpilledBytes int64
 	DiskSegments int
+	// Trace identifies the reporting tick, if traced (zero otherwise).
+	Trace obs.TraceContext
 }
 
 // ResultCount reports a batch of produced results from an engine to the
 // application server (count-only mode).
 //
+//distq:plane data
 //distq:handledby appserver
 type ResultCount struct {
 	Node  partition.NodeID
@@ -111,6 +120,7 @@ type ResultCount struct {
 // ResultData carries encoded tuple.Result values to the application
 // server (materializing mode, used by exactness tests and examples).
 //
+//distq:plane data
 //distq:handledby appserver
 type ResultData struct {
 	Node    partition.NodeID
@@ -148,6 +158,8 @@ type PtV struct {
 	Epoch      uint64
 	Node       partition.NodeID
 	Partitions []partition.ID
+	// Trace is echoed from the CptV being answered.
+	Trace obs.TraceContext
 }
 
 // Pause tells the split host to buffer tuples of the moving partitions
@@ -196,6 +208,8 @@ type StateTransfer struct {
 type Installed struct {
 	Epoch uint64
 	Node  partition.NodeID
+	// Trace is echoed from the StateTransfer whose install completed.
+	Trace obs.TraceContext
 }
 
 // Remap updates the split host's partition map to the new owner and
@@ -207,6 +221,8 @@ type Remap struct {
 	Partitions []partition.ID
 	Owner      partition.NodeID
 	Version    uint64
+	// Trace parents the split host remap under the relocation span.
+	Trace obs.TraceContext
 }
 
 // RemapAck completes the relocation (step 8).
@@ -214,6 +230,8 @@ type Remap struct {
 //distq:handledby coordinator
 type RemapAck struct {
 	Epoch uint64
+	// Trace is echoed from the Remap being acknowledged.
+	Trace obs.TraceContext
 }
 
 // ForceSpill is the coordinator's active-disk command: the engine must
@@ -238,6 +256,8 @@ type SpillDone struct {
 	Node  partition.NodeID
 	Bytes int64
 	Seq   uint64
+	// Trace is echoed from the ForceSpill being acknowledged.
+	Trace obs.TraceContext
 }
 
 // RelocTimeout is the coordinator's self-addressed await-phase timer:
@@ -251,6 +271,8 @@ type SpillDone struct {
 type RelocTimeout struct {
 	Epoch uint64
 	Seq   uint64
+	// Trace identifies the await phase's relocation span.
+	Trace obs.TraceContext
 }
 
 // RelocAbort rolls an engine out of relocation epoch Epoch: a sender
@@ -263,6 +285,9 @@ type RelocTimeout struct {
 //distq:handledby engine
 type RelocAbort struct {
 	Epoch uint64
+	// Trace parents the engine's rollback span under the abort
+	// decision.
+	Trace obs.TraceContext
 }
 
 // RelocAbortAck acknowledges a RelocAbort. Installed reports whether
@@ -275,6 +300,8 @@ type RelocAbortAck struct {
 	Epoch     uint64
 	Node      partition.NodeID
 	Installed bool
+	// Trace is echoed from the RelocAbort being acknowledged.
+	Trace obs.TraceContext
 }
 
 // Checkpoint asks an engine to persist its resident operator state to
@@ -297,12 +324,18 @@ type CheckpointDone struct {
 	Node   partition.NodeID
 	Groups int
 	Error  string
+	// Trace is echoed from the Checkpoint being answered.
+	Trace obs.TraceContext
 }
 
 // StartCleanup tells an engine to run its disk-phase cleanup.
 //
 //distq:handledby engine
-type StartCleanup struct{}
+type StartCleanup struct {
+	// Trace parents the engine's cleanup span, if the requester is
+	// traced.
+	Trace obs.TraceContext
+}
 
 // CleanupDone reports an engine's cleanup outcome. A non-empty Error
 // means the cleanup aborted (e.g. a corrupted segment failed its
@@ -317,12 +350,17 @@ type CleanupDone struct {
 	Results   uint64
 	ElapsedNs int64
 	Error     string
+	// Trace is echoed from the StartCleanup whose cleanup finished.
+	Trace obs.TraceContext
 }
 
 // Stop shuts a node down at the end of an experiment.
 //
 //distq:handledby coordinator, engine
-type Stop struct{}
+type Stop struct {
+	// Trace identifies the shutdown decision, if traced.
+	Trace obs.TraceContext
+}
 
 // Tick is a node's self-addressed timer message: routing timers through
 // the transport keeps every node single-threaded (timers and messages are
@@ -331,6 +369,8 @@ type Stop struct{}
 //distq:handledby coordinator, engine
 type Tick struct {
 	Kind string
+	// Trace identifies the arming span, if any (zero for plain timers).
+	Trace obs.TraceContext
 }
 
 // Timer kinds carried by Tick.
@@ -357,6 +397,8 @@ type Drain struct {
 type DrainAck struct {
 	Token uint64
 	Node  partition.NodeID
+	// Trace is echoed from the Drain being acknowledged.
+	Trace obs.TraceContext
 }
 
 // Quiesce asks the coordinator to stop starting new adaptations and to
@@ -364,12 +406,18 @@ type DrainAck struct {
 // run-time phase with it: quiesce, then drain, then cleanup.
 //
 //distq:handledby coordinator
-type Quiesce struct{}
+type Quiesce struct {
+	// Trace identifies the harness's fence span, if any.
+	Trace obs.TraceContext
+}
 
 // QuiesceAck acknowledges a Quiesce once the coordinator is idle.
 //
 //distq:handledby generator
-type QuiesceAck struct{}
+type QuiesceAck struct {
+	// Trace is echoed from the Quiesce being acknowledged.
+	Trace obs.TraceContext
+}
 
 func init() {
 	gob.Register(Hello{})

@@ -89,6 +89,11 @@ type Network struct {
 	isolated map[partition.NodeID]bool
 	parted   map[[2]partition.NodeID]bool
 	oneshots []*oneShot
+
+	// done closes on Close: delayed deliveries still pending give up
+	// instead of outliving the network.
+	done     chan struct{}
+	doneOnce sync.Once
 }
 
 // oneShot drops the next remaining messages matching pred.
@@ -118,6 +123,7 @@ func New(inner transport.Network, clock vclock.Clock, cfg Config) *Network {
 		rngs:     make(map[partition.NodeID]*rand.Rand),
 		isolated: make(map[partition.NodeID]bool),
 		parted:   make(map[[2]partition.NodeID]bool),
+		done:     make(chan struct{}),
 	}
 }
 
@@ -131,7 +137,10 @@ func (n *Network) Attach(node partition.NodeID, h transport.Handler) (transport.
 }
 
 // Close implements transport.Network.
-func (n *Network) Close() error { return n.inner.Close() }
+func (n *Network) Close() error {
+	n.doneOnce.Do(func() { close(n.done) })
+	return n.inner.Close()
+}
 
 // Instrument forwards transport metrics registration to the inner
 // network when it supports it, so wrapped clusters keep their
@@ -281,7 +290,13 @@ func (e *endpoint) Send(to partition.NodeID, msg proto.Message) error {
 	case delay:
 		after := e.net.clock.After(d)
 		go func() {
-			<-after
+			select {
+			case <-after:
+			case <-e.net.done:
+				// The network closed while the message was in flight: a
+				// drop, which the fault model already permits.
+				return
+			}
 			// A delayed message that can no longer be delivered (the
 			// receiver detached meanwhile) is a drop, which the fault
 			// model already permits for eligible messages.
