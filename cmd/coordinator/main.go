@@ -41,6 +41,10 @@ func main() {
 		scale      = flag.Float64("scale", 1, "virtual time compression factor")
 		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
+		replicate  = flag.Bool("replicate", false, "keep a warm follower per partition group and fail over to it on engine death")
+		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "virtual heartbeat silence before an engine is declared dead (0 disables the watchdog)")
+		relTimeout = flag.Duration("reloc-timeout", 0, "virtual deadline per relocation protocol step before retry/escalation (0 disables; required for progress if an engine dies mid-relocation)")
+		relRetries = flag.Int("reloc-retries", 0, "step re-sends before a relocation escalates (0 = default 2)")
 	)
 	flag.Parse()
 
@@ -90,12 +94,16 @@ func main() {
 	net := transport.NewTCP(dir)
 	defer net.Close()
 	gc, err := coordinator.New(coordinator.Config{
-		Node:       cluster.CoordinatorNode,
-		SplitHost:  cluster.GeneratorNode,
-		Engines:    engineNames,
-		Strategy:   strat,
-		Map:        masterMap,
-		LBInterval: *lbEvery,
+		Node:             cluster.CoordinatorNode,
+		SplitHost:        cluster.GeneratorNode,
+		Engines:          engineNames,
+		Strategy:         strat,
+		Map:              masterMap,
+		LBInterval:       *lbEvery,
+		Replicate:        *replicate,
+		HeartbeatTimeout: *hbTimeout,
+		RelocTimeout:     *relTimeout,
+		RelocMaxRetries:  *relRetries,
 	}, vclock.NewScaled(*scale))
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +125,15 @@ func main() {
 					Kind:         "coordinator",
 					Relocations:  gc.Relocations(),
 					ForcedSpills: gc.ForcedSpills(),
+					Promotions:   gc.Promotions(),
+					Demotions:    gc.Demotions(),
+				}
+				snap.Membership = make(map[string]string)
+				for node, state := range gc.Membership() {
+					snap.Membership[string(node)] = state
+				}
+				for _, lag := range gc.ReplicationLag() {
+					snap.ReplLagBytes += lag
 				}
 				for _, ev := range gc.Events().All() {
 					snap.Events = append(snap.Events, monitor.EventJSON{

@@ -122,17 +122,28 @@ func pollNode(client *http.Client, st *nodeState, limit int) error {
 func render(states []*nodeState) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "distqtop — %d nodes — %s\n\n", len(states), vclock.WallNow().Format(time.TimeOnly))
-	fmt.Fprintf(&b, "%-12s %-12s %12s %8s %8s %12s %10s %8s\n",
-		"NODE", "KIND", "MEM", "GROUPS", "SEGS", "OUTPUT", "RATE/S", "RELOC")
+	membership := clusterMembership(states)
+	fmt.Fprintf(&b, "%-12s %-12s %-9s %12s %8s %8s %12s %10s %8s %10s\n",
+		"NODE", "KIND", "MEMBER", "MEM", "GROUPS", "SEGS", "OUTPUT", "RATE/S", "RELOC", "REPL-LAG")
 	for _, st := range states {
 		if st.err != nil {
 			fmt.Fprintf(&b, "%-12s %-12s %s\n", st.name, "-", "unreachable: "+st.err.Error())
 			continue
 		}
 		s := st.snap
-		fmt.Fprintf(&b, "%-12s %-12s %12s %8d %8d %12d %10.0f %8d\n",
-			st.name, s.Kind, formatBytes(s.MemBytes), s.Groups, s.Segments,
-			s.Output, st.rate, s.Relocations)
+		member := membership[st.name]
+		if member == "" {
+			member = "-"
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %-9s %12s %8d %8d %12d %10.0f %8d %10s\n",
+			st.name, s.Kind, member, formatBytes(s.MemBytes), s.Groups, s.Segments,
+			s.Output, st.rate, s.Relocations, formatBytes(s.ReplLagBytes))
+	}
+	if lines := failovers(states); len(lines) > 0 {
+		b.WriteString("\nfailovers:\n")
+		for _, l := range lines {
+			b.WriteString("  " + l + "\n")
+		}
 	}
 	if lines := inflight(states); len(lines) > 0 {
 		b.WriteString("\nin-flight adaptations:\n")
@@ -141,6 +152,38 @@ func render(states []*nodeState) string {
 		}
 	}
 	return b.String()
+}
+
+// clusterMembership merges the membership view the coordinator's
+// snapshot carries, so engine rows can show their joining / active /
+// draining / left / dead state even though only the coordinator
+// tracks it.
+func clusterMembership(states []*nodeState) map[string]string {
+	merged := make(map[string]string)
+	for _, st := range states {
+		if st.err != nil {
+			continue
+		}
+		for node, state := range st.snap.Membership {
+			merged[node] = state
+		}
+	}
+	return merged
+}
+
+// failovers summarizes the coordinator's replication counters: one
+// line per node that reports completed promotions or demotions.
+func failovers(states []*nodeState) []string {
+	var lines []string
+	for _, st := range states {
+		if st.err != nil || (st.snap.Promotions == 0 && st.snap.Demotions == 0) {
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("%-12s %d promotions, %d demotions",
+			st.name, st.snap.Promotions, st.snap.Demotions))
+	}
+	sort.Strings(lines)
+	return lines
 }
 
 // inflight lists every open adaptation span across the polled nodes,
@@ -157,7 +200,9 @@ func inflight(states []*nodeState) []string {
 			}
 			switch sp.Name {
 			case obs.SpanRelocation, obs.SpanForcedSpill,
-				obs.SpanRelocationSend, obs.SpanRelocationReceive:
+				obs.SpanRelocationSend, obs.SpanRelocationReceive,
+				obs.SpanRelocationDrain, obs.SpanMembership,
+				obs.SpanPromotion, obs.SpanPromotionInstall:
 				lines = append(lines, fmt.Sprintf("trace %016x  %-20s @%-10s since %s  %s",
 					sp.TraceID, sp.Name, sp.Node, sp.Start, attrSummary(sp)))
 			}

@@ -39,24 +39,25 @@ import (
 
 func main() {
 	var (
-		node       = flag.String("node", "m1", "this engine's node name")
-		listen     = flag.String("listen", "127.0.0.1:7101", "listen address")
-		gcAddr     = flag.String("gc", "127.0.0.1:7000", "coordinator address")
-		appAddr    = flag.String("app", "127.0.0.1:7001", "application server address")
-		genAddr    = flag.String("gen", "127.0.0.1:7002", "generator (split host) address")
-		peers      = flag.String("peers", "", "other engines as name=addr,... (relocation targets)")
-		inputs     = flag.Int("inputs", 3, "number of join inputs")
-		partitions = flag.Int("partitions", 120, "number of partition groups")
-		threshold  = flag.Int64("spill-threshold", 0, "local spill threshold in bytes (0 disables local spill)")
-		fraction   = flag.Float64("spill-fraction", 0.3, "k%: share of state pushed per spill")
-		policyName = flag.String("policy", "less-productive", "spill policy: less-productive|more-productive|largest|smallest|random")
-		storeDir   = flag.String("store", "", "segment store directory (default in-memory)")
-		ckptDir    = flag.String("checkpoint", "", "checkpoint directory: restored at startup, written on shutdown")
-		monAddr    = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
-		scale      = flag.Float64("scale", 1, "virtual time compression factor (must match the generator's)")
-		joinPar    = flag.Int("join-parallelism", 1, "join shard workers (0 or 1 = serial data path)")
-		groupMet   = flag.Int("group-metrics", 0, "export per-group productivity gauges for the top N groups (0 disables)")
-		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
+		node        = flag.String("node", "m1", "this engine's node name")
+		listen      = flag.String("listen", "127.0.0.1:7101", "listen address")
+		gcAddr      = flag.String("gc", "127.0.0.1:7000", "coordinator address")
+		appAddr     = flag.String("app", "127.0.0.1:7001", "application server address")
+		genAddr     = flag.String("gen", "127.0.0.1:7002", "generator (split host) address")
+		peers       = flag.String("peers", "", "other engines as name=addr,... (relocation targets)")
+		inputs      = flag.Int("inputs", 3, "number of join inputs")
+		partitions  = flag.Int("partitions", 120, "number of partition groups")
+		threshold   = flag.Int64("spill-threshold", 0, "local spill threshold in bytes (0 disables local spill)")
+		fraction    = flag.Float64("spill-fraction", 0.3, "k%: share of state pushed per spill")
+		policyName  = flag.String("policy", "less-productive", "spill policy: less-productive|more-productive|largest|smallest|random")
+		storeDir    = flag.String("store", "", "segment store directory (default in-memory)")
+		ckptDir     = flag.String("checkpoint", "", "checkpoint directory: restored at startup, written on shutdown")
+		monAddr     = flag.String("monitor", "", "HTTP monitoring address serving /healthz and /stats (empty disables)")
+		scale       = flag.Float64("scale", 1, "virtual time compression factor (must match the generator's)")
+		joinPar     = flag.Int("join-parallelism", 1, "join shard workers (0 or 1 = serial data path)")
+		groupMet    = flag.Int("group-metrics", 0, "export per-group productivity gauges for the top N groups (0 disables)")
+		pprofOn     = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the monitor address")
+		joinCluster = flag.Bool("join", false, "join a running cluster at startup (JoinRequest handshake) instead of static registration")
 	)
 	flag.Parse()
 
@@ -113,6 +114,8 @@ func main() {
 		Store:           store,
 		JoinParallelism: *joinPar,
 		GroupMetrics:    *groupMet,
+		DynamicJoin:     *joinCluster,
+		Addr:            *listen,
 	}, vclock.NewScaled(*scale))
 	if err != nil {
 		log.Fatal(err)
@@ -140,7 +143,7 @@ func main() {
 			Addr: *monAddr,
 			Snapshot: func() monitor.Snapshot {
 				r := e.StatsSnapshot()
-				return monitor.Snapshot{
+				snap := monitor.Snapshot{
 					Node:         *node,
 					Kind:         "engine",
 					MemBytes:     r.MemBytes,
@@ -150,6 +153,10 @@ func main() {
 					SpilledBytes: r.SpilledBytes,
 					Segments:     r.DiskSegments,
 				}
+				for _, lag := range r.ReplLag {
+					snap.ReplLagBytes += lag
+				}
+				return snap
 			},
 			Registry:        e.Registry(),
 			Tracer:          e.Tracer(),

@@ -138,6 +138,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	router.DirectoryExtender(net.AddNode)
 
 	var recorder *trace.Writer
 	if *record != "" {
@@ -229,17 +230,26 @@ func main() {
 	if err := router.Flush(); err != nil {
 		log.Fatal(err)
 	}
+	drains := 0
 	for _, node := range engineNames {
 		if err := ep.Send(node, proto.Drain{Token: 1}); err != nil {
-			log.Fatal(err)
+			// A dead engine cannot drain; its groups failed over to a
+			// follower (which is drained under its own name if static,
+			// or flushes results continuously if it joined dynamically).
+			log.Printf("drain %s skipped: %v", node, err)
+			continue
 		}
+		drains++
 	}
-	for range engineNames {
+	for i := 0; i < drains; i++ {
 		select {
 		case <-drainCh:
 		case <-vclock.WallTimeout(60 * time.Second):
 			log.Fatal("drain timed out")
 		}
+	}
+	if n := router.SendFailures(); n > 0 {
+		log.Printf("%d data batches parked on unreachable owners and re-released after remap", n)
 	}
 	log.Printf("drained; peak pause buffer %d tuples", router.BufferedPeak())
 

@@ -100,6 +100,12 @@ type Config struct {
 	// Network overrides the transport (default in-process). Wrap the
 	// default with transport/faulty and pass it here to inject faults.
 	Network transport.Network
+	// Replicate enables per-group replication and follower promotion:
+	// the coordinator assigns every partition group a follower engine,
+	// primaries stream state deltas to keep the followers warm, and the
+	// watchdog fails a dead engine's groups over to their followers
+	// instead of waiting for checkpoint-restore (see coordinator.Config).
+	Replicate bool
 	// RelocTimeout / RelocMaxRetries / HeartbeatTimeout forward to the
 	// coordinator's hardening knobs (see coordinator.Config); at zero
 	// the relocation deadlines and heartbeat watchdog stay disarmed,
@@ -195,6 +201,10 @@ type Result struct {
 	// CoordinatorErrors counts errors surfaced through the
 	// coordinator's error path (send failures, protocol violations).
 	CoordinatorErrors int
+	// Promotions / Demotions count completed follower promotions and
+	// stale-copy demotions (Replicate mode only).
+	Promotions int
+	Demotions  int
 	// Events merges all adaptation events.
 	Events []stats.Event
 	// Cleanup summarizes the disk phase (zero value if not run).
@@ -266,6 +276,11 @@ type Cluster struct {
 	instr  transport.Instrumentable
 
 	engines map[partition.NodeID]*engine.Engine
+	// nodes is the live membership list: the static Engines config plus
+	// every dynamically joined engine, in join order. Drain, cleanup,
+	// and Finish iterate it instead of the static config so late
+	// joiners' results, spans, and metrics are not lost.
+	nodes   []partition.NodeID
 	crashed map[partition.NodeID]bool
 	// retired keeps crashed engine instances so Finish can still merge
 	// their event logs and spans (their volatile state is gone, as on a
@@ -296,6 +311,7 @@ func New(cfg Config) (*Cluster, error) {
 		clock:   vclock.NewScaled(cfg.Scale),
 		gen:     gen,
 		engines: make(map[partition.NodeID]*engine.Engine, len(cfg.Engines)),
+		nodes:   append([]partition.NodeID(nil), cfg.Engines...),
 		crashed: make(map[partition.NodeID]bool),
 	}
 
@@ -336,6 +352,7 @@ func New(cfg Config) (*Cluster, error) {
 		RelocTimeout:     cfg.RelocTimeout,
 		RelocMaxRetries:  cfg.RelocMaxRetries,
 		HeartbeatTimeout: cfg.HeartbeatTimeout,
+		Replicate:        cfg.Replicate,
 		OnError:          c.recordErr,
 	}, c.clock)
 	if err != nil {
@@ -352,7 +369,7 @@ func New(cfg Config) (*Cluster, error) {
 
 	// Engines.
 	for _, node := range cfg.Engines {
-		e, err := c.buildEngine(node)
+		e, err := c.buildEngine(node, false)
 		if err != nil {
 			return nil, err
 		}
@@ -373,8 +390,9 @@ func New(cfg Config) (*Cluster, error) {
 
 // buildEngine constructs (but does not attach) one engine node from the
 // cluster config; Restart uses it to rebuild a crashed engine over the
-// same durable directories.
-func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
+// same durable directories, Join to admit a new one at run time
+// (dynamic makes it introduce itself with JoinRequest instead of Hello).
+func (c *Cluster) buildEngine(node partition.NodeID, dynamic bool) (*engine.Engine, error) {
 	var store spill.Store
 	if c.cfg.StoreDir != "" {
 		fs, err := spill.NewFileStore(filepath.Join(c.cfg.StoreDir, string(node)))
@@ -407,6 +425,7 @@ func (c *Cluster) buildEngine(node partition.NodeID) (*engine.Engine, error) {
 		StatsInterval:      c.cfg.StatsInterval,
 		SpillCheckInterval: c.cfg.SpillCheckInterval,
 		CheckpointDir:      ckptDir,
+		DynamicJoin:        dynamic,
 	}, c.clock)
 	if err != nil {
 		return nil, err
@@ -448,6 +467,92 @@ func (c *Cluster) PendingResumes() int { return c.coord.PendingResumes() }
 // Pause reaches the split host, so crash scripts that must not feed a
 // dead engine's partitions await this too.
 func (c *Cluster) PartitionsPaused() int { return c.feeder.router.PausedPartitions() }
+
+// Join builds, attaches, and starts a new engine at run time: it
+// introduces itself to the coordinator with JoinRequest and, once its
+// first stats report lands, the rebalance planner sheds state onto it.
+// The returned engine is part of the cluster's drain/cleanup/finish
+// lifecycle like any static engine.
+func (c *Cluster) Join(node partition.NodeID) error {
+	if !c.started {
+		return fmt.Errorf("cluster: join before start")
+	}
+	if _, ok := c.engines[node]; ok {
+		return fmt.Errorf("cluster: engine %s already exists", node)
+	}
+	e, err := c.buildEngine(node, true)
+	if err != nil {
+		return err
+	}
+	if err := e.Attach(c.net); err != nil {
+		return err
+	}
+	if err := e.Start(); err != nil {
+		return err
+	}
+	c.engines[node] = e
+	c.nodes = append(c.nodes, node)
+	return nil
+}
+
+// Leave asks an engine to depart gracefully: the coordinator drains its
+// partition groups onto the remaining engines and releases it. Await
+// EngineLeft to know when the departure completed. The engine keeps
+// running (it owns nothing and is excluded from adaptation) so Finish
+// can still collect its series and spans.
+func (c *Cluster) Leave(node partition.NodeID) error {
+	e := c.engines[node]
+	if e == nil {
+		return fmt.Errorf("cluster: unknown engine %s", node)
+	}
+	if c.crashed[node] {
+		return fmt.Errorf("cluster: engine %s crashed", node)
+	}
+	e.Leave()
+	return nil
+}
+
+// EngineLeft reports whether node's graceful departure was acknowledged
+// by the coordinator (it owns no partitions anymore).
+func (c *Cluster) EngineLeft(node partition.NodeID) bool {
+	e := c.engines[node]
+	return e != nil && e.Left()
+}
+
+// Membership reports the coordinator's view of every engine's
+// membership state (joining, active, draining, left, dead).
+func (c *Cluster) Membership() map[partition.NodeID]string { return c.coord.Membership() }
+
+// Owned reports how many partition groups the shared map currently
+// assigns to node. Membership scripts await this to know a joiner
+// received state or a leaver drained.
+func (c *Cluster) Owned(node partition.NodeID) int { return len(c.master.OwnedBy(node)) }
+
+// Promotions / Demotions report completed follower promotions and
+// stale-copy demotions at the coordinator.
+func (c *Cluster) Promotions() int { return c.coord.Promotions() }
+
+// Demotions reports completed demotions (see Promotions).
+func (c *Cluster) Demotions() int { return c.coord.Demotions() }
+
+// PendingDemotes reports demotions queued or in flight — nonzero
+// between a promotion's map commit and the revived victim's DemoteAck.
+func (c *Cluster) PendingDemotes() int { return c.coord.PendingDemotes() }
+
+// ReplicationSettled reports whether every engine runs the current
+// replica map with zero replication lag — the fence chaos scenarios
+// await before inducing a failover they expect to be lossless.
+func (c *Cluster) ReplicationSettled() bool { return c.coord.ReplicationSettled() }
+
+// ReplicationLagTotal sums the per-group replication lag last reported
+// by the engines, in bytes.
+func (c *Cluster) ReplicationLagTotal() int64 {
+	var total int64
+	for _, lag := range c.coord.ReplicationLag() {
+		total += lag
+	}
+	return total
+}
 
 // Start launches the coordinator and all engines.
 func (c *Cluster) Start() error {
@@ -497,8 +602,8 @@ func (c *Cluster) Quiesce() error { return c.feeder.quiesce(CoordinatorNode) }
 // application server. Crashed engines are skipped: their unprocessed
 // input is gone, which is exactly what crash tests measure.
 func (c *Cluster) Drain() error {
-	live := make([]partition.NodeID, 0, len(c.cfg.Engines))
-	for _, node := range c.cfg.Engines {
+	live := make([]partition.NodeID, 0, len(c.nodes))
+	for _, node := range c.nodes {
 		if !c.crashed[node] {
 			live = append(live, node)
 		}
@@ -541,7 +646,7 @@ func (c *Cluster) Restart(node partition.NodeID) error {
 	if !c.crashed[node] {
 		return fmt.Errorf("cluster: engine %s is not crashed", node)
 	}
-	e, err := c.buildEngine(node)
+	e, err := c.buildEngine(node, false)
 	if err != nil {
 		return err
 	}
@@ -564,8 +669,8 @@ func (c *Cluster) Restart(node partition.NodeID) error {
 
 // RunCleanup executes the disk phase on every live engine.
 func (c *Cluster) RunCleanup() error {
-	live := make([]partition.NodeID, 0, len(c.cfg.Engines))
-	for _, node := range c.cfg.Engines {
+	live := make([]partition.NodeID, 0, len(c.nodes))
+	for _, node := range c.nodes {
 		if !c.crashed[node] {
 			live = append(live, node)
 		}
@@ -610,6 +715,11 @@ func (c *Cluster) Finish() (*Result, error) {
 		res.Cleanup = c.cleanup
 	}
 	for node, e := range c.engines {
+		if c.crashed[node] {
+			// A crashed, never-restarted engine's volatile state is gone;
+			// its events and spans come in through retired below.
+			continue
+		}
 		res.Memory[node] = c.coord.MemSeries(node)
 		res.LocalSpills[node] = e.SpillManager().Count()
 		res.SpilledBytes[node] = e.SpillManager().SpilledBytes()
@@ -626,9 +736,14 @@ func (c *Cluster) Finish() (*Result, error) {
 	res.AbortedRelocations = c.coord.AbortedRelocations()
 	res.UnresolvedRelocations = c.coord.Unresolved()
 	res.CoordinatorErrors = c.coord.Errors()
+	res.Promotions = c.coord.Promotions()
+	res.Demotions = c.coord.Demotions()
 	res.Spans = append(res.Spans, c.coord.Tracer().Spans()...)
 	res.Metrics = appendNodeMetrics(res.Metrics, string(CoordinatorNode), c.coord.Registry())
-	for _, node := range c.cfg.Engines {
+	for _, node := range c.nodes {
+		if c.crashed[node] {
+			continue
+		}
 		res.Spans = append(res.Spans, c.engines[node].Tracer().Spans()...)
 		res.Metrics = appendNodeMetrics(res.Metrics, string(node), c.engines[node].Registry())
 	}

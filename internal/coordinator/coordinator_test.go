@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -329,4 +330,96 @@ func TestProductivityWindowAdvances(t *testing.T) {
 	if fs.Amount != 495 {
 		t.Fatalf("ForceSpill amount = %d", fs.Amount)
 	}
+}
+
+// dirNet wraps a Network with an AddNode recorder, standing in for the
+// TCP transport's directory in dynamic-join tests.
+type dirNet struct {
+	transport.Network
+	mu    sync.Mutex
+	added map[partition.NodeID]string
+}
+
+func (d *dirNet) AddNode(node partition.NodeID, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.added == nil {
+		d.added = make(map[partition.NodeID]string)
+	}
+	d.added[node] = addr
+}
+
+func (d *dirNet) addedAddr(node partition.NodeID) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.added[node]
+}
+
+func TestJoinRequestAddrDisseminated(t *testing.T) {
+	net := &dirNet{Network: transport.NewInproc()}
+	t.Cleanup(func() { net.Close() })
+	engines := []partition.NodeID{"m1", "m2"}
+	pmap, err := partition.NewMap(8, partition.UniformAssign(engines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := New(Config{
+		Node: "gc", SplitHost: "gen", Engines: engines,
+		Strategy: core.NoAdapt{}, Map: pmap, LBInterval: time.Hour,
+	}, vclock.NewManual())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Attach(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Stop)
+	m1 := newPeer(t, net, "m1")
+	m2 := newPeer(t, net, "m2")
+	gen := newPeer(t, net, "gen")
+	m3 := newPeer(t, net, "m3")
+
+	if err := m3.ep.Send("gc", proto.JoinRequest{Node: "m3", Addr: "127.0.0.1:7103"}); err != nil {
+		t.Fatal(err)
+	}
+	ack := expect[proto.JoinAck](t, m3)
+	if !ack.Accepted {
+		t.Fatalf("join refused: %s", ack.Reason)
+	}
+	// The coordinator's own directory is extended before the ack so the
+	// ack itself can route on a directory-based transport.
+	if got := net.addedAddr("m3"); got != "127.0.0.1:7103" {
+		t.Fatalf("coordinator AddNode(m3) = %q, want 127.0.0.1:7103", got)
+	}
+	// Split host and both static engines learn the address.
+	for name, p := range map[string]*peer{"gen": gen, "m1": m1, "m2": m2} {
+		ma := expect[proto.MemberAddr](t, p)
+		if ma.Node != "m3" || ma.Addr != "127.0.0.1:7103" {
+			t.Fatalf("%s got MemberAddr %+v", name, ma)
+		}
+	}
+	// A later joiner receives a replay of m3's address.
+	m4 := newPeer(t, net, "m4")
+	if err := m4.ep.Send("gc", proto.JoinRequest{Node: "m4", Addr: "127.0.0.1:7104"}); err != nil {
+		t.Fatal(err)
+	}
+	replay := expect[proto.MemberAddr](t, m4)
+	if replay.Node != "m3" || replay.Addr != "127.0.0.1:7103" {
+		t.Fatalf("replay to m4 = %+v, want m3's address", replay)
+	}
+	// m3 (and everyone else) hears about m4; a duplicate JoinRequest
+	// then re-acks without re-broadcasting (idempotent per node+addr).
+	ma := expect[proto.MemberAddr](t, m3)
+	if ma.Node != "m4" {
+		t.Fatalf("m3 got MemberAddr %+v, want m4", ma)
+	}
+	expect[proto.MemberAddr](t, gen) // m4's broadcast
+	if err := m3.ep.Send("gc", proto.JoinRequest{Node: "m3", Addr: "127.0.0.1:7103"}); err != nil {
+		t.Fatal(err)
+	}
+	expect[proto.JoinAck](t, m3)
+	expectNothing(t, gen)
 }

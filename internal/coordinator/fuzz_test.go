@@ -23,23 +23,31 @@ import (
 // corpus lives in testdata/fuzz/FuzzCoordinatorProtocol.
 func FuzzCoordinatorProtocol(f *testing.F) {
 	// Seeds: a stats/tick round, a full relocation handshake, a forced
-	// spill + quiesce, and epoch/partition garbage.
+	// spill + quiesce, epoch/partition garbage, a join/report/leave
+	// membership round, and a replication/promotion ack mix.
 	f.Add([]byte{0, 0, 0, 1, 1, 0})
 	f.Add([]byte{0, 0, 0, 1, 1, 0, 3, 64, 3, 65, 2, 64, 2, 67, 4, 64, 4, 65, 5, 64})
 	f.Add([]byte{6, 0, 8, 0, 7, 1, 9, 3})
 	f.Add([]byte{2, 255, 2, 14, 4, 192, 5, 255, 3, 0, 10, 0, 0, 1})
+	f.Add([]byte{11, 2, 15, 2, 1, 0, 1, 0, 12, 2, 1, 0, 11, 2})
+	f.Add([]byte{15, 0, 15, 1, 1, 0, 13, 64, 14, 65, 12, 0, 1, 0, 3, 0, 4, 1, 5, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		coord, pmap := newFuzzRig(t)
 		engines := []partition.NodeID{"m1", "m2"}
+		// members adds the runtime joiner m3: membership and replication
+		// messages may come from (or be about) a node the static config
+		// never listed.
+		members := []partition.NodeID{"m1", "m2", "m3"}
 		if len(data) > 256 {
 			data = data[:256]
 		}
 		for i := 0; i+1 < len(data); i += 2 {
 			op, sel := data[i], data[i+1]
 			from := engines[int(sel&1)]
+			node := members[int(sel)%3]
 			epoch := uint64(sel >> 6)
 			var msg proto.Message
-			switch op % 11 {
+			switch op % 16 {
 			case 0:
 				msg = proto.StatsReport{Node: from, MemBytes: int64(sel) * 16, Groups: 4, Output: uint64(i)}
 			case 1:
@@ -48,9 +56,9 @@ func FuzzCoordinatorProtocol(f *testing.F) {
 				// Partition may be out of range (the map has 8).
 				msg = proto.PtV{Epoch: epoch, Node: from, Partitions: []partition.ID{partition.ID(sel % 16)}}
 			case 3:
-				msg = proto.MarkerAck{Epoch: epoch, Node: from}
+				msg = proto.MarkerAck{Epoch: epoch, Node: node}
 			case 4:
-				msg = proto.Installed{Epoch: epoch, Node: from}
+				msg = proto.Installed{Epoch: epoch, Node: node}
 			case 5:
 				msg = proto.RemapAck{Epoch: epoch}
 			case 6:
@@ -65,6 +73,23 @@ func FuzzCoordinatorProtocol(f *testing.F) {
 				msg = proto.ResultCount{Delta: uint64(sel)}
 			case 10:
 				msg = proto.Stop{}
+			case 11:
+				// m3 is a genuine runtime joiner; m1/m2 re-ack; a node
+				// that already left must be refused.
+				msg = proto.JoinRequest{Node: node}
+			case 12:
+				msg = proto.Leave{Node: node}
+			case 13:
+				msg = proto.PromoteAck{Epoch: epoch, Node: node, Installed: sel&8 != 0}
+			case 14:
+				msg = proto.DemoteAck{Epoch: epoch, Node: node}
+			case 15:
+				// Replication-rich report: lag for a possibly out-of-range
+				// group and an arbitrary replica-map version.
+				msg = proto.StatsReport{Node: node, MemBytes: int64(sel) * 8, Groups: 2,
+					ReplVersion: uint64(sel >> 4),
+					ReplLag:     map[partition.ID]int64{partition.ID(sel % 16): int64(sel)},
+				}
 			}
 			coord.Handle(from, msg)
 			for id := 0; id < pmap.N(); id++ {
@@ -72,7 +97,7 @@ func FuzzCoordinatorProtocol(f *testing.F) {
 				if err != nil {
 					t.Fatalf("op %d (%T): partition %d: %v", i/2, msg, id, err)
 				}
-				if owner != "m1" && owner != "m2" {
+				if owner != "m1" && owner != "m2" && owner != "m3" {
 					t.Fatalf("op %d (%T): partition %d owned by unknown node %q", i/2, msg, id, owner)
 				}
 			}
@@ -100,6 +125,7 @@ func newFuzzRig(t *testing.T) (*Coordinator, *partition.Map) {
 		Strategy:   lazy(),
 		Map:        pmap,
 		LBInterval: time.Hour,
+		Replicate:  true,
 	}, vclock.NewManual())
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +133,7 @@ func newFuzzRig(t *testing.T) (*Coordinator, *partition.Map) {
 	if err := coord.Attach(net); err != nil {
 		t.Fatal(err)
 	}
-	for _, n := range []partition.NodeID{"m1", "m2", "gen"} {
+	for _, n := range []partition.NodeID{"m1", "m2", "m3", "gen"} {
 		if _, err := net.Attach(n, func(partition.NodeID, proto.Message) {}); err != nil {
 			t.Fatal(err)
 		}

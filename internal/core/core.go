@@ -113,11 +113,14 @@ type RelocationConfig struct {
 
 // Relocation is a coarse-grained relocation decision: move Amount bytes of
 // partition-group state from Sender to Receiver. Which groups move is
-// decided locally at the sender.
+// decided locally at the sender: its most productive groups by default,
+// its least productive when LowProd is set (rebalancing onto a freshly
+// joined engine).
 type Relocation struct {
 	Sender   partition.NodeID
 	Receiver partition.NodeID
 	Amount   int64
+	LowProd  bool
 }
 
 // DecideRelocation applies the paper's pair-wise scheme: the machine with

@@ -149,3 +149,11 @@ func (p *RandomPolicy) SelectVictims(groups []GroupStats, target int64) []partit
 func MostProductiveMovers(groups []GroupStats, target int64) []partition.ID {
 	return MoreProductivePolicy{}.SelectVictims(groups, target)
 }
+
+// LeastProductiveMovers selects the groups a sender should shed to a
+// freshly joined engine: the cheapest state first, so the rebalance
+// disturbs the hot working set as little as possible while the joiner
+// warms up (the inverse of MostProductiveMovers).
+func LeastProductiveMovers(groups []GroupStats, target int64) []partition.ID {
+	return LessProductivePolicy{}.SelectVictims(groups, target)
+}

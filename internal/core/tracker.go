@@ -102,3 +102,15 @@ func SmoothedMostProductiveMovers(t *ProductivityTracker, groups []GroupStats, t
 		return a.Size > b.Size
 	})
 }
+
+// SmoothedLeastProductiveMovers selects join-rebalance movers by
+// amortized scores, the counterpart of LeastProductiveMovers.
+func SmoothedLeastProductiveMovers(t *ProductivityTracker, groups []GroupStats, target int64) []partition.ID {
+	return selectBy(groups, target, func(a, b GroupStats) bool {
+		sa, sb := t.Score(a), t.Score(b)
+		if sa != sb {
+			return sa < sb
+		}
+		return a.Size > b.Size
+	})
+}

@@ -14,6 +14,8 @@ package engine
 
 import (
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"sort"
 	"strconv"
 	"sync"
@@ -103,6 +105,18 @@ type Config struct {
 	// every sr_timer. Off by default: per-group series are for targeted
 	// diagnosis, not always-on fleets.
 	GroupMetrics int
+	// DynamicJoin makes the engine introduce itself with a JoinRequest
+	// (retried with jittered backoff until the coordinator's JoinAck
+	// arrives) instead of the informational Hello: the engine was not in
+	// the coordinator's static configuration and asks to be admitted
+	// into the running cluster.
+	DynamicJoin bool
+	// Addr is the engine's advertised transport address, carried on the
+	// JoinRequest so the coordinator can extend directory-based
+	// transports (TCP) and disseminate it to the split host and peers
+	// via MemberAddr. Leave empty on registration-based transports
+	// (in-proc), where no directory exists.
+	Addr string
 	// JoinParallelism sizes the shard-worker pool of the run-time join
 	// path: partition groups are assigned to shards by partition ID mod
 	// JoinParallelism (stable, so a group's tuples stay FIFO within
@@ -145,7 +159,15 @@ type Engine struct {
 	cfg   Config
 	clock vclock.Clock
 	ep    transport.Endpoint
+	net   transport.Network
 	op    *join.Operator
+	// pf is the partition function, shared with the operator: the
+	// replication data-path hook needs each tuple's group ID.
+	pf partition.Func
+	// repl is the replication controller (primary and follower sides).
+	// Always present — whether it does anything is decided by the
+	// coordinator's ReplicaMap broadcasts, not engine configuration.
+	repl *replicator
 	// pool drives the operator's shards concurrently when
 	// JoinParallelism > 1; nil on the serial path.
 	pool *shardPool
@@ -181,6 +203,17 @@ type Engine struct {
 	// ForceSpill instead of spilling twice.
 	lastForceSeq   uint64
 	lastForceBytes int64
+	// promotedEpochs / demotedEpochs make the failover handlers
+	// idempotent under duplicated deliveries, like installedEpochs for
+	// relocations.
+	promotedEpochs map[uint64]bool
+	demotedEpochs  map[uint64]bool
+	// joined flips once the coordinator's JoinAck admits a DynamicJoin
+	// engine; leftAck flips on LeaveAck. Atomics: both are read by the
+	// retry goroutines and external callers.
+	joined  atomic.Bool
+	leaving atomic.Bool
+	leftAck atomic.Bool
 
 	// result accounting. reportedOutput is the count already delivered
 	// to the application server; it advances only after a successful
@@ -245,8 +278,12 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 		log:             obs.NewLogger(obs.LoggerConfig{Node: string(c.Node), Kind: "engine", Now: clock.Now}),
 		installedEpochs: make(map[uint64]bool),
 		abortedEpochs:   make(map[uint64]bool),
+		promotedEpochs:  make(map[uint64]bool),
+		demotedEpochs:   make(map[uint64]bool),
 		done:            make(chan struct{}),
 	}
+	e.pf = partition.NewFunc(c.Partitions)
+	e.repl = newReplicator(e)
 	e.reg.Help("distq_engine_spills_total", "spill cycles, by kind (local|forced)")
 	e.reg.Help("distq_engine_spill_bytes_total", "bytes moved to disk by spills, by kind")
 	e.reg.Help("distq_engine_mem_bytes", "resident state size at the last sr_timer")
@@ -266,6 +303,11 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 	e.reg.Help("distq_engine_group_productivity_rank", "productivity rank of one partition group, 1 = most productive (GroupMetrics only)")
 	e.reg.Help("distq_engine_shard_tuples_total", "tuples processed by the join shard workers, by shard")
 	e.reg.Help("distq_engine_shard_quiesces_total", "control-message barriers that quiesced the shard pool")
+	e.reg.Help("distq_engine_deltas_out_total", "replication state deltas sent to followers (including retransmits)")
+	e.reg.Help("distq_engine_deltas_in_total", "replication state deltas applied from primaries")
+	e.reg.Help("distq_engine_standby_bytes", "warm follower-copy state held outside the operator")
+	e.reg.Help("distq_engine_promotions_total", "follower promotions installed on this engine")
+	e.reg.Help("distq_engine_demotions_total", "stale primary copies dropped after a failover")
 	if c.SmoothingAlpha > 0 {
 		e.tracker = core.NewProductivityTracker(c.SmoothingAlpha)
 		if cfg.Policy == nil {
@@ -281,9 +323,9 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 		emit = func(tuple.Result) {}
 	}
 	if c.Window > 0 {
-		e.op = join.NewWindowedSharded(c.Inputs, partition.NewFunc(c.Partitions), c.Window, c.JoinParallelism, emit)
+		e.op = join.NewWindowedSharded(c.Inputs, e.pf, c.Window, c.JoinParallelism, emit)
 	} else {
-		e.op = join.NewSharded(c.Inputs, partition.NewFunc(c.Partitions), c.JoinParallelism, emit)
+		e.op = join.NewSharded(c.Inputs, e.pf, c.JoinParallelism, emit)
 	}
 	e.reg.Gauge("distq_engine_shard_workers").Set(float64(c.JoinParallelism))
 	if c.JoinParallelism > 1 {
@@ -301,35 +343,41 @@ func (e *Engine) Attach(net transport.Network) error {
 		return err
 	}
 	e.ep = ep
+	e.net = net
 	if e.pool != nil {
 		e.pool.start()
 	}
 	return nil
 }
 
-// Start announces the engine to the coordinator and arms its timers. The
-// Hello is informational (engines are statically configured at the
-// coordinator), so a coordinator that is still coming up is retried in
-// the background rather than failing startup.
+// Start announces the engine to the coordinator and arms its timers.
+// Statically configured engines send the informational Hello, retried
+// with jittered backoff if the coordinator is still coming up; a
+// DynamicJoin engine instead sends JoinRequest until the coordinator's
+// JoinAck admits it.
 func (e *Engine) Start() error {
 	if e.ep == nil {
 		return fmt.Errorf("engine %s: not attached", e.cfg.Node)
 	}
-	hello := proto.Hello{Node: e.cfg.Node, Kind: proto.KindEngine}
-	if err := e.ep.Send(e.cfg.Coordinator, hello); err != nil {
-		go func() {
-			for i := 0; i < 20; i++ {
-				select {
-				case <-e.clock.After(250 * time.Millisecond):
-				case <-e.done:
-					return
-				}
-				if e.ep.Send(e.cfg.Coordinator, hello) == nil {
-					return
-				}
+	if e.cfg.DynamicJoin {
+		req := proto.JoinRequest{Node: e.cfg.Node, Addr: e.cfg.Addr}
+		//distqlint:allow senderrcheck: retried below with backoff until JoinAck
+		e.ep.Send(e.cfg.Coordinator, req)
+		go e.retryBackoff("join_request", func() bool {
+			if e.joined.Load() {
+				return true
 			}
-			e.log.Error("coordinator_unreachable", obs.F("coordinator", string(e.cfg.Coordinator)))
-		}()
+			//distqlint:allow senderrcheck: retried with backoff until JoinAck
+			e.ep.Send(e.cfg.Coordinator, req)
+			return false
+		})
+	} else {
+		hello := proto.Hello{Node: e.cfg.Node, Kind: proto.KindEngine}
+		if err := e.ep.Send(e.cfg.Coordinator, hello); err != nil {
+			go e.retryBackoff("hello", func() bool {
+				return e.ep.Send(e.cfg.Coordinator, hello) == nil
+			})
+		}
 	}
 	e.armTicker(e.cfg.StatsInterval, proto.TickStats)
 	if e.cfg.LocalSpill {
@@ -337,6 +385,62 @@ func (e *Engine) Start() error {
 	}
 	return nil
 }
+
+// retryBackoff re-invokes attempt with jittered exponential backoff
+// (base 100ms doubling to a 5s cap, then a uniform draw from
+// [0.5, 1.5)× of it) until attempt reports done, the engine shuts
+// down, or ~30 attempts pass. The jitter source is seeded from the
+// node name and label, keeping runs reproducible while desynchronizing
+// a burst of engines retrying against the same recovering coordinator.
+func (e *Engine) retryBackoff(label string, attempt func() bool) {
+	h := fnv.New64a()
+	h.Write([]byte(string(e.cfg.Node) + "/" + label))
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	base := 100 * time.Millisecond
+	for i := 0; i < 30; i++ {
+		d := time.Duration(float64(base) * (0.5 + rng.Float64()))
+		select {
+		case <-e.clock.After(d):
+		case <-e.done:
+			return
+		}
+		if attempt() {
+			return
+		}
+		if base < 5*time.Second {
+			base *= 2
+		}
+	}
+	e.log.Error(label+"_unacknowledged", obs.F("coordinator", string(e.cfg.Coordinator)))
+}
+
+// Leave announces a graceful departure: the coordinator drains every
+// partition group this engine owns onto the remaining engines, then
+// acknowledges with LeaveAck (observable via Left). Callable from any
+// goroutine; idempotent.
+func (e *Engine) Leave() {
+	if !e.leaving.CompareAndSwap(false, true) {
+		return
+	}
+	leave := proto.Leave{Node: e.cfg.Node}
+	//distqlint:allow senderrcheck: retried below with backoff until LeaveAck
+	e.ep.Send(e.cfg.Coordinator, leave)
+	go e.retryBackoff("leave", func() bool {
+		if e.leftAck.Load() {
+			return true
+		}
+		//distqlint:allow senderrcheck: retried with backoff until LeaveAck
+		e.ep.Send(e.cfg.Coordinator, leave)
+		return false
+	})
+}
+
+// Left reports whether the coordinator has released this engine (its
+// Leave was acknowledged and it owns no partitions).
+func (e *Engine) Left() bool { return e.leftAck.Load() }
+
+// Joined reports whether a DynamicJoin engine has been admitted.
+func (e *Engine) Joined() bool { return e.joined.Load() }
 
 func (e *Engine) armTicker(period time.Duration, kind string) {
 	tk := e.clock.NewTicker(period)
@@ -410,6 +514,29 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 		err = e.onDrain(from, m)
 	case proto.StartCleanup:
 		err = e.onCleanup(from)
+	case proto.JoinAck:
+		err = e.onJoinAck(m)
+	case proto.MemberAddr:
+		// Dynamically joined peer: extend a directory-based transport so
+		// relocations and replica deltas toward it can route. In-proc
+		// networks have no directory and ignore the message.
+		if d, ok := e.net.(interface {
+			AddNode(partition.NodeID, string)
+		}); ok {
+			d.AddNode(m.Node, m.Addr)
+		}
+	case proto.LeaveAck:
+		e.leftAck.Store(true)
+	case proto.ReplicaMap:
+		e.repl.applyMap(m)
+	case proto.StateDelta:
+		err = e.repl.onDelta(m)
+	case proto.DeltaAck:
+		e.repl.onAck(m)
+	case proto.Promote:
+		err = e.onPromote(m)
+	case proto.Demote:
+		err = e.onDemote(m)
 	case proto.Stop:
 		e.shutdown()
 	default:
@@ -464,6 +591,13 @@ func (e *Engine) onData(m proto.Data) error {
 			}
 		}
 		tuples = kept
+	}
+	if len(e.repl.followerOf) > 0 {
+		// Replication taps the post-PreFilter stream: exactly what enters
+		// the join's state is what a follower must be able to reproduce.
+		for i := range tuples {
+			e.repl.bufferAppend(e.pf.Of(tuples[i].Key), tuples[i])
+		}
 	}
 	if e.pool != nil {
 		e.pool.dispatch(tuples)
@@ -541,6 +675,18 @@ func (e *Engine) reportStats() error {
 	if e.tracker != nil {
 		e.tracker.Observe(e.op.Stats())
 	}
+	e.repl.tick()
+	var sizes map[partition.ID]int64
+	sizeOf := func(id partition.ID) int64 {
+		if sizes == nil {
+			gs := e.op.Stats()
+			sizes = make(map[partition.ID]int64, len(gs))
+			for _, g := range gs {
+				sizes[g.ID] = g.Size
+			}
+		}
+		return sizes[id]
+	}
 	report := proto.StatsReport{
 		Node:         e.cfg.Node,
 		MemBytes:     e.op.MemBytes(),
@@ -549,7 +695,10 @@ func (e *Engine) reportStats() error {
 		SpillCount:   e.mgr.Count(),
 		SpilledBytes: e.mgr.SpilledBytes(),
 		DiskSegments: e.cfg.Store.SegmentCount(),
+		ReplLag:      e.repl.lag(sizeOf),
+		ReplVersion:  e.repl.version,
 	}
+	e.reg.Gauge("distq_engine_standby_bytes").Set(float64(e.repl.standbyBytes))
 	e.lastReport.Store(&report)
 	e.reg.Gauge("distq_engine_mem_bytes").Set(float64(report.MemBytes))
 	e.reg.Gauge("distq_engine_groups").Set(float64(report.Groups))
@@ -637,9 +786,14 @@ func (e *Engine) onCptV(m proto.CptV) error {
 	e.savedXfer = nil // at most one outbound relocation's state is retained
 	e.mode = core.RelocateMode
 	var parts []partition.ID
-	if e.tracker != nil {
+	switch {
+	case m.LowProd && e.tracker != nil:
+		parts = core.SmoothedLeastProductiveMovers(e.tracker, e.op.Stats(), m.Amount)
+	case m.LowProd:
+		parts = core.LeastProductiveMovers(e.op.Stats(), m.Amount)
+	case e.tracker != nil:
 		parts = core.SmoothedMostProductiveMovers(e.tracker, e.op.Stats(), m.Amount)
-	} else {
+	default:
 		parts = core.MostProductiveMovers(e.op.Stats(), m.Amount)
 	}
 	e.pendingReloc = &relocState{epoch: m.Epoch, receiver: m.Receiver, parts: parts}
@@ -667,6 +821,13 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 	if x := e.savedXfer; x != nil && x.epoch == m.Epoch {
 		return e.ep.Send(x.receiver, x.msg)
 	}
+	if e.pendingReloc == nil && m.Directed && !e.abortedEpochs[m.Epoch] {
+		// A directed relocation (drain of a departing engine) skips the
+		// CptV/PtV round — the coordinator chose the partitions — so the
+		// pending state a CptV would have recorded is synthesized here.
+		e.pendingReloc = &relocState{epoch: m.Epoch, receiver: m.Receiver, parts: m.Partitions}
+		e.mode = core.RelocateMode
+	}
 	if e.pendingReloc == nil || e.pendingReloc.epoch != m.Epoch {
 		return nil // stale: the epoch was aborted or superseded
 	}
@@ -687,6 +848,7 @@ func (e *Engine) onSendStates(m proto.SendStates) error {
 			residents = append(residents, snap)
 			xfer.Resident = append(xfer.Resident, join.EncodeSnapshot(snap))
 		}
+		e.repl.forgetOwned(id)
 		if e.tracker != nil {
 			e.tracker.Forget(id)
 		}
@@ -899,6 +1061,79 @@ func (e *Engine) Crash() {
 		_ = e.ep.Close()
 	}
 	e.doneOnce.Do(func() { close(e.done) })
+}
+
+// onJoinAck completes the dynamic-join handshake.
+func (e *Engine) onJoinAck(m proto.JoinAck) error {
+	if !m.Accepted {
+		e.log.Error("join_refused", obs.F("reason", m.Reason))
+		return fmt.Errorf("join refused by coordinator: %s", m.Reason)
+	}
+	if !e.joined.Swap(true) {
+		e.log.Info("joined_cluster", obs.F("coordinator", string(e.cfg.Coordinator)))
+		e.events.Add(stats.Event{T: e.clock.Now(), Node: e.cfg.Node, Kind: stats.EventJoin, Detail: "admitted by coordinator"})
+	}
+	return nil
+}
+
+// onPromote installs this engine's warm standby copies of the groups as
+// resident operator state — failover without a checkpoint replay. The
+// coordinator's trace context parents the install span under its
+// promotion span. Idempotent per epoch (retries re-ack).
+func (e *Engine) onPromote(m proto.Promote) error {
+	ack := proto.PromoteAck{Epoch: m.Epoch, Node: e.cfg.Node, Installed: true, Trace: m.Trace}
+	if e.promotedEpochs[m.Epoch] {
+		return e.ep.Send(e.cfg.Coordinator, ack)
+	}
+	span := e.tracer.StartChild(obs.SpanPromotionInstall, string(e.cfg.Node), e.clock.Now(), m.Trace)
+	span.SetAttr("epoch", strconv.FormatUint(m.Epoch, 10))
+	span.SetAttr("from", string(m.From))
+	span.SetAttr("groups", strconv.Itoa(len(m.Groups)))
+	installed, err := e.repl.promote(m.Groups)
+	if err != nil {
+		// No ack: state integrity beats protocol progress; the
+		// coordinator's retry or escalation decides what happens next.
+		span.Abort(e.clock.Now(), err.Error())
+		return err
+	}
+	span.SetAttr("installed", strconv.Itoa(installed))
+	span.End(e.clock.Now())
+	e.promotedEpochs[m.Epoch] = true
+	e.reg.Counter("distq_engine_promotions_total").Inc()
+	e.events.Add(stats.Event{T: e.clock.Now(), Node: e.cfg.Node, Kind: stats.EventPromote,
+		Detail: fmt.Sprintf("epoch %d: %d groups from %s (%d standby installs)", m.Epoch, len(m.Groups), m.From, installed)})
+	return e.ep.Send(e.cfg.Coordinator, ack)
+}
+
+// onDemote drops this revived engine's now-stale copies of groups that
+// were failed over away from it while it was presumed dead. The
+// replication tail is flushed to the new owners first — tuples buffered
+// here but never delivered merge into their resident state over the
+// ordinary delta stream. Idempotent per epoch.
+func (e *Engine) onDemote(m proto.Demote) error {
+	ack := proto.DemoteAck{Epoch: m.Epoch, Node: e.cfg.Node, Trace: m.Trace}
+	if e.demotedEpochs[m.Epoch] {
+		return e.ep.Send(e.cfg.Coordinator, ack)
+	}
+	e.repl.tailFlush(m.Groups)
+	dropped := 0
+	for _, id := range m.Groups {
+		e.repl.forgetOwned(id)
+		if e.op.RemoveForRelocation(id) != nil {
+			dropped++
+		}
+		if e.tracker != nil {
+			e.tracker.Forget(id)
+		}
+		if _, err := e.cfg.Store.Remove(id); err != nil {
+			return fmt.Errorf("drop segments of demoted group %d: %w", id, err)
+		}
+	}
+	e.demotedEpochs[m.Epoch] = true
+	e.reg.Counter("distq_engine_demotions_total").Inc()
+	e.events.Add(stats.Event{T: e.clock.Now(), Node: e.cfg.Node, Kind: stats.EventDemote,
+		Detail: fmt.Sprintf("epoch %d: %d stale groups dropped (%d resident)", m.Epoch, len(m.Groups), dropped)})
+	return e.ep.Send(e.cfg.Coordinator, ack)
 }
 
 func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {

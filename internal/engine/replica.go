@@ -1,0 +1,393 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/tuple"
+)
+
+// replicator is the engine's replication controller: the primary side
+// streams per-group state increments to each group's follower, the
+// follower side keeps the increments as warm standby copies outside the
+// join operator, ready to become resident state on a Promote. It lives
+// entirely on the handler goroutine (messages and sr_timer ticks), so
+// like the rest of the engine it needs no locking.
+//
+// The stream is a simple sender-driven reliable channel per
+// (primary, follower) pair: deltas carry a dense sequence number, the
+// follower applies them in order (re-acking duplicates, ignoring gaps),
+// and the primary retransmits everything unacknowledged on every stats
+// tick. Only resident state replicates; disk segments do not (a
+// documented limitation — the failover experiments run all-in-memory).
+type replicator struct {
+	e *Engine
+	// version is the highest ReplicaMap version applied.
+	version uint64
+	// followerOf maps the groups this engine primaries (per the applied
+	// replica map) to their follower engine. Empty until a replica map
+	// arrives, which keeps the data-path hook free when replication is
+	// off.
+	followerOf map[partition.ID]partition.NodeID
+	// streams holds the outbound per-follower state.
+	streams map[partition.NodeID]*replStream
+	// applied is the highest delta sequence applied, per primary.
+	applied map[partition.NodeID]uint64
+	// standby holds the warm follower copies, keyed by group.
+	standby      map[partition.ID]*join.GroupSnapshot
+	standbyBytes int64
+	// promoted marks groups this engine took over via Promote: a late
+	// replication tail from the demoted old primary merges straight into
+	// the resident operator state instead of a standby nobody reads.
+	promoted map[partition.ID]bool
+}
+
+// replStream is the outbound replication state toward one follower.
+type replStream struct {
+	// tracked is the set of groups currently streamed to this follower.
+	tracked map[partition.ID]bool
+	// needSeed marks groups awaiting a full-snapshot seed; the data-path
+	// hook skips them (the seed captures everything up to its tick).
+	needSeed map[partition.ID]bool
+	// cur accumulates tuple-encoded appends since the last packaged
+	// delta, per group.
+	cur     map[partition.ID][]byte
+	nextSeq uint64
+	// pending holds packaged deltas not yet acknowledged, in sequence
+	// order; all of them are retransmitted on every stats tick.
+	pending []pendingDelta
+}
+
+type pendingDelta struct {
+	seq     uint64
+	entries []proto.DeltaEntry
+}
+
+func newReplStream() *replStream {
+	return &replStream{
+		tracked:  make(map[partition.ID]bool),
+		needSeed: make(map[partition.ID]bool),
+		cur:      make(map[partition.ID][]byte),
+	}
+}
+
+func newReplicator(e *Engine) *replicator {
+	return &replicator{
+		e:          e,
+		followerOf: make(map[partition.ID]partition.NodeID),
+		streams:    make(map[partition.NodeID]*replStream),
+		applied:    make(map[partition.NodeID]uint64),
+		standby:    make(map[partition.ID]*join.GroupSnapshot),
+		promoted:   make(map[partition.ID]bool),
+	}
+}
+
+func snapshotBytes(s *join.GroupSnapshot) int64 {
+	var n int64
+	for _, l := range s.Tuples {
+		for i := range l {
+			n += l[i].MemSize()
+		}
+	}
+	return n
+}
+
+// applyMap reconciles the outbound streams with a new follower
+// assignment. Groups newly assigned (or reassigned to a different
+// follower) are marked for a full-snapshot seed; groups no longer ours
+// stop streaming. Older or equal versions are ignored — the coordinator
+// rebroadcasts the current map every tick, so this is the idempotence
+// point of the whole replication plane.
+func (r *replicator) applyMap(m proto.ReplicaMap) {
+	if m.Version <= r.version {
+		return
+	}
+	r.version = m.Version
+	self := r.e.cfg.Node
+	next := make(map[partition.ID]partition.NodeID)
+	byFollower := make(map[partition.NodeID]map[partition.ID]bool)
+	for _, ent := range m.Entries {
+		if ent.Primary != self {
+			continue
+		}
+		next[ent.Group] = ent.Follower
+		set := byFollower[ent.Follower]
+		if set == nil {
+			set = make(map[partition.ID]bool)
+			byFollower[ent.Follower] = set
+		}
+		set[ent.Group] = true
+	}
+	r.followerOf = next
+	for f, s := range r.streams {
+		want := byFollower[f]
+		for g := range s.tracked {
+			if !want[g] {
+				delete(s.tracked, g)
+				delete(s.needSeed, g)
+				delete(s.cur, g)
+			}
+		}
+	}
+	for f, want := range byFollower {
+		s := r.streams[f]
+		if s == nil {
+			s = newReplStream()
+			r.streams[f] = s
+		}
+		for g := range want {
+			if !s.tracked[g] {
+				s.tracked[g] = true
+				s.needSeed[g] = true
+			}
+		}
+	}
+}
+
+// bufferAppend records one stored tuple for its group's follower. Runs
+// on the data path for every tuple entering the join, so the not-a-
+// primary and awaiting-seed cases must stay map-lookup cheap.
+func (r *replicator) bufferAppend(g partition.ID, t tuple.Tuple) {
+	f, ok := r.followerOf[g]
+	if !ok {
+		return
+	}
+	s := r.streams[f]
+	if s == nil || !s.tracked[g] || s.needSeed[g] {
+		return
+	}
+	s.cur[g] = t.AppendTo(s.cur[g])
+}
+
+// forgetOwned stops replicating a group this engine no longer owns
+// (relocated away or demoted). The new primary re-seeds its follower
+// from scratch once the coordinator's next replica map lands.
+func (r *replicator) forgetOwned(g partition.ID) {
+	delete(r.followerOf, g)
+	delete(r.promoted, g)
+	for _, s := range r.streams {
+		delete(s.tracked, g)
+		delete(s.needSeed, g)
+		delete(s.cur, g)
+	}
+}
+
+// tailFlush packages the still-buffered appends of groups about to be
+// dropped (demotion) into an immediate final delta per follower, so
+// tuples that never reached the promoted new owner merge into its
+// resident state instead of vanishing with the stale copy. The deltas
+// ride the ordinary pending/retransmit machinery.
+func (r *replicator) tailFlush(groups []partition.ID) {
+	for f, s := range r.streams {
+		var entries []proto.DeltaEntry
+		for _, g := range groups {
+			if buf := s.cur[g]; len(buf) > 0 && !s.needSeed[g] {
+				entries = append(entries, proto.DeltaEntry{Group: g, Seed: false, Payload: buf})
+			}
+			delete(s.cur, g)
+			delete(s.needSeed, g)
+			delete(s.tracked, g)
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		s.nextSeq++
+		s.pending = append(s.pending, pendingDelta{seq: s.nextSeq, entries: entries})
+		//distqlint:allow senderrcheck: retransmitted on every stats tick until acknowledged
+		r.e.ep.Send(f, proto.StateDelta{From: r.e.cfg.Node, Seq: s.nextSeq, Entries: entries})
+		r.e.reg.Counter("distq_engine_deltas_out_total").Inc()
+	}
+}
+
+// tick packages the accumulated increments (seeds first, then appends)
+// into one delta per follower and retransmits every unacknowledged
+// delta. Called on each sr_timer expiry.
+func (r *replicator) tick() {
+	if len(r.streams) == 0 {
+		return
+	}
+	followers := make([]partition.NodeID, 0, len(r.streams))
+	for f := range r.streams {
+		followers = append(followers, f)
+	}
+	sort.Slice(followers, func(i, j int) bool { return followers[i] < followers[j] })
+	for _, f := range followers {
+		s := r.streams[f]
+		var entries []proto.DeltaEntry
+		if len(s.needSeed) > 0 {
+			ids := make([]partition.ID, 0, len(s.needSeed))
+			for g := range s.needSeed {
+				ids = append(ids, g)
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, g := range ids {
+				// A group with no resident state yet needs no seed: the
+				// follower builds its standby from the appends alone.
+				if snap := r.e.op.ResidentSnapshot(g); snap != nil {
+					entries = append(entries, proto.DeltaEntry{Group: g, Seed: true, Payload: join.EncodeSnapshot(snap)})
+				}
+				delete(s.needSeed, g)
+				delete(s.cur, g) // anything buffered pre-seed is inside the snapshot
+			}
+		}
+		if len(s.cur) > 0 {
+			ids := make([]partition.ID, 0, len(s.cur))
+			for g, buf := range s.cur {
+				if len(buf) > 0 {
+					ids = append(ids, g)
+				}
+			}
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+			for _, g := range ids {
+				entries = append(entries, proto.DeltaEntry{Group: g, Seed: false, Payload: s.cur[g]})
+				delete(s.cur, g)
+			}
+		}
+		if len(entries) > 0 {
+			s.nextSeq++
+			s.pending = append(s.pending, pendingDelta{seq: s.nextSeq, entries: entries})
+		}
+		for _, p := range s.pending {
+			//distqlint:allow senderrcheck: retransmitted on every stats tick until acknowledged
+			r.e.ep.Send(f, proto.StateDelta{From: r.e.cfg.Node, Seq: p.seq, Entries: p.entries})
+			r.e.reg.Counter("distq_engine_deltas_out_total").Inc()
+		}
+	}
+}
+
+// lag returns the per-group replication lag in bytes: appends not yet
+// packaged, deltas sent but unacknowledged, and — for groups still
+// awaiting their seed — the group's whole resident size (sizeOf).
+func (r *replicator) lag(sizeOf func(partition.ID) int64) map[partition.ID]int64 {
+	if r.version == 0 {
+		return nil
+	}
+	out := make(map[partition.ID]int64)
+	for _, s := range r.streams {
+		for g, buf := range s.cur {
+			out[g] += int64(len(buf))
+		}
+		for g := range s.needSeed {
+			out[g] += sizeOf(g)
+		}
+		for _, p := range s.pending {
+			for _, ent := range p.entries {
+				out[ent.Group] += int64(len(ent.Payload))
+			}
+		}
+	}
+	return out
+}
+
+// onDelta is the follower side: apply one in-order delta to the standby
+// copies (or, for a group this engine already promoted, straight into
+// the resident operator state — the demoted old primary's tail flush),
+// re-ack duplicates, ignore gaps (the primary retransmits in order).
+func (r *replicator) onDelta(m proto.StateDelta) error {
+	last := r.applied[m.From]
+	if m.Seq <= last {
+		return r.e.ep.Send(m.From, proto.DeltaAck{Node: r.e.cfg.Node, Seq: last, Trace: m.Trace})
+	}
+	if m.Seq != last+1 {
+		return nil // gap: an earlier delta is still in flight
+	}
+	for _, ent := range m.Entries {
+		if ent.Seed {
+			snap, err := join.DecodeSnapshot(ent.Payload)
+			if err != nil {
+				return fmt.Errorf("decode seed for group %d: %w", ent.Group, err)
+			}
+			// A seed means this engine is the group's follower again;
+			// it replaces whatever standby (or stale promoted flag) is
+			// left from an earlier life.
+			delete(r.promoted, ent.Group)
+			if old := r.standby[ent.Group]; old != nil {
+				r.standbyBytes -= snapshotBytes(old)
+			}
+			r.standby[ent.Group] = snap
+			r.standbyBytes += snapshotBytes(snap)
+			continue
+		}
+		tuples, bytes, err := decodeAppends(ent.Payload, r.e.cfg.Inputs)
+		if err != nil {
+			return fmt.Errorf("decode appends for group %d: %w", ent.Group, err)
+		}
+		if r.promoted[ent.Group] {
+			if err := r.e.op.Merge(&join.GroupSnapshot{ID: ent.Group, Tuples: tuples}); err != nil {
+				return fmt.Errorf("merge tail for promoted group %d: %w", ent.Group, err)
+			}
+			continue
+		}
+		sb := r.standby[ent.Group]
+		if sb == nil {
+			sb = &join.GroupSnapshot{ID: ent.Group, Tuples: make([][]tuple.Tuple, r.e.cfg.Inputs)}
+			r.standby[ent.Group] = sb
+		}
+		for i, l := range tuples {
+			sb.Tuples[i] = append(sb.Tuples[i], l...)
+		}
+		sb.CumBytes += bytes
+		r.standbyBytes += bytes
+	}
+	r.applied[m.From] = m.Seq
+	r.e.reg.Counter("distq_engine_deltas_in_total").Inc()
+	return r.e.ep.Send(m.From, proto.DeltaAck{Node: r.e.cfg.Node, Seq: m.Seq, Trace: m.Trace})
+}
+
+// decodeAppends parses a tuple-encoded append payload into per-input
+// tuple lists.
+func decodeAppends(buf []byte, inputs int) ([][]tuple.Tuple, int64, error) {
+	tuples := make([][]tuple.Tuple, inputs)
+	var bytes int64
+	for len(buf) > 0 {
+		t, used, err := tuple.Decode(buf)
+		if err != nil {
+			return nil, 0, err
+		}
+		buf = buf[used:]
+		if int(t.Stream) >= inputs {
+			return nil, 0, fmt.Errorf("append tuple for input %d of %d", t.Stream, inputs)
+		}
+		tuples[t.Stream] = append(tuples[t.Stream], t)
+		bytes += t.MemSize()
+	}
+	return tuples, bytes, nil
+}
+
+// onAck prunes a follower's acknowledged deltas.
+func (r *replicator) onAck(m proto.DeltaAck) {
+	s := r.streams[m.Node]
+	if s == nil {
+		return
+	}
+	i := 0
+	for i < len(s.pending) && s.pending[i].seq <= m.Seq {
+		i++
+	}
+	s.pending = s.pending[i:]
+}
+
+// promote turns the standby copies of groups into resident operator
+// state (no checkpoint replay — this is the whole point of keeping
+// followers warm). Groups without a standby had no replicated state and
+// simply start empty. Returns how many standby groups were installed.
+func (r *replicator) promote(groups []partition.ID) (int, error) {
+	installed := 0
+	for _, g := range groups {
+		r.promoted[g] = true
+		sb := r.standby[g]
+		if sb == nil {
+			continue
+		}
+		delete(r.standby, g)
+		r.standbyBytes -= snapshotBytes(sb)
+		if err := r.e.op.Merge(sb); err != nil {
+			return installed, fmt.Errorf("install standby of group %d: %w", g, err)
+		}
+		installed++
+	}
+	return installed, nil
+}

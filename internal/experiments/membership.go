@@ -1,0 +1,281 @@
+// Membership chaos experiments: drive the elastic-membership plane —
+// runtime join with rebalance, graceful leave with drain, and
+// watchdog-triggered follower promotion — under a fault-injecting
+// transport, and assert the exactness invariant survives. Replication
+// runs at factor 2 (every partition group has one warm follower), and
+// all scenarios stay in memory: disk spill segments are not replicated,
+// so a failover of spilled state would genuinely lose it (see
+// PROTOCOL.md, "Membership & replication").
+//
+// Each scenario is a deterministic script over the virtual clock. The
+// fences matter: before a failover the script drains the data path and
+// awaits ReplicationSettled, so the follower's standby provably holds
+// everything the victim held — the promotion is then lossless without
+// any checkpoint replay.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/transport"
+	"repro/internal/transport/faulty"
+	"repro/internal/vclock"
+	"repro/internal/workload"
+)
+
+// membershipPhase is the virtual length of each feeding phase; every
+// scenario feeds two phases with the membership transition in between.
+const membershipPhase = time.Minute
+
+// membershipClusterConfig is the shared cluster shape of the
+// membership scenarios: replication factor 2, no strategy-driven
+// adaptation (the membership machinery itself relocates), and a
+// watchdog tuned like the crash-recovery scenario so a healthy engine
+// under -race contention is never spuriously declared dead.
+func membershipClusterConfig(engines []partition.NodeID, wl workload.Config) cluster.Config {
+	return cluster.Config{
+		Engines:          engines,
+		Workload:         wl,
+		Strategy:         core.NoAdapt{},
+		Materialize:      true,
+		Replicate:        true,
+		Scale:            600,
+		Duration:         2 * membershipPhase,
+		StatsInterval:    5 * time.Second,
+		LBInterval:       5 * time.Second,
+		HeartbeatTimeout: 60 * time.Second,
+		RelocTimeout:     30 * time.Second,
+	}
+}
+
+// membershipCluster builds the scripted cluster over a faulty
+// transport. The caller owns both returned handles.
+func membershipCluster(engines []partition.NodeID, faults faulty.Config) (*cluster.Cluster, *faulty.Network, error) {
+	cfg := membershipClusterConfig(engines, chaosWorkload())
+	inner := transport.NewInproc()
+	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), faults)
+	cfg.Network = fnet
+	c, err := cluster.New(cfg)
+	if err != nil {
+		fnet.Close()
+		return nil, nil, err
+	}
+	return c, fnet, nil
+}
+
+// finishMembership runs the common tail of every scenario: quiesce the
+// coordinator, drain the data path, and collect the result.
+func finishMembership(c *cluster.Cluster) (*cluster.Result, error) {
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	return c.Finish()
+}
+
+// RunMembershipBaseline is the fault-free twin every membership
+// scenario compares against: same workload and total feed duration on
+// two static engines, no faults, no membership transitions. The join
+// result set is placement-independent, so one baseline serves all
+// scenarios regardless of their engine counts.
+func RunMembershipBaseline() (*cluster.Result, error) {
+	cfg := membershipClusterConfig([]partition.NodeID{"e1", "e2"}, chaosWorkload())
+	cfg.Replicate = false
+	return cluster.Run(cfg)
+}
+
+// RunChaosJoin scripts a runtime join under faults: feed phase 1 on
+// two engines, hot-add e3 (JoinRequest/JoinAck handshake), await its
+// admission and the rebalance that sheds state onto it, then feed
+// phase 2. The result must match the fault-free baseline exactly.
+func RunChaosJoin(faults faulty.Config) (*cluster.Result, error) {
+	c, fnet, err := membershipCluster([]partition.NodeID{"e1", "e2"}, faults)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer fnet.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	joiner := partition.NodeID("e3")
+	if err := c.Join(joiner); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, func() bool {
+		return c.Membership()[joiner] == "active" && c.Owned(joiner) > 0 && c.PartitionsPaused() == 0
+	}) {
+		return nil, fmt.Errorf("joiner %s never admitted and rebalanced (membership %v, owns %d)",
+			joiner, c.Membership(), c.Owned(joiner))
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	return finishMembership(c)
+}
+
+// RunChaosLeave scripts a graceful departure under faults: feed
+// phase 1 on three engines, ask e3 to leave, await the coordinator's
+// directed drain of its partition groups and the LeaveAck, then feed
+// phase 2 on the survivors.
+func RunChaosLeave(faults faulty.Config) (*cluster.Result, error) {
+	c, fnet, err := membershipCluster([]partition.NodeID{"e1", "e2", "e3"}, faults)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer fnet.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	leaver := partition.NodeID("e3")
+	if err := c.Leave(leaver); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, func() bool {
+		return c.EngineLeft(leaver) && c.Owned(leaver) == 0 && c.PartitionsPaused() == 0
+	}) {
+		return nil, fmt.Errorf("leaver %s never drained (membership %v, owns %d)",
+			leaver, c.Membership(), c.Owned(leaver))
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	return finishMembership(c)
+}
+
+// RunChaosPromote scripts the fast-failover path under faults: feed
+// phase 1, fence the data path and await ReplicationSettled (the
+// followers' standby copies provably hold everything), crash e2, await
+// the watchdog death and the follower promotion that re-homes its
+// groups onto e1 without any checkpoint replay, then feed phase 2.
+func RunChaosPromote(faults faulty.Config) (*cluster.Result, error) {
+	c, fnet, err := membershipCluster([]partition.NodeID{"e1", "e2"}, faults)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer fnet.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	// Fence the data path so replication can settle: after this every
+	// byte the victim holds is also in its follower's standby.
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, c.ReplicationSettled) {
+		return nil, fmt.Errorf("replication never settled (lag %d bytes)", c.ReplicationLagTotal())
+	}
+	victim := partition.NodeID("e2")
+	if err := c.Crash(victim); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, func() bool {
+		return c.Promotions() >= 1 && c.PartitionsPaused() == 0
+	}) {
+		return nil, fmt.Errorf("promotion never completed (promotions %d, paused %d)",
+			c.Promotions(), c.PartitionsPaused())
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	return finishMembership(c)
+}
+
+// CheckMembershipExactness is CheckExactness minus the
+// unresolved-relocation counter. A promotion step that times out under
+// a wall-clock stall is escalated commit-forward and retried by a
+// later watchdog tick — the counter records the stall, not a loss —
+// so the materialized result-set comparison stays the authoritative
+// loss/duplicate oracle for membership scenarios.
+func CheckMembershipExactness(res, baseline *cluster.Result) []string {
+	var bad []string
+	for _, v := range CheckExactness(res, baseline) {
+		if strings.Contains(v, "unresolved relocations") {
+			continue
+		}
+		bad = append(bad, v)
+	}
+	return bad
+}
+
+// FlapResult carries the heartbeat-flap run plus the demotion counts
+// its assertions need.
+type FlapResult struct {
+	Res *cluster.Result
+	// Demotions is how many revived stale copies were demoted; the
+	// scenario requires at least one (the flapping victim).
+	Demotions int
+}
+
+// RunChaosFlap scripts the heartbeat-flap scenario: the victim is not
+// killed but isolated, so the watchdog declares it dead and the
+// coordinator promotes its followers — then the victim revives while
+// the promotion's demote is still outstanding. The revived stale copy
+// must be demoted cleanly (its state dropped, never resumed), and the
+// result set must stay exact: no duplicates from the stale copy, no
+// losses from the failover.
+func RunChaosFlap(faults faulty.Config) (*FlapResult, error) {
+	c, fnet, err := membershipCluster([]partition.NodeID{"e1", "e2"}, faults)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	defer fnet.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, c.ReplicationSettled) {
+		return nil, fmt.Errorf("replication never settled (lag %d bytes)", c.ReplicationLagTotal())
+	}
+	victim := partition.NodeID("e2")
+	// Isolate, don't crash: the victim keeps running and heartbeating
+	// into a void, so the watchdog declares it dead and promotion
+	// starts while the process is still alive.
+	fnet.Isolate(victim)
+	if !c.Await(30*time.Second, func() bool { return c.PendingDemotes() > 0 }) {
+		return nil, fmt.Errorf("promotion never committed a map for isolated %s (promotions %d)",
+			victim, c.Promotions())
+	}
+	// Revive mid-promotion: the map is committed (the pending demote
+	// proves it) but the victim has not been demoted yet. Its next
+	// heartbeat must trigger the demote, never a resume.
+	fnet.Restore(victim)
+	if !c.Await(30*time.Second, func() bool {
+		return c.Promotions() >= 1 && c.Demotions() >= 1 && c.PendingDemotes() == 0 && c.PartitionsPaused() == 0
+	}) {
+		return nil, fmt.Errorf("revived %s never demoted cleanly (promotions %d, demotions %d, pending %d)",
+			victim, c.Promotions(), c.Demotions(), c.PendingDemotes())
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	res, err := finishMembership(c)
+	if err != nil {
+		return nil, err
+	}
+	return &FlapResult{Res: res, Demotions: res.Demotions}, nil
+}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/obs"
+	"repro/internal/obs/trace"
+	"repro/internal/stats"
+	"repro/internal/transport/faulty"
+)
+
+// membershipFaults is the seeded drop/dup/delay schedule every
+// membership scenario runs under: all the join/leave/replication/
+// promotion control messages are fault-eligible, so the scenarios
+// exercise their retry, rebroadcast, and retransmission layers.
+func membershipFaults(seed int64) faulty.Config {
+	return faulty.Config{
+		Seed:      seed,
+		DropProb:  0.03,
+		DupProb:   0.03,
+		DelayProb: 0.05,
+	}
+}
+
+// membershipBaseline computes the fault-free twin once per test binary.
+var membershipBaselineRes *cluster.Result
+
+func membershipBaseline(t *testing.T) *cluster.Result {
+	t.Helper()
+	if membershipBaselineRes == nil {
+		res, err := RunMembershipBaseline()
+		if err != nil {
+			t.Fatalf("baseline: %v", err)
+		}
+		membershipBaselineRes = res
+	}
+	return membershipBaselineRes
+}
+
+func assertMembershipExact(t *testing.T, res *cluster.Result) {
+	t.Helper()
+	for _, v := range CheckMembershipExactness(res, membershipBaseline(t)) {
+		t.Error(v)
+	}
+}
+
+// TestChaosJoinExact hot-adds an engine under seeded faults: the
+// JoinRequest/JoinAck handshake must survive drops (jittered retry),
+// the rebalance must shed state onto the joiner, and the result set
+// must match the fault-free baseline exactly.
+func TestChaosJoinExact(t *testing.T) {
+	res, err := RunChaosJoin(membershipFaults(11))
+	if err != nil {
+		t.Fatalf("join run hung or failed: %v", err)
+	}
+	assertMembershipExact(t, res)
+	if n := countEvents(res.Events, stats.EventJoin); n == 0 {
+		t.Error("no member-join events recorded")
+	}
+	if res.Relocations == 0 {
+		t.Error("joiner admitted but no rebalance relocation completed")
+	}
+	t.Logf("join: relocations=%d retries=%d generated=%d results=%d",
+		res.Relocations, countEvents(res.Events, stats.EventRetry), res.Generated, res.RuntimeSet.Len())
+}
+
+// TestChaosLeaveExact drains a departing engine under seeded faults:
+// the coordinator's directed drain must move every group off the
+// leaver (no CptV/PtV round; one relocation_drain trace), release it
+// with LeaveAck, and keep the result set exact.
+func TestChaosLeaveExact(t *testing.T) {
+	res, err := RunChaosLeave(membershipFaults(13))
+	if err != nil {
+		t.Fatalf("leave run hung or failed: %v", err)
+	}
+	assertMembershipExact(t, res)
+	if n := countEvents(res.Events, stats.EventLeave); n == 0 {
+		t.Error("no member-leave events recorded")
+	}
+	drains := trace.ByName(trace.Build(res.Spans), obs.SpanRelocationDrain)
+	if len(drains) == 0 {
+		t.Error("no relocation_drain trace recorded for the departure")
+	}
+	t.Logf("leave: drains=%d retries=%d generated=%d results=%d",
+		len(drains), countEvents(res.Events, stats.EventRetry), res.Generated, res.RuntimeSet.Len())
+}
+
+// TestChaosPromoteExact kills an engine after replication settles and
+// asserts the fast-failover contract: the follower is promoted from
+// its warm standby with no checkpoint replay, the promotion latency
+// lands in the distq_coordinator_promotion_seconds histogram, the
+// death -> promote -> remap sequence reassembles into a single trace
+// tree, and the result set stays exact under seeded faults.
+func TestChaosPromoteExact(t *testing.T) {
+	res, err := RunChaosPromote(membershipFaults(17))
+	if err != nil {
+		t.Fatalf("promote run hung or failed: %v", err)
+	}
+	assertMembershipExact(t, res)
+	if res.Promotions == 0 {
+		t.Fatal("no promotion completed")
+	}
+	if n := countEvents(res.Events, stats.EventPromote); n == 0 {
+		t.Error("no promote events recorded")
+	}
+
+	// No checkpoint replay anywhere: the failover must come from the
+	// warm standby alone.
+	for _, s := range res.Spans {
+		if s.Name == obs.SpanCheckpoint {
+			t.Errorf("checkpoint span recorded on %s: promotion must not replay checkpoints", s.Node)
+		}
+	}
+
+	// Promotion latency is observable: the coordinator's histogram has
+	// at least one observation.
+	histSeen := false
+	for _, mv := range res.Metrics {
+		if mv.Name == "distq_coordinator_promotion_seconds" && mv.Count > 0 {
+			histSeen = true
+		}
+	}
+	if !histSeen {
+		t.Error("distq_coordinator_promotion_seconds histogram has no observations")
+	}
+
+	// The whole failover reassembles into trace trees: one completed
+	// tree per counted promotion — the coordinator's promotion root
+	// (death_detected through remap steps) with the follower's
+	// promotion_install as a child. A wall-clock stall can abort a
+	// promotion attempt mid-flight and retry it on a later watchdog
+	// tick; those aborted roots are recorded too and skipped here.
+	trees := trace.ByName(trace.Build(res.Spans), obs.SpanPromotion)
+	completed := 0
+	for _, tr := range trees {
+		root := tr.Root.Span
+		if !root.Complete || root.Attrs["status"] != obs.StatusOK {
+			continue
+		}
+		completed++
+		if len(tr.Orphans) != 0 {
+			t.Fatalf("promotion trace %016x has %d orphans:\n%s", tr.TraceID, len(tr.Orphans), tr.Render())
+		}
+		steps := map[string]bool{}
+		for _, st := range root.Steps {
+			steps[st.Name] = true
+		}
+		for _, want := range []string{obs.StepDeathDetected, obs.StepPromoteSent, obs.StepPromoteAcked,
+			obs.StepMapCommitted, obs.StepRemapSent} {
+			if !steps[want] {
+				t.Errorf("promotion root missing step %s:\n%s", want, tr.Render())
+			}
+		}
+		installs := 0
+		for _, c := range tr.Root.Children {
+			if c.Span.Name == obs.SpanPromotionInstall {
+				installs++
+				if !c.Span.Complete {
+					t.Errorf("promotion_install left open on %s:\n%s", c.Span.Node, tr.Render())
+				}
+			}
+		}
+		if installs == 0 {
+			t.Errorf("promotion tree has no promotion_install child:\n%s", tr.Render())
+		}
+	}
+	if completed != res.Promotions {
+		t.Fatalf("reassembled %d completed promotion trees, counter says %d", completed, res.Promotions)
+	}
+	t.Logf("promote: promotions=%d retries=%d generated=%d results=%d",
+		res.Promotions, countEvents(res.Events, stats.EventRetry), res.Generated, res.RuntimeSet.Len())
+}
+
+// TestChaosHeartbeatFlap isolates an engine until the watchdog
+// declares it dead and its followers are promoted, then heals the
+// partition so the stale copy revives mid-promotion. The revived copy
+// must be demoted (its state dropped, never resumed into ownership),
+// and the result set must show no duplicates from the stale copy and
+// no losses from the failover.
+func TestChaosHeartbeatFlap(t *testing.T) {
+	fr, err := RunChaosFlap(membershipFaults(19))
+	if err != nil {
+		t.Fatalf("flap run hung or failed: %v", err)
+	}
+	assertMembershipExact(t, fr.Res)
+	if fr.Res.Promotions == 0 {
+		t.Error("no promotion completed for the flapping engine")
+	}
+	if fr.Demotions == 0 {
+		t.Error("revived stale copy was never demoted")
+	}
+	if n := countEvents(fr.Res.Events, stats.EventDemote); n == 0 {
+		t.Error("no demote events recorded")
+	}
+	t.Logf("flap: promotions=%d demotions=%d generated=%d results=%d",
+		fr.Res.Promotions, fr.Demotions, fr.Res.Generated, fr.Res.RuntimeSet.Len())
+}

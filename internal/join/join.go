@@ -107,7 +107,7 @@ func (a *arena) carve(n int) []tuple.Tuple {
 	}
 	start := len(a.cur)
 	a.cur = a.cur[:start+n]
-	return a.cur[start:start : start+n]
+	return a.cur[start : start : start+n]
 }
 
 // keyList is the per-(input, key) tuple storage. The table holds a
@@ -549,6 +549,50 @@ func (o *Operator) Install(snap *GroupSnapshot) error {
 	g.everSpilled = snap.EverSpilled
 	s.totalSize += g.size
 	s.groups[snap.ID] = g
+	return nil
+}
+
+// Merge folds a replicated group snapshot into this operator: if the
+// group is absent it behaves exactly like Install; if it is already
+// resident the snapshot's tuples are appended WITHOUT probing — they
+// already produced their results at the old primary, so emitting joins
+// here would duplicate output. A promoted follower uses it to turn warm
+// standby copies into resident state, and a replication tail-flush uses
+// it to land a demoted primary's final delta.
+func (o *Operator) Merge(snap *GroupSnapshot) error {
+	if len(snap.Tuples) != o.inputs {
+		return fmt.Errorf("join: snapshot has %d inputs, operator has %d", len(snap.Tuples), o.inputs)
+	}
+	s := o.shardOf(snap.ID)
+	g, ok := s.groups[snap.ID]
+	if !ok {
+		return o.Install(snap)
+	}
+	for i, l := range snap.Tuples {
+		for j := range l {
+			t := l[j]
+			kl := g.tables[i][t.Key]
+			if kl == nil {
+				kl = &keyList{}
+				g.tables[i][t.Key] = kl
+			}
+			kl.append(&g.arena, t)
+			g.size += t.MemSize()
+			g.count++
+			g.counts[i]++
+			s.totalSize += t.MemSize()
+		}
+	}
+	if g.cum < snap.CumBytes {
+		g.cum = snap.CumBytes
+	}
+	if g.cum < g.size {
+		g.cum = g.size
+	}
+	if snap.SpilledTs > g.spilledTs {
+		g.spilledTs = snap.SpilledTs
+	}
+	g.everSpilled = g.everSpilled || snap.EverSpilled
 	return nil
 }
 

@@ -26,20 +26,32 @@ import (
 // Snapshot is the JSON document served at /stats. Fields that do not
 // apply to a node kind are simply zero.
 type Snapshot struct {
-	Node         string         `json:"node"`
-	Kind         string         `json:"kind"`
-	UptimeSec    float64        `json:"uptime_sec"`
-	MemBytes     int64          `json:"mem_bytes,omitempty"`
-	Groups       int            `json:"groups,omitempty"`
-	Output       uint64         `json:"output,omitempty"`
-	Spills       int            `json:"spills,omitempty"`
-	SpilledBytes int64          `json:"spilled_bytes,omitempty"`
-	Segments     int            `json:"segments,omitempty"`
-	Relocations  int            `json:"relocations,omitempty"`
-	ForcedSpills int            `json:"forced_spills,omitempty"`
-	HTTPRequests int64          `json:"http_requests,omitempty"`
-	Events       []EventJSON    `json:"events,omitempty"`
-	Spans        []obs.SpanData `json:"spans,omitempty"`
+	Node         string  `json:"node"`
+	Kind         string  `json:"kind"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	MemBytes     int64   `json:"mem_bytes,omitempty"`
+	Groups       int     `json:"groups,omitempty"`
+	Output       uint64  `json:"output,omitempty"`
+	Spills       int     `json:"spills,omitempty"`
+	SpilledBytes int64   `json:"spilled_bytes,omitempty"`
+	Segments     int     `json:"segments,omitempty"`
+	Relocations  int     `json:"relocations,omitempty"`
+	ForcedSpills int     `json:"forced_spills,omitempty"`
+	HTTPRequests int64   `json:"http_requests,omitempty"`
+	// Membership is the coordinator's live view of every engine's
+	// membership state (joining|active|draining|left|dead); only the
+	// coordinator's snapshot carries it.
+	Membership map[string]string `json:"membership,omitempty"`
+	// ReplLagBytes is outstanding replication lag: on an engine, the
+	// bytes its followers have not yet acknowledged; on the
+	// coordinator, the cluster-wide sum from the latest stats reports.
+	ReplLagBytes int64 `json:"repl_lag_bytes,omitempty"`
+	// Promotions / Demotions count completed follower promotions and
+	// stale-copy demotions (coordinator only).
+	Promotions int            `json:"promotions,omitempty"`
+	Demotions  int            `json:"demotions,omitempty"`
+	Events     []EventJSON    `json:"events,omitempty"`
+	Spans      []obs.SpanData `json:"spans,omitempty"`
 }
 
 // EventJSON is one adaptation event in the /stats document.

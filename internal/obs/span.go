@@ -28,6 +28,19 @@ const (
 	// SpanJoinShard covers the lifetime of one join shard worker of the
 	// engine's parallel data path (attrs shard, tuples, results).
 	SpanJoinShard = "join_shard"
+	// SpanMembership covers one membership transition at the coordinator
+	// (attr kind = join|leave, node).
+	SpanMembership = "membership"
+	// SpanRelocationDrain covers a coordinator-directed drain of a
+	// leaving engine: the relocation protocol from Pause onward, with
+	// the partition choice made by the coordinator (no CptV/PtV round).
+	SpanRelocationDrain = "relocation_drain"
+	// SpanPromotion covers one failover at the coordinator, from the
+	// watchdog declaring the primary dead to the last remap ack.
+	SpanPromotion = "promotion"
+	// SpanPromotionInstall is the follower-side view of one promotion
+	// step: installing its warm copies as resident state.
+	SpanPromotionInstall = "promotion_install"
 )
 
 // Relocation protocol step names, in protocol order (PROTOCOL.md). A
@@ -49,6 +62,18 @@ var RelocationSteps = []string{
 	StepCptV, StepPtV, StepPause, StepMarkerAck,
 	StepSendStates, StepInstalled, StepRemap, StepRemapAck,
 }
+
+// Promotion step names, in failover order: the watchdog flags the
+// primary dead, the coordinator promotes each follower, commits the new
+// partition map, and remaps the split host.
+const (
+	StepDeathDetected = "death_detected"
+	StepPromoteSent   = "promote_sent"
+	StepPromoteAcked  = "promote_acked"
+	StepMapCommitted  = "map_committed"
+	StepRemapSent     = "promo_remap_sent"
+	StepRemapAcked    = "promo_remap_acked"
+)
 
 // Span names of the distributed-trace children introduced with trace
 // propagation: the coordinator's await phases and the engine-side

@@ -103,6 +103,14 @@ type StatsReport struct {
 	SpillCount   int
 	SpilledBytes int64
 	DiskSegments int
+	// ReplLag is the engine's per-group replication lag in bytes: state
+	// this primary has accepted but its followers have not yet
+	// acknowledged (zero/empty when replication is off).
+	ReplLag map[partition.ID]int64
+	// ReplVersion is the highest ReplicaMap version the engine has
+	// applied; the coordinator's replication-settled fence requires every
+	// active engine to have caught up to the broadcast version.
+	ReplVersion uint64
 	// Trace identifies the reporting tick, if traced (zero otherwise).
 	Trace obs.TraceContext
 }
@@ -145,6 +153,11 @@ type CptV struct {
 	Epoch    uint64
 	Amount   int64
 	Receiver partition.NodeID
+	// LowProd inverts the victim policy: instead of shedding its most
+	// productive groups (load relief), the sender picks its LEAST
+	// productive ones. The join-rebalance planner uses this so a fresh
+	// engine warms up on cheap state first (Bala-Join's cost framing).
+	LowProd bool
 	// Trace parents the sender's spans under the coordinator's relocation
 	// decision span. Trace contexts ride only these control-plane
 	// messages — never Data — so the data hot path stays allocation-free.
@@ -182,6 +195,11 @@ type SendStates struct {
 	Epoch      uint64
 	Partitions []partition.ID
 	Receiver   partition.NodeID
+	// Directed marks a coordinator-chosen partition set (drain of a
+	// leaving engine): the sender transfers exactly Partitions without a
+	// preceding CptV/PtV round, synthesizing its relocation state from
+	// this message if the epoch is new to it.
+	Directed bool
 	// Trace parents the sender's extraction span; the sender forwards it
 	// on the StateTransfer so the receiver's install span joins too.
 	Trace obs.TraceContext
@@ -419,6 +437,191 @@ type QuiesceAck struct {
 	Trace obs.TraceContext
 }
 
+// JoinRequest asks the coordinator to admit a new engine into the
+// running cluster. The engine retries it with jittered backoff until a
+// JoinAck arrives; the request is idempotent (an already-admitted
+// engine is re-acked).
+//
+//distq:handledby coordinator
+type JoinRequest struct {
+	Node partition.NodeID
+	// Addr is the joiner's transport address. Directory-based transports
+	// (TCP) cannot reach a dynamically joined node otherwise; the
+	// coordinator extends its own directory and disseminates the address
+	// via MemberAddr. Empty on registration-based transports (in-proc).
+	Addr string
+	// Trace identifies the engine's startup span, if any.
+	Trace obs.TraceContext
+}
+
+// JoinAck admits (or refuses) a joining engine. After admission the
+// engine is tracked as joining until its first StatsReport, at which
+// point the rebalance planner may shed low-productivity groups onto it.
+//
+//distq:handledby engine
+type JoinAck struct {
+	Node     partition.NodeID
+	Accepted bool
+	// Reason explains a refusal (e.g. the node name collides with an
+	// engine that left).
+	Reason string
+	// Trace is echoed from the JoinRequest being answered.
+	Trace obs.TraceContext
+}
+
+// MemberAddr disseminates a dynamically joined engine's transport
+// address so directory-based transports (TCP) can extend their node
+// directories: the coordinator broadcasts it to the split host and
+// every engine on admission, and replays known addresses to later
+// joiners. Recipients whose transport has no directory (in-proc)
+// ignore it. Best-effort: a lost MemberAddr surfaces as a failed
+// relocation to the unknown node, which escalates and is retried.
+//
+//distq:handledby engine, splithost
+type MemberAddr struct {
+	Node partition.NodeID
+	Addr string
+	// Trace is echoed from the JoinRequest that introduced the node.
+	Trace obs.TraceContext
+}
+
+// Leave announces that an engine wants to depart gracefully. The
+// coordinator drains every partition group it owns onto the remaining
+// engines via directed relocations, then answers LeaveAck. The engine
+// retries Leave with jittered backoff until acknowledged.
+//
+//distq:handledby coordinator
+type Leave struct {
+	Node partition.NodeID
+	// Trace identifies the engine's shutdown span, if any.
+	Trace obs.TraceContext
+}
+
+// LeaveAck confirms that a departing engine owns no partitions and may
+// shut down. The coordinator stops tracking it (terminal state).
+//
+//distq:handledby engine
+type LeaveAck struct {
+	Node partition.NodeID
+	// Trace is echoed from the Leave being acknowledged.
+	Trace obs.TraceContext
+}
+
+// ReplicaMap is the coordinator's broadcast of the desired follower
+// assignment: for every partition group, which engine is its primary
+// (the partition-map owner) and which engine keeps a warm follower
+// copy. Engines apply a map only if Version exceeds what they hold;
+// the coordinator rebroadcasts the current version on every
+// load-balance tick, so a lost broadcast self-heals.
+//
+//distq:handledby engine
+type ReplicaMap struct {
+	Version uint64
+	Entries []ReplicaEntry
+	// Trace identifies the coordinator's membership span, if any.
+	Trace obs.TraceContext
+}
+
+// ReplicaEntry assigns one partition group's follower (nested in
+// ReplicaMap, not a standalone message).
+type ReplicaEntry struct {
+	Group    partition.ID
+	Primary  partition.NodeID
+	Follower partition.NodeID
+}
+
+// StateDelta carries incremental replication state from a primary to a
+// follower: the tuples appended to the primary's groups since the last
+// delta, pre-encoded per group, plus full snapshot seeds for groups the
+// follower has not been initialized with. Seq orders deltas per
+// (primary, follower) pair; the follower applies them in order and
+// re-acks duplicates, and the primary retransmits everything unacked on
+// each stats tick.
+//
+//distq:handledby engine
+type StateDelta struct {
+	From    partition.NodeID
+	Seq     uint64
+	Entries []DeltaEntry
+	// Trace identifies the primary's replication tick, if traced.
+	Trace obs.TraceContext
+}
+
+// DeltaEntry is one group's increment within a StateDelta (nested, not
+// a standalone message). Seed entries carry a full join.EncodeSnapshot
+// image replacing any follower state for the group; non-seed entries
+// carry tuple-encoded appends.
+type DeltaEntry struct {
+	Group   partition.ID
+	Seed    bool
+	Payload []byte
+}
+
+// DeltaAck acknowledges every StateDelta from the sending follower up
+// to and including Seq, letting the primary prune its retransmit
+// buffer and advance the group's replication-lag accounting.
+//
+//distq:handledby engine
+type DeltaAck struct {
+	Node partition.NodeID
+	Seq  uint64
+	// Trace is echoed from the StateDelta being acknowledged.
+	Trace obs.TraceContext
+}
+
+// Promote orders a follower to install its warm copies of Groups as
+// resident operator state: the watchdog declared their primary (From)
+// dead and the coordinator is failing the groups over without a
+// checkpoint replay. Idempotent per epoch — a follower that already
+// promoted the epoch re-acks.
+//
+//distq:handledby engine
+type Promote struct {
+	Epoch  uint64
+	From   partition.NodeID
+	Groups []partition.ID
+	// Trace parents the follower's install span under the coordinator's
+	// promotion span, reassembling one trace tree across death →
+	// promote → remap.
+	Trace obs.TraceContext
+}
+
+// PromoteAck confirms a promotion step. Installed reports whether the
+// follower holds the groups as resident state (always true on success;
+// kept explicit to mirror RelocAbortAck's commit-forward contract).
+//
+//distq:handledby coordinator
+type PromoteAck struct {
+	Epoch     uint64
+	Node      partition.NodeID
+	Installed bool
+	// Trace is echoed from the Promote being acknowledged.
+	Trace obs.TraceContext
+}
+
+// Demote tells a revived engine that Groups were failed over away from
+// it while it was presumed dead: it must drop its now-stale resident
+// copies (flushing any replication tail first) and fall back to
+// follower duty. Idempotent per epoch.
+//
+//distq:handledby engine
+type Demote struct {
+	Epoch  uint64
+	Groups []partition.ID
+	// Trace identifies the coordinator's promotion span, if any.
+	Trace obs.TraceContext
+}
+
+// DemoteAck confirms a demotion.
+//
+//distq:handledby coordinator
+type DemoteAck struct {
+	Epoch uint64
+	Node  partition.NodeID
+	// Trace is echoed from the Demote being acknowledged.
+	Trace obs.TraceContext
+}
+
 func init() {
 	gob.Register(Hello{})
 	gob.Register(Data{})
@@ -450,4 +653,16 @@ func init() {
 	gob.Register(DrainAck{})
 	gob.Register(Quiesce{})
 	gob.Register(QuiesceAck{})
+	gob.Register(JoinRequest{})
+	gob.Register(JoinAck{})
+	gob.Register(MemberAddr{})
+	gob.Register(Leave{})
+	gob.Register(LeaveAck{})
+	gob.Register(ReplicaMap{})
+	gob.Register(StateDelta{})
+	gob.Register(DeltaAck{})
+	gob.Register(Promote{})
+	gob.Register(PromoteAck{})
+	gob.Register(Demote{})
+	gob.Register(DemoteAck{})
 }

@@ -32,14 +32,19 @@ type Router struct {
 	pf          partition.Func
 	batchSize   int
 
-	mu       sync.Mutex
-	owner    []partition.NodeID
-	version  uint64
-	paused   map[partition.ID]bool
-	buffered map[partition.ID][]tuple.Tuple
-	pending  map[partition.NodeID]*tuple.Batch
-	sent     uint64
-	bufPeak  int
+	mu        sync.Mutex
+	owner     []partition.NodeID
+	version   uint64
+	paused    map[partition.ID]bool
+	buffered  map[partition.ID][]tuple.Tuple
+	pending   map[partition.NodeID]*tuple.Batch
+	sent      uint64
+	bufPeak   int
+	sendFails int
+
+	// addNode, when set, extends the transport's node directory on
+	// MemberAddr (dynamically joined engines over TCP).
+	addNode func(partition.NodeID, string)
 }
 
 // New returns a Router over the given initial partition map snapshot.
@@ -99,8 +104,27 @@ func (r *Router) sendLocked(owner partition.NodeID) error {
 		return nil
 	}
 	delete(r.pending, owner)
+	if err := r.ep.Send(owner, proto.Data{Payload: b.Encode(), MapVersion: r.version}); err != nil {
+		// The owner is unreachable — typically dead before the
+		// coordinator's watchdog Pause lands here. Park the batch: mark
+		// its partitions paused and keep the tuples buffered, so feeding
+		// continues and the eventual Remap (failover promotion or
+		// relocation) releases them toward the new owner. The
+		// coordinator discovers the death through its own heartbeat
+		// watchdog; the router only preserves the tuples.
+		for _, t := range b.Tuples {
+			id := r.pf.Of(t.Key)
+			r.paused[id] = true
+			r.buffered[id] = append(r.buffered[id], t)
+		}
+		if n := r.bufferedCountLocked(); n > r.bufPeak {
+			r.bufPeak = n
+		}
+		r.sendFails++
+		return nil
+	}
 	r.sent += uint64(len(b.Tuples))
-	return r.ep.Send(owner, proto.Data{Payload: b.Encode(), MapVersion: r.version})
+	return nil
 }
 
 // Flush sends all partial batches.
@@ -168,8 +192,8 @@ func (r *Router) Owner(id partition.ID) partition.NodeID {
 	return r.owner[id]
 }
 
-// HandleControl processes Pause and Remap messages, reporting whether the
-// message was one of the router's.
+// HandleControl processes Pause, Remap, and MemberAddr messages,
+// reporting whether the message was one of the router's.
 func (r *Router) HandleControl(msg proto.Message) (bool, error) {
 	//distq:handles splithost
 	switch m := msg.(type) {
@@ -177,9 +201,34 @@ func (r *Router) HandleControl(msg proto.Message) (bool, error) {
 		return true, r.pause(m)
 	case proto.Remap:
 		return true, r.remap(m)
+	case proto.MemberAddr:
+		r.mu.Lock()
+		fn := r.addNode
+		r.mu.Unlock()
+		if fn != nil {
+			fn(m.Node, m.Addr)
+		}
+		return true, nil
 	default:
 		return false, nil
 	}
+}
+
+// DirectoryExtender installs the callback invoked for each MemberAddr
+// (e.g. transport.TCP.AddNode), letting the split host route data to
+// engines that joined after startup. In-proc networks need none.
+func (r *Router) DirectoryExtender(fn func(partition.NodeID, string)) {
+	r.mu.Lock()
+	r.addNode = fn
+	r.mu.Unlock()
+}
+
+// SendFailures reports how many data batches hit an unreachable owner
+// and were parked back into pause buffers awaiting a remap.
+func (r *Router) SendFailures() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sendFails
 }
 
 // pause implements protocol step 3: flush what is already queued for the

@@ -1,6 +1,7 @@
 package split
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -250,5 +251,89 @@ func TestPauseOutOfRangePartitionIgnored(t *testing.T) {
 	r.Flush()
 	if len(ep.messages()) < 2 { // marker + data
 		t.Fatal("routing broken after out-of-range pause")
+	}
+}
+
+// failingEndpoint wraps fakeEndpoint, failing every Send to the nodes
+// in down (a dead engine's dial error on TCP).
+type failingEndpoint struct {
+	fakeEndpoint
+	down map[partition.NodeID]bool
+}
+
+func (f *failingEndpoint) Send(to partition.NodeID, msg proto.Message) error {
+	if f.down[to] {
+		return fmt.Errorf("transport: dial %s: connection refused", to)
+	}
+	return f.fakeEndpoint.Send(to, msg)
+}
+
+func TestUnreachableOwnerParksBatchUntilRemap(t *testing.T) {
+	ep := &failingEndpoint{down: map[partition.NodeID]bool{"m2": true}}
+	r := newRouter(t, ep, 1) // batch of 1: every tuple sends immediately
+	// Keys 1 and 3 hash to partitions owned by m2 (dead): both sends
+	// fail and must be parked, not lost and not fatal.
+	for key := uint64(0); key < 4; key++ {
+		if err := r.Route(mkTuple(key)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.SendFailures(); got != 2 {
+		t.Fatalf("SendFailures = %d, want 2", got)
+	}
+	if got := r.PausedPartitions(); got != 2 {
+		t.Fatalf("PausedPartitions = %d, want 2", got)
+	}
+	for _, m := range ep.messages() {
+		if m.to == "m2" {
+			t.Fatalf("message reached dead owner m2: %T", m.msg)
+		}
+	}
+	// Tuples routed to parked partitions keep buffering.
+	if err := r.Route(mkTuple(5)); err != nil { // 5%4=1 -> parked partition
+		t.Fatal(err)
+	}
+	// Failover remap releases everything toward the promoted owner.
+	if _, err := r.HandleControl(proto.Remap{Epoch: 9, Version: 2, Partitions: []partition.ID{1, 3}, Owner: "m1"}); err != nil {
+		t.Fatal(err)
+	}
+	var released []tuple.Tuple
+	for _, m := range ep.messages() {
+		if m.to != "m1" {
+			continue
+		}
+		if d, ok := m.msg.(proto.Data); ok {
+			b, err := tuple.DecodeBatch(d.Payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			released = append(released, b.Tuples...)
+		}
+	}
+	keys := make(map[uint64]bool)
+	for _, tu := range released {
+		keys[tu.Key] = true
+	}
+	for _, want := range []uint64{0, 1, 2, 3, 5} {
+		if !keys[want] {
+			t.Fatalf("key %d not delivered to m1 after remap (got %v)", want, keys)
+		}
+	}
+	if got := r.PausedPartitions(); got != 0 {
+		t.Fatalf("PausedPartitions after remap = %d, want 0", got)
+	}
+}
+
+func TestMemberAddrExtendsDirectory(t *testing.T) {
+	ep := &fakeEndpoint{}
+	r := newRouter(t, ep, 1)
+	got := make(map[partition.NodeID]string)
+	r.DirectoryExtender(func(n partition.NodeID, a string) { got[n] = a })
+	handled, err := r.HandleControl(proto.MemberAddr{Node: "m3", Addr: "127.0.0.1:7103"})
+	if err != nil || !handled {
+		t.Fatalf("HandleControl = (%v, %v), want (true, nil)", handled, err)
+	}
+	if got["m3"] != "127.0.0.1:7103" {
+		t.Fatalf("directory = %v, want m3 -> 127.0.0.1:7103", got)
 	}
 }

@@ -135,6 +135,10 @@ const (
 	EventAbort       = "reloc-abort"
 	EventEngineDead  = "engine-dead"
 	EventEngineAlive = "engine-alive"
+	EventJoin        = "member-join"
+	EventLeave       = "member-leave"
+	EventPromote     = "promote"
+	EventDemote      = "demote"
 )
 
 // EventLog is a concurrency-safe adaptation event log.

@@ -60,8 +60,10 @@ type Config struct {
 
 // ControlPlaneFilter is the default fault eligibility: the relocation
 // and forced-spill control messages plus the self-healing registration
-// and statistics reports. The protocol recovers from losing any of
-// these via retry or abort; the data path and the harness fences are
+// and statistics reports, and the membership/replication plane (join,
+// leave, replica map, state deltas, promotion, demotion). The protocol
+// recovers from losing any of these via retry, rebroadcast,
+// retransmission, or abort; the data path and the harness fences are
 // excluded because they have no retransmission layer.
 func ControlPlaneFilter(from, to partition.NodeID, msg proto.Message) bool {
 	//distqlint:allow protoexhaustive: fault eligibility predicate over control messages, not a handler
@@ -71,7 +73,10 @@ func ControlPlaneFilter(from, to partition.NodeID, msg proto.Message) bool {
 		proto.Installed, proto.Remap, proto.RemapAck,
 		proto.ForceSpill, proto.SpillDone,
 		proto.RelocAbort, proto.RelocAbortAck,
-		proto.StatsReport, proto.Hello:
+		proto.StatsReport, proto.Hello,
+		proto.JoinRequest, proto.JoinAck, proto.Leave, proto.LeaveAck,
+		proto.ReplicaMap, proto.StateDelta, proto.DeltaAck,
+		proto.Promote, proto.PromoteAck, proto.Demote, proto.DemoteAck:
 		return true
 	default:
 		return false
