@@ -2,14 +2,15 @@
 # smoke. `make check` is what CI and the roadmap's tier-1 gate run.
 # `make bench` is the separate benchmark regression gate (cmd/benchgate):
 # fixed-iteration hot-path micro-benchmarks, serial-vs-parallel cleanup
-# and run-time join comparisons, and one compressed figure run, written
-# to BENCH_5.json and gated against BENCH_BASELINE.json. CI runs it as a
+# and run-time join comparisons, the TCP data-path saturation comparison
+# (native codec vs gob), and one compressed figure run, written to
+# BENCH_9.json and gated against BENCH_BASELINE.json. CI runs it as a
 # non-blocking artifact step; it is not part of the tier-1 gate.
 
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: check vet build lint lint-waivers test test-race chaos-smoke fuzz-smoke bench
+.PHONY: check vet build lint lint-waivers test test-race chaos-smoke fuzz-smoke bench bench-saturation
 
 check: vet build lint lint-waivers test-race chaos-smoke fuzz-smoke
 
@@ -44,15 +45,26 @@ test-race:
 # "Membership & replication") must stay exact under the same faults.
 # -count=1 forces a live run.
 chaos-smoke:
-	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery|TestChaosParallelJoinExact|TestChaosJoinExact|TestChaosLeaveExact|TestChaosPromoteExact|TestChaosHeartbeatFlap' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery|TestChaosParallelJoinExact|TestChaosJoinExact|TestChaosLeaveExact|TestChaosPromoteExact|TestChaosHeartbeatFlap|TestChaosTCPNativeExact|TestChaosTCPGobFallbackExact|TestChaosTCPParallelJoinExact' ./internal/experiments
 
-# bench runs the benchmark regression gate and writes BENCH_5.json.
+# bench runs the benchmark regression gate and writes BENCH_9.json.
 # Shrink the figure smoke further with REPRO_DURATION_FACTOR.
 bench:
 	$(GO) run ./cmd/benchgate
 
-# fuzz-smoke gives the coordinator protocol fuzzer a short budget on
-# top of replaying the committed corpus (testdata/fuzz). Grown inputs
-# land in GOCACHE, not the repo; promote keepers into testdata by hand.
+# bench-saturation runs only the sustained TCP data-path saturation
+# comparison (native codec vs gob baseline, serial vs parallel join)
+# and writes BENCH_9.json. Like bench, CI runs it as a non-blocking
+# artifact step; the ≥2x native-vs-gob gate is enforced only on
+# multi-core runners (GOMAXPROCS>1).
+bench-saturation:
+	$(GO) run ./cmd/benchgate -saturation-only
+
+# fuzz-smoke gives the protocol fuzzers a short budget on top of
+# replaying the committed corpora (testdata/fuzz). Grown inputs land in
+# GOCACHE, not the repo; promote keepers into testdata by hand. The
+# native frame decoder fuzzer shares the budget so a wire-codec
+# regression fails the same tier-1 gate.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzCoordinatorProtocol -fuzztime $(FUZZTIME) ./internal/coordinator
+	$(GO) test -run '^$$' -fuzz FuzzNativeFrame -fuzztime $(FUZZTIME) ./internal/proto

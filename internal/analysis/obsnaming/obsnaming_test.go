@@ -9,7 +9,8 @@ import (
 
 func TestAnalyzer(t *testing.T) {
 	analysistest.Run(t, "testdata", obsnaming.Analyzer,
-		"repro/internal/obs",    // the obs package itself is exempt
-		"repro/internal/engine", // one violation per naming rule
+		"repro/internal/obs",       // the obs package itself is exempt
+		"repro/internal/engine",    // one violation per naming rule
+		"repro/internal/transport", // prefix-concatenated credit/byte metric names
 	)
 }

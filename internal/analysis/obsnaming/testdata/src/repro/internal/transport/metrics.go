@@ -1,0 +1,40 @@
+// Package transport mirrors the real transport's metric registration
+// (PROTOCOL.md "Wire format"): names built from the per-node-kind
+// prefix, the framed byte counters, and the credit-backpressure pair —
+// concatenated fragments follow the same rules as literal names.
+package transport
+
+import "repro/internal/obs"
+
+// creditMetrics registers the data-path credit counters the way the
+// real NewMetrics does: a non-literal prefix variable with literal
+// suffix fragments. A literal last fragment still carries the counter
+// suffix rule, and peer labels never launder a bad name.
+func creditMetrics(reg *obs.Registry, prefix string) {
+	// Conforming: the names the TCP endpoint registers.
+	reg.Counter(prefix+"credit_granted_total", obs.L("peer", "e1"))
+	reg.Counter(prefix + "credit_blocked_total")
+	reg.Counter(prefix+"send_bytes_total", obs.L("type", "Data"))
+	reg.Counter(prefix+"recv_bytes_total", obs.L("type", "Data"))
+	reg.Histogram(prefix+"send_seconds", nil, obs.L("type", "Data"))
+
+	// Violations.
+	reg.Counter(prefix+"credit_granted", obs.L("peer", "e1")) // want `counter name "credit_granted" must end in _total`
+	reg.Counter(prefix + "Credit-Blocked_total")              // want `obs name fragment "Credit-Blocked_total" is not snake_case`
+	reg.Histogram(prefix+"credit_wait", nil)                  // want `histogram name "credit_wait" must end in a unit suffix`
+}
+
+// fullNames registers the same pair with the prefix spelled out, the
+// form dashboards and the run-report goldens consume.
+func fullNames(reg *obs.Registry) {
+	// Conforming.
+	reg.Counter("distq_engine_transport_credit_granted_total", obs.L("peer", "e1"))
+	reg.Counter("distq_engine_transport_credit_blocked_total", obs.L("peer", "e1"))
+	reg.Help("distq_engine_transport_credit_granted_total", "data-path credit bytes granted by peers")
+
+	// Violations: the full-name rules are the same ones the fragment
+	// path enforces.
+	reg.Counter("distq_engine_transport_credit_blocked") // want `counter name "distq_engine_transport_credit_blocked" must end in _total`
+	reg.Counter("distq_transport_credit_granted_total")  // want `metric name "distq_transport_credit_granted_total" does not follow`
+	reg.Gauge("distq_engine_transport_creditWindow")     // want `metric name "distq_engine_transport_creditWindow" does not follow`
+}

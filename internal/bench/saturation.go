@@ -1,0 +1,249 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// Saturation benchmark: sustained tuples/sec over the real TCP data
+// path, sender → engine, with the receiving side running the join.
+// Three passes share one workload: the gob baseline (the legacy
+// untagged-gob framing, exactly what an old binary speaks), the native
+// codec with a serial join, and the native codec with a sharded join —
+// so the report separates the wire-format win from the
+// join-parallelism win. Like the cleanup/join comparisons, the speedup
+// is only meaningful when GOMAXPROCS > 1; the numbers are recorded
+// either way.
+
+// SaturationRun is one measured pass of SaturationComparison.
+type SaturationRun struct {
+	Codec        string  `json:"codec"`
+	Shards       int     `json:"shards"`
+	Tuples       int     `json:"tuples"`
+	Batch        int     `json:"batch"`
+	ElapsedNs    int64   `json:"elapsed_ns"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	Results      uint64  `json:"results"`
+}
+
+const (
+	// saturationTuples is the per-pass input volume: large enough that
+	// steady-state framing cost dominates dial/handshake/warm-up.
+	saturationTuples = 384_000
+	// saturationBatch tuples ride in each Data frame. Deliberately small
+	// (~1.2 KB payloads): the per-frame overhead under test — gob type
+	// descriptors, envelope allocations, one syscall per frame — scales
+	// with frame count, and small frames are what the split router emits
+	// under fan-out.
+	saturationBatch = 32
+	// One in saturationMatchStride of the consecutive 3-stream tuple
+	// triples shares a key and therefore completes a 3-way match: the
+	// join stays sparse (the receiver measures the data path, not
+	// result materialization) without the cross-pass result-equality
+	// check going vacuous.
+	saturationMatchStride = 48
+	// saturationKeyRange spreads the matching triples' keys across
+	// partition groups, wide enough that distinct triples never share
+	// a key — the result count is exactly the matching-triple count.
+	saturationKeyRange = 1 << 40
+	// saturationAttempts runs each pass several times and keeps the
+	// median throughput, the usual defense against scheduler noise in
+	// either direction; result counts must agree across every attempt
+	// and pass.
+	saturationAttempts = 5
+)
+
+// saturationPayloads pre-encodes the batch frames once (shared by every
+// pass, so all codecs ship byte-identical payloads).
+func saturationPayloads() [][]byte {
+	n := saturationTuples / saturationBatch
+	payloads := make([][]byte, n)
+	idx := 0
+	for b := range payloads {
+		var batch tuple.Batch
+		for j := 0; j < saturationBatch; j++ {
+			t := Tuple(idx)
+			if triple := idx / 3; triple%saturationMatchStride == 0 {
+				t.Key = uint64(triple) * 2654435761 % saturationKeyRange
+			} else {
+				t.Key = uint64(saturationKeyRange + idx) // globally unique, never matches
+			}
+			batch.Tuples = append(batch.Tuples, t)
+			idx++
+		}
+		payloads[b] = batch.Encode()
+	}
+	return payloads
+}
+
+// saturationPass ships the workload over a fresh two-node TCP network
+// in the given wire mode and drives every decoded tuple through a
+// join with the given shard count, reporting sustained throughput.
+func saturationPass(mode transport.WireMode, shards int, payloads [][]byte) (SaturationRun, error) {
+	codec := "native"
+	if mode == transport.WireLegacy {
+		codec = "gob"
+	}
+	run := SaturationRun{
+		Codec:  codec,
+		Shards: shards,
+		Tuples: len(payloads) * saturationBatch,
+		Batch:  saturationBatch,
+	}
+	// Level the field between attempts: no pass pays for its
+	// predecessor's garbage.
+	runtime.GC()
+
+	net := transport.NewTCP(map[partition.NodeID]string{
+		"src": "127.0.0.1:0", "eng": "127.0.0.1:0",
+	})
+	net.SetWireMode(mode)
+	defer net.Close()
+
+	op := join.NewSharded(3, partition.NewFunc(240), shards, nil)
+	var processed atomic.Int64
+	var workErr atomic.Value
+
+	// Shard workers, fed pre-bucketed chunks by the transport handler —
+	// the engine pool's dispatch shape.
+	queues := make([]chan []tuple.Tuple, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		queues[s] = make(chan []tuple.Tuple, 1024)
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			sh := op.Shard(s)
+			for chunk := range queues[s] {
+				for i := range chunk {
+					if _, err := sh.Process(chunk[i]); err != nil {
+						workErr.Store(err)
+						processed.Add(int64(len(chunk)))
+						return
+					}
+				}
+				processed.Add(int64(len(chunk)))
+			}
+		}(s)
+	}
+
+	handler := func(_ partition.NodeID, msg proto.Message) {
+		d, ok := msg.(proto.Data)
+		if !ok {
+			return
+		}
+		// DecodeBatch copies the frame payload into its own slab, so the
+		// chunks handed to the workers outlive the pooled frame buffer.
+		batch, err := tuple.DecodeBatch(d.Payload)
+		if err != nil {
+			workErr.Store(err)
+			processed.Add(int64(saturationBatch))
+			return
+		}
+		tuples := batch.Tuples
+		buckets := make([][]tuple.Tuple, shards)
+		for i := range tuples {
+			s := op.ShardIndex(tuples[i].Key)
+			buckets[s] = append(buckets[s], tuples[i])
+		}
+		for s := range buckets {
+			if len(buckets[s]) > 0 {
+				queues[s] <- buckets[s]
+			}
+		}
+	}
+
+	if _, err := net.Attach("eng", handler); err != nil {
+		return run, err
+	}
+	src, err := net.Attach("src", func(partition.NodeID, proto.Message) {})
+	if err != nil {
+		return run, err
+	}
+
+	total := int64(run.Tuples)
+	start := vclock.WallNow()
+	for _, p := range payloads {
+		if err := src.Send("eng", proto.Data{Payload: p, MapVersion: 1}); err != nil {
+			return run, fmt.Errorf("bench: saturation send: %w", err)
+		}
+	}
+	transport.FlushOutbound(src)
+	deadline := vclock.WallNow().Add(2 * time.Minute)
+	for processed.Load() < total {
+		if vclock.WallNow().After(deadline) {
+			return run, fmt.Errorf("bench: saturation stalled at %d/%d tuples (%s, %d shards)",
+				processed.Load(), total, codec, shards)
+		}
+		vclock.WallSleep(200 * time.Microsecond)
+	}
+	run.ElapsedNs = vclock.WallSince(start).Nanoseconds()
+	for s := range queues {
+		close(queues[s])
+	}
+	wg.Wait()
+	if err, ok := workErr.Load().(error); ok && err != nil {
+		return run, fmt.Errorf("bench: saturation worker: %w", err)
+	}
+	run.Results = op.Output()
+	if run.ElapsedNs > 0 {
+		run.TuplesPerSec = float64(run.Tuples) / (float64(run.ElapsedNs) / 1e9)
+	}
+	return run, nil
+}
+
+// medianSaturationPass repeats one configuration saturationAttempts
+// times and keeps the median-throughput attempt, erroring if any
+// attempt fails or the attempts disagree on the result count.
+func medianSaturationPass(mode transport.WireMode, shards int, payloads [][]byte) (SaturationRun, error) {
+	runs := make([]SaturationRun, 0, saturationAttempts)
+	for i := 0; i < saturationAttempts; i++ {
+		run, err := saturationPass(mode, shards, payloads)
+		if err != nil {
+			return run, err
+		}
+		if i > 0 && run.Results != runs[0].Results {
+			return run, fmt.Errorf("bench: saturation %s/%d attempt %d produced %d results, attempt 1 produced %d",
+				run.Codec, shards, i+1, run.Results, runs[0].Results)
+		}
+		runs = append(runs, run)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].TuplesPerSec < runs[j].TuplesPerSec })
+	return runs[len(runs)/2], nil
+}
+
+// SaturationComparison runs the three saturation passes on identical
+// payloads: gob baseline at the target parallelism, native serial, and
+// native at the target parallelism (join-parallelism 4, matching the
+// acceptance gate). Result counts must agree across passes — the codec
+// must not cost a single result.
+func SaturationComparison() (gob, nativeSerial, nativeParallel SaturationRun, err error) {
+	const shards = 4
+	payloads := saturationPayloads()
+	if gob, err = medianSaturationPass(transport.WireLegacy, shards, payloads); err != nil {
+		return gob, nativeSerial, nativeParallel, err
+	}
+	if nativeSerial, err = medianSaturationPass(transport.WireAuto, 1, payloads); err != nil {
+		return gob, nativeSerial, nativeParallel, err
+	}
+	if nativeParallel, err = medianSaturationPass(transport.WireAuto, shards, payloads); err != nil {
+		return gob, nativeSerial, nativeParallel, err
+	}
+	if gob.Results != nativeParallel.Results || nativeSerial.Results != nativeParallel.Results {
+		return gob, nativeSerial, nativeParallel, fmt.Errorf(
+			"bench: saturation result mismatch: gob=%d native-serial=%d native-parallel=%d",
+			gob.Results, nativeSerial.Results, nativeParallel.Results)
+	}
+	return gob, nativeSerial, nativeParallel, nil
+}

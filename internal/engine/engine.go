@@ -1140,6 +1140,10 @@ func (e *Engine) onDrain(from partition.NodeID, m proto.Drain) error {
 	if err := e.reportStats(); err != nil {
 		return err
 	}
+	// Push any coalesced outbound frames (result batches headed for the
+	// app server) to the wire before acknowledging, so the ack cannot
+	// imply "drained" while data frames sit in a write buffer.
+	transport.FlushOutbound(e.ep)
 	return e.ep.Send(from, proto.DrainAck{Token: m.Token, Node: e.cfg.Node, Trace: m.Trace})
 }
 

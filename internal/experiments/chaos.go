@@ -136,6 +136,40 @@ func RunChaos(cc ChaosConfig) (*cluster.Result, error) {
 	return cluster.Run(cfg)
 }
 
+// RunChaosTCP executes one faulted run over the real TCP transport in
+// the given wire mode: WireAuto exercises the negotiated native
+// data-plane codec (coalescing + credit backpressure) under faults,
+// WireLegacy pins the pre-negotiation gob framing so the compatibility
+// fallback is held to the same exactness bar.
+func RunChaosTCP(cc ChaosConfig, mode transport.WireMode) (*cluster.Result, error) {
+	duration := cc.Duration
+	if duration <= 0 {
+		duration = 3 * time.Minute
+	}
+	cfg := chaosClusterConfig(chaosWorkload(), duration)
+	cfg.JoinParallelism = cc.JoinParallelism
+
+	inner := transport.NewTCP(map[partition.NodeID]string{
+		cluster.CoordinatorNode: "127.0.0.1:0",
+		cluster.GeneratorNode:   "127.0.0.1:0",
+		cluster.AppServerNode:   "127.0.0.1:0",
+		"e1":                    "127.0.0.1:0",
+		"e2":                    "127.0.0.1:0",
+	})
+	inner.SetWireMode(mode)
+	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), cc.Faults)
+	defer fnet.Close()
+	if cc.Drop != nil {
+		n := cc.DropCount
+		if n <= 0 {
+			n = 1
+		}
+		fnet.DropMatching(n, cc.Drop)
+	}
+	cfg.Network = fnet
+	return cluster.Run(cfg)
+}
+
 // RunChaosBaseline executes the fault-free twin of RunChaos (same
 // workload, strategy, and duration) for exactness comparison.
 func RunChaosBaseline(duration time.Duration) (*cluster.Result, error) {

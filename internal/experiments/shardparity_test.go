@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/cluster"
+	"repro/internal/transport"
 	"repro/internal/transport/faulty"
 )
 
@@ -99,4 +100,27 @@ func TestChaosParallelJoinExact(t *testing.T) {
 			assertExact(t, res)
 		})
 	}
+}
+
+// TestChaosTCPParallelJoinExact stacks every data-plane layer at once:
+// the negotiated native wire codec (coalescing + credit backpressure)
+// over real sockets, the shard pool at parallelism 4, and a seeded
+// fault schedule — the result set must still match the fault-free
+// serial baseline exactly.
+func TestChaosTCPParallelJoinExact(t *testing.T) {
+	res, err := RunChaosTCP(ChaosConfig{
+		JoinParallelism: 4,
+		Faults: faulty.Config{
+			Seed:      5,
+			DropProb:  0.03,
+			DupProb:   0.03,
+			DelayProb: 0.05,
+		},
+	}, transport.WireAuto)
+	if err != nil {
+		t.Fatalf("tcp-native parallel chaos run hung or failed: %v", err)
+	}
+	assertExact(t, res)
+	t.Logf("tcp-native parallel: relocations=%d aborted=%d generated=%d results=%d",
+		res.Relocations, res.AbortedRelocations, res.Generated, res.RuntimeSet.Len())
 }

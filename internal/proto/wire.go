@@ -1,0 +1,373 @@
+// Native wire codec for the data-plane messages. The gob envelope the
+// transport historically used re-transmits type descriptors on every
+// frame (each frame gets a fresh encoder, so nothing is amortized) and
+// allocates on both sides of the copy; the hot data-plane payloads are
+// already compact binary (tuple.Batch, join.EncodeSnapshot), so the
+// envelope around them can be too. This file defines that envelope:
+// a WireKind tag plus a flat little-endian field encoding appended via
+// AppendWire and decoded zero-copy via DecodeWire.
+//
+// Ownership: DecodeWire does NOT copy payload bytes — the returned
+// message's byte slices alias the frame buffer (capacity-clipped, so
+// receivers appending to one payload can never clobber a neighbour).
+// The transport recycles the frame buffer after the receiver's handler
+// returns; handlers that retain payload bytes past their return must
+// copy first (every engine/appserver handler already decodes into its
+// own slab or fresh allocations — see PROTOCOL.md "Wire format").
+//
+// The encoding is canonical: for every message DecodeWire accepts,
+// AppendWire reproduces the input bytes exactly. FuzzNativeFrame leans
+// on this to assert byte-level round-trips.
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/partition"
+)
+
+// WireKind tags the body of one native frame. WireNone means the
+// message has no native encoding and travels as a gob envelope.
+type WireKind byte
+
+// Native frame kinds. The zero value is reserved for "gob envelope" on
+// the wire, so every native kind is non-zero.
+const (
+	WireNone          WireKind = 0
+	WireData          WireKind = 1
+	WireResultData    WireKind = 2
+	WireStateTransfer WireKind = 3
+	WireStateDelta    WireKind = 4
+)
+
+// WireKindOf classifies a message for the native codec. Only the bulk
+// data-plane payloads are natively encodable; control messages stay on
+// gob, where schema evolution is cheap and volume is low.
+func WireKindOf(msg Message) WireKind {
+	//distqlint:allow protoexhaustive: codec kind table over the natively encoded types, not a handler
+	switch msg.(type) {
+	case Data:
+		return WireData
+	case ResultData:
+		return WireResultData
+	case StateTransfer:
+		return WireStateTransfer
+	case StateDelta:
+		return WireStateDelta
+	default:
+		return WireNone
+	}
+}
+
+// wireStrLen is the encoded size of a length-prefixed string.
+func wireStrLen(s string) int { return 2 + len(s) }
+
+// wireTraceLen is the encoded size of an obs.TraceContext.
+func wireTraceLen(tc obs.TraceContext) int { return 8 + 8 + wireStrLen(tc.Node) }
+
+// WireSize reports the exact number of bytes AppendWire will append
+// for msg, or 0 when msg has no native encoding. The transport uses it
+// to size frame headers and charge credit before encoding.
+func WireSize(msg Message) int {
+	//distqlint:allow protoexhaustive: codec size table over the natively encoded types, not a handler
+	switch m := msg.(type) {
+	case Data:
+		return 8 + len(m.Payload)
+	case ResultData:
+		return wireStrLen(string(m.Node)) + 1 + len(m.Payload)
+	case StateTransfer:
+		n := 8 + wireTraceLen(m.Trace) + 4 + 4
+		for _, b := range m.Resident {
+			n += 4 + len(b)
+		}
+		for _, b := range m.Segments {
+			n += 4 + len(b)
+		}
+		return n
+	case StateDelta:
+		n := wireStrLen(string(m.From)) + 8 + wireTraceLen(m.Trace) + 4
+		for _, e := range m.Entries {
+			n += 4 + 1 + 4 + len(e.Payload)
+		}
+		return n
+	default:
+		return 0
+	}
+}
+
+func appendWireStr(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
+}
+
+func appendWireTrace(dst []byte, tc obs.TraceContext) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, tc.TraceID)
+	dst = binary.LittleEndian.AppendUint64(dst, tc.SpanID)
+	return appendWireStr(dst, tc.Node)
+}
+
+// AppendWire appends msg's native encoding to dst and returns the
+// extended slice; callers with a pooled frame buffer encode without
+// intermediate allocations. msg must have a native kind (WireKindOf
+// non-zero); anything else panics, because the transport gates on
+// WireKindOf before coming here.
+func AppendWire(dst []byte, msg Message) []byte {
+	//distqlint:allow protoexhaustive: codec encoder over the natively encoded types, not a handler
+	switch m := msg.(type) {
+	case Data:
+		dst = binary.LittleEndian.AppendUint64(dst, m.MapVersion)
+		return append(dst, m.Payload...)
+	case ResultData:
+		dst = appendWireStr(dst, string(m.Node))
+		dst = append(dst, byte(m.Phase))
+		return append(dst, m.Payload...)
+	case StateTransfer:
+		dst = binary.LittleEndian.AppendUint64(dst, m.Epoch)
+		dst = appendWireTrace(dst, m.Trace)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Resident)))
+		for _, b := range m.Resident {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+			dst = append(dst, b...)
+		}
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Segments)))
+		for _, b := range m.Segments {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(b)))
+			dst = append(dst, b...)
+		}
+		return dst
+	case StateDelta:
+		dst = appendWireStr(dst, string(m.From))
+		dst = binary.LittleEndian.AppendUint64(dst, m.Seq)
+		dst = appendWireTrace(dst, m.Trace)
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Entries)))
+		for _, e := range m.Entries {
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Group))
+			if e.Seed {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Payload)))
+			dst = append(dst, e.Payload...)
+		}
+		return dst
+	default:
+		panic(fmt.Sprintf("proto: AppendWire on non-native message %T", msg))
+	}
+}
+
+// wireReader is a bounds-checked cursor over one frame body. Every
+// take* method fails instead of panicking, so DecodeWire is safe on
+// arbitrary (fuzzed, corrupted) input.
+type wireReader struct {
+	buf []byte
+	off int
+}
+
+func (r *wireReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *wireReader) takeU8() (byte, error) {
+	if r.remaining() < 1 {
+		return 0, fmt.Errorf("proto: wire truncated at byte %d", r.off)
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b, nil
+}
+
+func (r *wireReader) takeU32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("proto: wire truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *wireReader) takeU64() (uint64, error) {
+	if r.remaining() < 8 {
+		return 0, fmt.Errorf("proto: wire truncated at byte %d", r.off)
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// takeBytes returns n bytes aliasing the frame buffer, capacity-clipped
+// so an append through one payload can never reach the next.
+func (r *wireReader) takeBytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("proto: wire truncated: need %d bytes at %d, have %d", n, r.off, r.remaining())
+	}
+	b := r.buf[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *wireReader) takeStr() (string, error) {
+	if r.remaining() < 2 {
+		return "", fmt.Errorf("proto: wire truncated at byte %d", r.off)
+	}
+	n := int(binary.LittleEndian.Uint16(r.buf[r.off:]))
+	r.off += 2
+	b, err := r.takeBytes(n)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func (r *wireReader) takeTrace() (obs.TraceContext, error) {
+	var tc obs.TraceContext
+	var err error
+	if tc.TraceID, err = r.takeU64(); err != nil {
+		return tc, err
+	}
+	if tc.SpanID, err = r.takeU64(); err != nil {
+		return tc, err
+	}
+	tc.Node, err = r.takeStr()
+	return tc, err
+}
+
+// rest consumes and returns everything left, capacity-clipped.
+func (r *wireReader) rest() []byte {
+	b := r.buf[r.off:len(r.buf):len(r.buf)]
+	r.off = len(r.buf)
+	return b
+}
+
+// DecodeWire parses one native frame body. The returned message's byte
+// slices alias body (see the package comment for the ownership rule);
+// it never panics on corrupt input, and it rejects any body it could
+// not have produced (unknown kinds, truncations, trailing garbage,
+// non-canonical booleans), making the codec bijective.
+func DecodeWire(kind WireKind, body []byte) (Message, error) {
+	r := &wireReader{buf: body}
+	switch kind {
+	case WireData:
+		v, err := r.takeU64()
+		if err != nil {
+			return nil, err
+		}
+		return Data{MapVersion: v, Payload: r.rest()}, nil
+	case WireResultData:
+		node, err := r.takeStr()
+		if err != nil {
+			return nil, err
+		}
+		phase, err := r.takeU8()
+		if err != nil {
+			return nil, err
+		}
+		return ResultData{Node: partition.NodeID(node), Phase: Phase(phase), Payload: r.rest()}, nil
+	case WireStateTransfer:
+		var m StateTransfer
+		var err error
+		if m.Epoch, err = r.takeU64(); err != nil {
+			return nil, err
+		}
+		if m.Trace, err = r.takeTrace(); err != nil {
+			return nil, err
+		}
+		if m.Resident, err = decodeByteLists(r); err != nil {
+			return nil, err
+		}
+		if m.Segments, err = decodeByteLists(r); err != nil {
+			return nil, err
+		}
+		if r.remaining() != 0 {
+			return nil, fmt.Errorf("proto: %d trailing bytes after StateTransfer", r.remaining())
+		}
+		return m, nil
+	case WireStateDelta:
+		var m StateDelta
+		from, err := r.takeStr()
+		if err != nil {
+			return nil, err
+		}
+		m.From = partition.NodeID(from)
+		if m.Seq, err = r.takeU64(); err != nil {
+			return nil, err
+		}
+		if m.Trace, err = r.takeTrace(); err != nil {
+			return nil, err
+		}
+		n, err := r.takeU32()
+		if err != nil {
+			return nil, err
+		}
+		// Each entry needs at least 9 bytes; cap the slice allocation by
+		// what the body can actually hold before trusting the count.
+		if int64(n)*9 > int64(r.remaining()) {
+			return nil, fmt.Errorf("proto: StateDelta count %d exceeds body capacity %d", n, r.remaining())
+		}
+		if n > 0 {
+			m.Entries = make([]DeltaEntry, 0, n)
+		}
+		for i := uint32(0); i < n; i++ {
+			var e DeltaEntry
+			g, err := r.takeU32()
+			if err != nil {
+				return nil, err
+			}
+			e.Group = partition.ID(g)
+			seed, err := r.takeU8()
+			if err != nil {
+				return nil, err
+			}
+			switch seed {
+			case 0:
+				e.Seed = false
+			case 1:
+				e.Seed = true
+			default:
+				return nil, fmt.Errorf("proto: StateDelta entry %d: seed byte %d", i, seed)
+			}
+			plen, err := r.takeU32()
+			if err != nil {
+				return nil, err
+			}
+			if e.Payload, err = r.takeBytes(int(plen)); err != nil {
+				return nil, err
+			}
+			m.Entries = append(m.Entries, e)
+		}
+		if r.remaining() != 0 {
+			return nil, fmt.Errorf("proto: %d trailing bytes after StateDelta", r.remaining())
+		}
+		return m, nil
+	default:
+		return nil, fmt.Errorf("proto: unknown wire kind %d", kind)
+	}
+}
+
+// decodeByteLists parses a u32-counted list of length-prefixed byte
+// slices (StateTransfer's Resident/Segments shape).
+func decodeByteLists(r *wireReader) ([][]byte, error) {
+	n, err := r.takeU32()
+	if err != nil {
+		return nil, err
+	}
+	if int64(n)*4 > int64(r.remaining()) {
+		return nil, fmt.Errorf("proto: list count %d exceeds body capacity %d", n, r.remaining())
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([][]byte, 0, n)
+	for i := uint32(0); i < n; i++ {
+		l, err := r.takeU32()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.takeBytes(int(l))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

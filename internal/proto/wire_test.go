@@ -1,0 +1,186 @@
+package proto
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// wireMessages covers every natively encodable shape, including the
+// degenerate ones (empty payloads, zero-length lists, empty traces).
+func wireMessages() []Message {
+	return []Message{
+		Data{Payload: []byte("batchbytes"), MapVersion: 7},
+		Data{Payload: nil, MapVersion: 0},
+		ResultData{Node: "e1", Payload: []byte{0, 1, 2, 255}, Phase: PhaseRuntime},
+		ResultData{Node: "", Payload: nil, Phase: PhaseCleanup},
+		StateTransfer{
+			Epoch:    3,
+			Resident: [][]byte{[]byte("groupA"), {}, []byte("groupB")},
+			Segments: [][]byte{[]byte("spill")},
+			Trace:    obs.TraceContext{TraceID: 9, SpanID: 11, Node: "coord"},
+		},
+		StateTransfer{Epoch: 0},
+		StateDelta{
+			From: "e2",
+			Seq:  41,
+			Entries: []DeltaEntry{
+				{Group: 5, Seed: true, Payload: []byte("snapshot")},
+				{Group: 6, Seed: false, Payload: nil},
+			},
+			Trace: obs.TraceContext{TraceID: 1, SpanID: 2, Node: "e2"},
+		},
+		StateDelta{From: "e1", Seq: 0},
+	}
+}
+
+func TestWireSizeMatchesEncoding(t *testing.T) {
+	for _, msg := range wireMessages() {
+		b := AppendWire(nil, msg)
+		if got, want := WireSize(msg), len(b); got != want {
+			t.Errorf("%T: WireSize %d, encoded %d bytes", msg, got, want)
+		}
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, msg := range wireMessages() {
+		kind := WireKindOf(msg)
+		if kind == WireNone {
+			t.Fatalf("%T has no wire kind", msg)
+		}
+		body := AppendWire(nil, msg)
+		dec, err := DecodeWire(kind, body)
+		if err != nil {
+			t.Fatalf("%T: decode: %v", msg, err)
+		}
+		// The encoding is canonical, so byte-level re-encoding is the
+		// strongest (and allocation-free) equality check.
+		re := AppendWire(nil, dec)
+		if !bytes.Equal(re, body) {
+			t.Errorf("%T: re-encode mismatch:\n  in  %x\n  out %x", msg, body, re)
+		}
+		if WireKindOf(dec) != kind {
+			t.Errorf("%T: kind changed across round-trip", msg)
+		}
+	}
+}
+
+// TestWireDecodeAliasesClipped verifies decoded payloads are
+// capacity-clipped views of the frame body: appending through one can
+// never clobber a neighbouring field.
+func TestWireDecodeAliasesClipped(t *testing.T) {
+	msg := StateDelta{
+		From:    "e1",
+		Seq:     1,
+		Entries: []DeltaEntry{{Group: 1, Payload: []byte("aa")}, {Group: 2, Payload: []byte("bb")}},
+	}
+	body := AppendWire(nil, msg)
+	dec, err := DecodeWire(WireStateDelta, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dec.(StateDelta)
+	p := d.Entries[0].Payload
+	if len(p) != cap(p) {
+		t.Fatalf("payload not capacity-clipped: len %d cap %d", len(p), cap(p))
+	}
+	_ = append(p, 'X') // must reallocate, not overwrite the frame
+	if string(d.Entries[1].Payload) != "bb" {
+		t.Fatal("append through entry 0 clobbered entry 1")
+	}
+}
+
+func TestWireDecodeRejectsCorruption(t *testing.T) {
+	valid := AppendWire(nil, StateDelta{
+		From:    "e1",
+		Seq:     9,
+		Entries: []DeltaEntry{{Group: 3, Seed: true, Payload: []byte("p")}},
+		Trace:   obs.TraceContext{TraceID: 1, SpanID: 2, Node: "n"},
+	})
+
+	cases := []struct {
+		name string
+		kind WireKind
+		body []byte
+		want string
+	}{
+		{"unknown kind", WireKind(99), valid, "unknown wire kind"},
+		{"gob kind", WireNone, valid, "unknown wire kind"},
+		{"empty data", WireData, nil, "truncated"},
+		{"truncated delta", WireStateDelta, valid[:len(valid)-1], "truncated"},
+		{"trailing bytes", WireStateDelta, append(append([]byte(nil), valid...), 0), "trailing"},
+		{"empty delta", WireStateDelta, nil, "truncated"},
+	}
+	for _, tc := range cases {
+		_, err := DecodeWire(tc.kind, tc.body)
+		if err == nil {
+			t.Errorf("%s: decode accepted corrupt frame", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// Non-canonical seed byte. The empty-Entries encoding of the same
+	// header still writes the entry count, so its length is exactly where
+	// the first entry starts; the seed byte sits 4 (group) bytes later.
+	prefix := len(AppendWire(nil, StateDelta{From: "e1", Seq: 9,
+		Trace: obs.TraceContext{TraceID: 1, SpanID: 2, Node: "n"}}))
+	mut := append([]byte(nil), valid...)
+	mut[prefix+4] = 2
+	if _, err := DecodeWire(WireStateDelta, mut); err == nil || !strings.Contains(err.Error(), "seed byte") {
+		t.Errorf("non-canonical seed byte accepted (err: %v)", err)
+	}
+
+	// A count field promising more entries than the body can hold must be
+	// rejected before allocation.
+	huge := AppendWire(nil, StateDelta{From: "e1"})
+	huge[len(huge)-4] = 0xFF
+	huge[len(huge)-3] = 0xFF
+	huge[len(huge)-2] = 0xFF
+	huge[len(huge)-1] = 0x7F
+	if _, err := DecodeWire(WireStateDelta, huge); err == nil || !strings.Contains(err.Error(), "exceeds body capacity") {
+		t.Errorf("oversized entry count accepted (err: %v)", err)
+	}
+}
+
+func TestWireKindOfControlMessagesIsNone(t *testing.T) {
+	for _, msg := range []Message{Hello{}, Pause{}, Remap{}, Drain{}, Stop{}} {
+		if k := WireKindOf(msg); k != WireNone {
+			t.Errorf("%T classified as native kind %d", msg, k)
+		}
+	}
+}
+
+// FuzzNativeFrame feeds arbitrary (kind, body) frames to the decoder.
+// Invariants: the decoder never panics, and any body it accepts is
+// canonical — re-encoding the decoded message reproduces it exactly.
+func FuzzNativeFrame(f *testing.F) {
+	for _, msg := range wireMessages() {
+		f.Add(byte(WireKindOf(msg)), AppendWire(nil, msg))
+	}
+	// Mutated shapes that exercise the error paths.
+	f.Add(byte(WireData), []byte{1, 2, 3})
+	f.Add(byte(WireStateDelta), []byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(byte(WireStateTransfer), bytes.Repeat([]byte{0xFF}, 40))
+	f.Add(byte(0), []byte(nil))
+	f.Add(byte(200), bytes.Repeat([]byte{0}, 64))
+
+	f.Fuzz(func(t *testing.T, kind byte, body []byte) {
+		msg, err := DecodeWire(WireKind(kind), body)
+		if err != nil {
+			return
+		}
+		re := AppendWire(nil, msg)
+		if !bytes.Equal(re, body) {
+			t.Fatalf("kind %d: accepted non-canonical body:\n  in  %x\n  out %x", kind, body, re)
+		}
+		if got := WireSize(msg); got != len(body) {
+			t.Fatalf("kind %d: WireSize %d, body %d", kind, got, len(body))
+		}
+	})
+}

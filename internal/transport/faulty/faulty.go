@@ -277,6 +277,11 @@ type endpoint struct {
 // Node implements transport.Endpoint.
 func (e *endpoint) Node() partition.NodeID { return e.inner.Node() }
 
+// FlushOutbound implements transport.OutboundFlusher by delegating to
+// the wrapped endpoint, so fence-point flushes still reach a coalescing
+// inner transport through the fault injector.
+func (e *endpoint) FlushOutbound() { transport.FlushOutbound(e.inner) }
+
 // Close implements transport.Endpoint.
 func (e *endpoint) Close() error { return e.inner.Close() }
 

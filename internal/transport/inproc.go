@@ -20,6 +20,14 @@ type envelope struct {
 	// size is the message's wire footprint: exact frame bytes on TCP,
 	// approxSize on the in-process transport. Only used for metrics.
 	size int
+	// buf, when non-nil, is the pooled TCP frame buffer the message's
+	// payload slices alias; the dispatcher recycles it once the handler
+	// returns. The in-process transport never sets it (messages are
+	// handed by reference and must not be pooled).
+	buf *[]byte
+	// credited marks a data-path frame that consumed sender credit; the
+	// TCP dispatcher turns its consumption into a grant.
+	credited bool
 }
 
 // Inproc is an in-process Network: each attached node gets a buffered

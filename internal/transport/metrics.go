@@ -31,6 +31,8 @@ func NewMetrics(reg *obs.Registry, nodeKind string) *Metrics {
 	reg.Help(m.prefix+"recv_total", "messages received, by message type")
 	reg.Help(m.prefix+"recv_bytes_total", "bytes received, by message type")
 	reg.Help(m.prefix+"send_seconds", "Send call latency (wall), by message type")
+	reg.Help(m.prefix+"credit_granted_total", "data-path credit bytes granted by peers, by peer")
+	reg.Help(m.prefix+"credit_blocked_total", "sends that blocked awaiting data-path credit, by peer")
 	return m
 }
 
@@ -58,6 +60,23 @@ func (m *Metrics) sent(msg proto.Message, bytes int, elapsed time.Duration) {
 	m.reg.Counter(m.prefix+"send_total", l).Inc()
 	m.reg.Counter(m.prefix+"send_bytes_total", l).Add(float64(bytes))
 	m.reg.Histogram(m.prefix+"send_seconds", obs.LatencyBuckets, l).ObserveDuration(elapsed)
+}
+
+// creditGranted records data-path credit bytes granted by a peer (counted
+// on the sending side, when the grant is applied to its window).
+func (m *Metrics) creditGranted(peer partition.NodeID, bytes int64) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(m.prefix+"credit_granted_total", obs.L("peer", string(peer))).Add(float64(bytes))
+}
+
+// creditBlocked records one Send that had to wait for data-path credit.
+func (m *Metrics) creditBlocked(peer partition.NodeID) {
+	if m == nil {
+		return
+	}
+	m.reg.Counter(m.prefix+"credit_blocked_total", obs.L("peer", string(peer))).Inc()
 }
 
 // received records one inbound message.

@@ -2,13 +2,19 @@
 // implementations share one contract:
 //
 //   - inproc: goroutine/channel based, for tests and fast experiments;
-//   - tcp: length-prefixed gob frames over real sockets on localhost, for
-//     the multi-process cluster binaries.
+//   - tcp: length-prefixed frames over real sockets on localhost, for
+//     the multi-process cluster binaries. Framing is negotiated per
+//     connection: new peers speak the native data-plane codec with
+//     write coalescing and credit-based backpressure, old peers get the
+//     original untagged gob frames (PROTOCOL.md "Wire format").
 //
 // Contract: delivery is FIFO per (sender, receiver) pair, and each node's
 // handler is invoked serially (one message at a time), which gives every
 // node the single-threaded execution model the engines rely on. The
 // relocation protocol's pause-marker barrier depends on the FIFO property.
+// Write coalescing preserves it: coalesced frames only ever ride the same
+// connection, and any non-coalescable frame flushes the queue ahead of
+// itself.
 package transport
 
 import (
@@ -28,6 +34,23 @@ type Endpoint interface {
 	Send(to partition.NodeID, msg proto.Message) error
 	// Close detaches the endpoint; pending messages may be dropped.
 	Close() error
+}
+
+// OutboundFlusher is the optional Endpoint interface for transports
+// that coalesce small frames. FlushOutbound pushes every buffered frame
+// to the wire before returning; fence points (an engine acknowledging a
+// Drain) call it so the acknowledgement cannot overtake coalesced data
+// frames parked for other destinations.
+type OutboundFlusher interface {
+	FlushOutbound()
+}
+
+// FlushOutbound flushes ep's coalesced frames if its transport
+// coalesces at all; a no-op otherwise.
+func FlushOutbound(ep Endpoint) {
+	if f, ok := ep.(OutboundFlusher); ok {
+		f.FlushOutbound()
+	}
 }
 
 // Network creates endpoints. Implementations: NewInproc, NewTCP.
