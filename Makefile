@@ -41,11 +41,11 @@ test-race:
 # PROTOCOL.md "Failure model"): randomized control-plane drop/dup/delay
 # schedules plus the crash/checkpoint-recovery script must preserve
 # liveness and exact results, and the membership scenarios (runtime
-# join, graceful leave, follower promotion, heartbeat flap — PROTOCOL.md
-# "Membership & replication") must stay exact under the same faults.
-# -count=1 forces a live run.
+# join, graceful leave, follower promotion, spilled failover, heartbeat
+# flap — PROTOCOL.md "Membership & replication") must stay exact under
+# the same faults. -count=1 forces a live run.
 chaos-smoke:
-	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery|TestChaosParallelJoinExact|TestChaosJoinExact|TestChaosLeaveExact|TestChaosPromoteExact|TestChaosHeartbeatFlap|TestChaosTCPNativeExact|TestChaosTCPGobFallbackExact|TestChaosTCPParallelJoinExact' ./internal/experiments
+	$(GO) test -race -count=1 -run 'TestChaosSeededMatrix|TestChaosCrashRecovery|TestChaosParallelJoinExact|TestChaosJoinExact|TestChaosLeaveExact|TestChaosPromoteExact|TestChaosSpilledFailoverExact|TestChaosHeartbeatFlap|TestChaosTCPNativeExact|TestChaosTCPGobFallbackExact|TestChaosTCPParallelJoinExact' ./internal/experiments
 
 # bench runs the benchmark regression gate and writes BENCH_9.json.
 # Shrink the figure smoke further with REPRO_DURATION_FACTOR.

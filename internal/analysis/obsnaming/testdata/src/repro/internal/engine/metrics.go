@@ -10,8 +10,11 @@ func register(reg *obs.Registry, tr *obs.Tracer) {
 	// Conforming names.
 	reg.Counter("distq_engine_results_total")
 	reg.Gauge("distq_engine_mem_bytes")
+	reg.Gauge("distq_engine_standby_bytes")
+	reg.Gauge("distq_engine_standby_segment_bytes")
 	reg.Histogram("distq_engine_cleanup_seconds", nil)
 	reg.Help("distq_engine_mem_bytes", "resident state size")
+	reg.Help("distq_engine_standby_segment_bytes", "standby state re-spilled to the local standby store")
 
 	// Violations.
 	reg.Counter("distq_engine_results")        // want `counter name "distq_engine_results" must end in _total`

@@ -393,13 +393,20 @@ func New(cfg Config) (*Cluster, error) {
 // same durable directories, Join to admit a new one at run time
 // (dynamic makes it introduce itself with JoinRequest instead of Hello).
 func (c *Cluster) buildEngine(node partition.NodeID, dynamic bool) (*engine.Engine, error) {
-	var store spill.Store
+	var store, standby spill.Store
 	if c.cfg.StoreDir != "" {
 		fs, err := spill.NewFileStore(filepath.Join(c.cfg.StoreDir, string(node)))
 		if err != nil {
 			return nil, err
 		}
 		store = fs
+		// The standby tier gets its own subdirectory: its segments must
+		// not be visible to cleanup until a promotion adopts them.
+		sb, err := spill.NewFileStore(filepath.Join(c.cfg.StoreDir, string(node), "standby"))
+		if err != nil {
+			return nil, err
+		}
+		standby = sb
 	}
 	ckptDir := ""
 	if c.cfg.CheckpointDir != "" {
@@ -415,6 +422,7 @@ func (c *Cluster) buildEngine(node partition.NodeID, dynamic bool) (*engine.Engi
 		LocalSpill:         c.cfg.LocalSpill,
 		Policy:             c.cfg.Policy(node),
 		Store:              store,
+		StandbyStore:       standby,
 		Materialize:        c.cfg.Materialize,
 		EnumerateResults:   c.cfg.EnumerateResults,
 		SmoothingAlpha:     c.cfg.SmoothingAlpha,
@@ -534,6 +542,18 @@ func (c *Cluster) Promotions() int { return c.coord.Promotions() }
 
 // Demotions reports completed demotions (see Promotions).
 func (c *Cluster) Demotions() int { return c.coord.Demotions() }
+
+// EngineStats returns the node's most recent statistics report (the
+// zero report before its first sr_timer). Race-safe while the cluster
+// runs — scenario scripts use it to await engine-local conditions such
+// as a forced spill landing on a victim.
+func (c *Cluster) EngineStats(node partition.NodeID) proto.StatsReport {
+	e := c.engines[node]
+	if e == nil {
+		return proto.StatsReport{Node: node}
+	}
+	return e.StatsSnapshot()
+}
 
 // PendingDemotes reports demotions queued or in flight — nonzero
 // between a promotion's map commit and the revived victim's DemoteAck.

@@ -24,13 +24,16 @@ import (
 func FuzzCoordinatorProtocol(f *testing.F) {
 	// Seeds: a stats/tick round, a full relocation handshake, a forced
 	// spill + quiesce, epoch/partition garbage, a join/report/leave
-	// membership round, and a replication/promotion ack mix.
+	// membership round, a replication/promotion ack mix, and a
+	// spilled-failover round (segment-bearing reports with spilled
+	// replication lag, then promote/demote acks).
 	f.Add([]byte{0, 0, 0, 1, 1, 0})
 	f.Add([]byte{0, 0, 0, 1, 1, 0, 3, 64, 3, 65, 2, 64, 2, 67, 4, 64, 4, 65, 5, 64})
 	f.Add([]byte{6, 0, 8, 0, 7, 1, 9, 3})
 	f.Add([]byte{2, 255, 2, 14, 4, 192, 5, 255, 3, 0, 10, 0, 0, 1})
 	f.Add([]byte{11, 2, 15, 2, 1, 0, 1, 0, 12, 2, 1, 0, 11, 2})
 	f.Add([]byte{15, 0, 15, 1, 1, 0, 13, 64, 14, 65, 12, 0, 1, 0, 3, 0, 4, 1, 5, 0})
+	f.Add([]byte{15, 9, 15, 25, 6, 9, 15, 8, 1, 0, 13, 72, 13, 73, 14, 64, 15, 0, 1, 0})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		coord, pmap := newFuzzRig(t)
 		engines := []partition.NodeID{"m1", "m2"}
@@ -85,11 +88,21 @@ func FuzzCoordinatorProtocol(f *testing.F) {
 				msg = proto.DemoteAck{Epoch: epoch, Node: node}
 			case 15:
 				// Replication-rich report: lag for a possibly out-of-range
-				// group and an arbitrary replica-map version.
-				msg = proto.StatsReport{Node: node, MemBytes: int64(sel) * 8, Groups: 2,
+				// group, an arbitrary replica-map version, and — when the
+				// selector's segment bit is set — disk segments whose bytes
+				// dominate the group's lag (a spilled group awaiting its
+				// seed), so the settled fence and failover paths see
+				// segment-bearing reports too.
+				report := proto.StatsReport{Node: node, MemBytes: int64(sel) * 8, Groups: 2,
 					ReplVersion: uint64(sel >> 4),
 					ReplLag:     map[partition.ID]int64{partition.ID(sel % 16): int64(sel)},
 				}
+				if sel&8 != 0 {
+					report.DiskSegments = int(sel >> 5)
+					report.SpilledBytes = int64(sel) * 64
+					report.ReplLag[partition.ID(sel%16)] += report.SpilledBytes
+				}
+				msg = report
 			}
 			coord.Handle(from, msg)
 			for id := 0; id < pmap.N(); id++ {

@@ -60,6 +60,13 @@ type Config struct {
 	Policy core.Policy
 	// Store persists spilled segments (default: in-memory).
 	Store spill.Store
+	// StandbyStore persists the disk tier of replicated standby state:
+	// when a primary spills a replicated group, this engine (as the
+	// group's follower) demotes the matching standby fraction here
+	// instead of holding it in memory. Kept separate from Store because
+	// cleanup runs over every Store group — standby segments in it would
+	// duplicate results the primary already emitted. Default: in-memory.
+	StandbyStore spill.Store
 	// Materialize makes the engine ship full results to the application
 	// server instead of counts.
 	Materialize bool
@@ -140,6 +147,9 @@ func (c *Config) withDefaults() (Config, error) {
 	}
 	if out.Store == nil {
 		out.Store = spill.NewMemStore()
+	}
+	if out.StandbyStore == nil {
+		out.StandbyStore = spill.NewMemStore()
 	}
 	if out.StatsInterval <= 0 {
 		out.StatsInterval = 5 * time.Second
@@ -306,6 +316,7 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 	e.reg.Help("distq_engine_deltas_out_total", "replication state deltas sent to followers (including retransmits)")
 	e.reg.Help("distq_engine_deltas_in_total", "replication state deltas applied from primaries")
 	e.reg.Help("distq_engine_standby_bytes", "warm follower-copy state held outside the operator")
+	e.reg.Help("distq_engine_standby_segment_bytes", "standby state re-spilled to the local standby store on primary spill markers")
 	e.reg.Help("distq_engine_promotions_total", "follower promotions installed on this engine")
 	e.reg.Help("distq_engine_demotions_total", "stale primary copies dropped after a failover")
 	if c.SmoothingAlpha > 0 {
@@ -332,6 +343,14 @@ func New(cfg Config, clock vclock.Clock) (*Engine, error) {
 		e.pool = newShardPool(e)
 	}
 	e.mgr = spill.NewManager(e.op, c.Store, c.Policy)
+	// A reopened standby store may hold segments from a previous life;
+	// the coordinator re-seeds followers from scratch after a restart,
+	// and stale segments would duplicate the re-seeded ones.
+	for _, g := range c.StandbyStore.Groups() {
+		if _, err := c.StandbyStore.Remove(g); err != nil {
+			return nil, fmt.Errorf("engine %s: clear stale standby segments: %w", c.Node, err)
+		}
+	}
 	return e, nil
 }
 
@@ -528,7 +547,7 @@ func (e *Engine) Handle(from partition.NodeID, msg proto.Message) {
 	case proto.LeaveAck:
 		e.leftAck.Store(true)
 	case proto.ReplicaMap:
-		e.repl.applyMap(m)
+		err = e.repl.applyMap(m)
 	case proto.StateDelta:
 		err = e.repl.onDelta(m)
 	case proto.DeltaAck:
@@ -622,7 +641,11 @@ func (e *Engine) onTick(m proto.Tick) error {
 		if e.mode != core.NormalMode || !e.cfg.LocalSpill {
 			return nil
 		}
-		amount := e.cfg.Spill.SpillAmount(e.op.MemBytes())
+		// Memory-tier standby counts toward the local budget: a
+		// standby-heavy follower must shed its own operator state (the
+		// standby itself only leaves memory on the primary's spill
+		// markers, keeping segment boundaries aligned).
+		amount := e.cfg.Spill.SpillAmount(e.op.MemBytes() + e.repl.standbyBytes)
 		if amount <= 0 {
 			return nil
 		}
@@ -655,6 +678,10 @@ func (e *Engine) spill(amount int64, kind string, trace obs.TraceContext) error 
 		span.Abort(e.clock.Now(), err.Error())
 		return err
 	}
+	// Tell followers: buffered appends of the spilled generation flush
+	// ahead of a spill marker, so their standby demotes the same
+	// fraction at the same generation boundary.
+	e.repl.noteSpill(res.Groups)
 	span.SetAttr("groups", fmt.Sprintf("%d", len(res.Groups)))
 	span.SetAttr("spilled_bytes", fmt.Sprintf("%d", res.Bytes))
 	span.End(e.clock.Now())
@@ -675,7 +702,11 @@ func (e *Engine) reportStats() error {
 	if e.tracker != nil {
 		e.tracker.Observe(e.op.Stats())
 	}
-	e.repl.tick()
+	if err := e.repl.tick(); err != nil {
+		// Seeding retries on the next tick; the report still goes out so
+		// the coordinator keeps seeing (and charging) the group's lag.
+		e.log.Error("replication_tick_error", obs.FErr(err))
+	}
 	var sizes map[partition.ID]int64
 	sizeOf := func(id partition.ID) int64 {
 		if sizes == nil {
@@ -688,8 +719,11 @@ func (e *Engine) reportStats() error {
 		return sizes[id]
 	}
 	report := proto.StatsReport{
-		Node:         e.cfg.Node,
-		MemBytes:     e.op.MemBytes(),
+		Node: e.cfg.Node,
+		// Memory-tier standby is real memory: without it a follower
+		// over-reports headroom and the coordinator's M_query−M_cluster
+		// forced-spill arithmetic undercounts the cluster.
+		MemBytes:     e.op.MemBytes() + e.repl.standbyBytes,
 		Groups:       e.op.Groups(),
 		Output:       e.op.Output(),
 		SpillCount:   e.mgr.Count(),
@@ -699,6 +733,7 @@ func (e *Engine) reportStats() error {
 		ReplVersion:  e.repl.version,
 	}
 	e.reg.Gauge("distq_engine_standby_bytes").Set(float64(e.repl.standbyBytes))
+	e.reg.Gauge("distq_engine_standby_segment_bytes").Set(float64(e.cfg.StandbyStore.Bytes()))
 	e.lastReport.Store(&report)
 	e.reg.Gauge("distq_engine_mem_bytes").Set(float64(report.MemBytes))
 	e.reg.Gauge("distq_engine_groups").Set(float64(report.Groups))

@@ -70,6 +70,7 @@ func mustNew(t *testing.T, cfg Config, clock vclock.Clock) *Engine {
 // rig assembles an engine plus gc/app/gen peers over inproc transport.
 type rig struct {
 	engine *Engine
+	net    transport.Network
 	gc     *peer
 	app    *peer
 	gen    *peer
@@ -101,6 +102,7 @@ func newRig(t *testing.T, mutate func(*Config)) *rig {
 	}
 	r := &rig{
 		engine: e,
+		net:    net,
 		gc:     newPeer(t, net, "gc"),
 		app:    newPeer(t, net, "app"),
 		gen:    newPeer(t, net, "gen"),

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 
@@ -21,8 +22,20 @@ import (
 // (primary, follower) pair: deltas carry a dense sequence number, the
 // follower applies them in order (re-acking duplicates, ignoring gaps),
 // and the primary retransmits everything unacknowledged on every stats
-// tick. Only resident state replicates; disk segments do not (a
-// documented limitation — the failover experiments run all-in-memory).
+// tick.
+//
+// Replication is spill-aware (tiered standby). A group's seed carries
+// its disk segments alongside the resident snapshot, and every later
+// spill of a replicated group rides the delta stream as a spill marker;
+// the follower demotes the matching fraction of its standby into its
+// own local standby store, stamped with the primary's generation. The
+// standby therefore mirrors the primary's memory/disk split, segment
+// boundaries stay aligned with the primary's generations (the cleanup
+// phase emits cross-generation matches exactly once only because of
+// that alignment), and a promotion is exact even for groups that
+// spilled: the memory tier merges into the operator and the segments
+// are adopted into the engine's own store, where cleanup and
+// relocation already know how to handle them.
 type replicator struct {
 	e *Engine
 	// version is the highest ReplicaMap version applied.
@@ -36,7 +49,8 @@ type replicator struct {
 	streams map[partition.NodeID]*replStream
 	// applied is the highest delta sequence applied, per primary.
 	applied map[partition.NodeID]uint64
-	// standby holds the warm follower copies, keyed by group.
+	// standby holds the memory tier of the warm follower copies, keyed
+	// by group; the disk tier lives in cfg.StandbyStore.
 	standby      map[partition.ID]*join.GroupSnapshot
 	standbyBytes int64
 	// promoted marks groups this engine took over via Promote: a late
@@ -98,18 +112,23 @@ func snapshotBytes(s *join.GroupSnapshot) int64 {
 // applyMap reconciles the outbound streams with a new follower
 // assignment. Groups newly assigned (or reassigned to a different
 // follower) are marked for a full-snapshot seed; groups no longer ours
-// stop streaming. Older or equal versions are ignored — the coordinator
-// rebroadcasts the current map every tick, so this is the idempotence
-// point of the whole replication plane.
-func (r *replicator) applyMap(m proto.ReplicaMap) {
+// stop streaming, and standby copies of groups this engine no longer
+// follows are dropped (both tiers). Older or equal versions are ignored
+// — the coordinator rebroadcasts the current map every tick, so this is
+// the idempotence point of the whole replication plane.
+func (r *replicator) applyMap(m proto.ReplicaMap) error {
 	if m.Version <= r.version {
-		return
+		return nil
 	}
 	r.version = m.Version
 	self := r.e.cfg.Node
 	next := make(map[partition.ID]partition.NodeID)
 	byFollower := make(map[partition.NodeID]map[partition.ID]bool)
+	follows := make(map[partition.ID]bool)
 	for _, ent := range m.Entries {
+		if ent.Follower == self {
+			follows[ent.Group] = true
+		}
 		if ent.Primary != self {
 			continue
 		}
@@ -145,6 +164,27 @@ func (r *replicator) applyMap(m proto.ReplicaMap) {
 			}
 		}
 	}
+	// Follower-side GC: drop standby copies of groups the new map no
+	// longer assigns to this engine. Promoted groups are exempt — their
+	// primary is this engine now, and a promote retry still needs any
+	// standby a partial failure left behind.
+	var firstErr error
+	for g, sb := range r.standby {
+		if follows[g] || r.promoted[g] {
+			continue
+		}
+		delete(r.standby, g)
+		r.standbyBytes -= snapshotBytes(sb)
+	}
+	for _, g := range r.e.cfg.StandbyStore.Groups() {
+		if follows[g] || r.promoted[g] {
+			continue
+		}
+		if _, err := r.e.cfg.StandbyStore.Remove(g); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("drop standby segments of group %d: %w", g, err)
+		}
+	}
+	return firstErr
 }
 
 // bufferAppend records one stored tuple for its group's follower. Runs
@@ -185,7 +225,7 @@ func (r *replicator) tailFlush(groups []partition.ID) {
 		var entries []proto.DeltaEntry
 		for _, g := range groups {
 			if buf := s.cur[g]; len(buf) > 0 && !s.needSeed[g] {
-				entries = append(entries, proto.DeltaEntry{Group: g, Seed: false, Payload: buf})
+				entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaAppend, Payload: buf})
 			}
 			delete(s.cur, g)
 			delete(s.needSeed, g)
@@ -196,19 +236,68 @@ func (r *replicator) tailFlush(groups []partition.ID) {
 		}
 		s.nextSeq++
 		s.pending = append(s.pending, pendingDelta{seq: s.nextSeq, entries: entries})
-		//distqlint:allow senderrcheck: retransmitted on every stats tick until acknowledged
-		r.e.ep.Send(f, proto.StateDelta{From: r.e.cfg.Node, Seq: s.nextSeq, Entries: entries})
-		r.e.reg.Counter("distq_engine_deltas_out_total").Inc()
+		r.sendDelta(f, s.nextSeq, entries)
+	}
+}
+
+// sendDelta ships one packaged delta to follower f. The send error is
+// deliberately dropped: the delta sits in the stream's pending list and
+// is retransmitted on every stats tick until the follower acknowledges
+// it, so a failed immediate send only costs latency.
+func (r *replicator) sendDelta(f partition.NodeID, seq uint64, entries []proto.DeltaEntry) {
+	//distqlint:allow senderrcheck: retransmitted on every stats tick until acknowledged
+	r.e.ep.Send(f, proto.StateDelta{From: r.e.cfg.Node, Seq: seq, Entries: entries})
+	r.e.reg.Counter("distq_engine_deltas_out_total").Inc()
+}
+
+// noteSpill tells every follower about a just-executed local spill of
+// the given groups: first the appends still buffered for the group
+// (they belong to the spilled generation), then a spill marker carrying
+// that generation, so the follower demotes the matching standby
+// fraction into its own local store. The delta is packaged immediately
+// — appends arriving after the spill belong to the next generation and
+// must order after the marker, or the follower's segment boundaries
+// drift off the primary's and cleanup double-emits across them.
+func (r *replicator) noteSpill(groups []partition.ID) {
+	for f, s := range r.streams {
+		var entries []proto.DeltaEntry
+		for _, g := range groups {
+			if !s.tracked[g] || s.needSeed[g] {
+				// An unseeded group's next seed carries the new segment
+				// itself; no marker needed.
+				continue
+			}
+			if buf := s.cur[g]; len(buf) > 0 {
+				entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaAppend, Payload: buf})
+			}
+			delete(s.cur, g)
+			snap := r.e.op.ResidentSnapshot(g)
+			if snap == nil || snap.Gen == 0 {
+				continue // group vanished between spill and hook; nothing to mark
+			}
+			var gen [4]byte
+			binary.LittleEndian.PutUint32(gen[:], snap.Gen-1)
+			entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaSpillMark, Payload: gen[:]})
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		s.nextSeq++
+		s.pending = append(s.pending, pendingDelta{seq: s.nextSeq, entries: entries})
+		r.sendDelta(f, s.nextSeq, entries)
 	}
 }
 
 // tick packages the accumulated increments (seeds first, then appends)
 // into one delta per follower and retransmits every unacknowledged
-// delta. Called on each sr_timer expiry.
-func (r *replicator) tick() {
+// delta. Called on each sr_timer expiry. A group whose segments cannot
+// be read stays marked for seeding and is retried next tick; the first
+// such error is returned after all followers are serviced.
+func (r *replicator) tick() error {
 	if len(r.streams) == 0 {
-		return
+		return nil
 	}
+	var firstErr error
 	followers := make([]partition.NodeID, 0, len(r.streams))
 	for f := range r.streams {
 		followers = append(followers, f)
@@ -224,11 +313,14 @@ func (r *replicator) tick() {
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, g := range ids {
-				// A group with no resident state yet needs no seed: the
-				// follower builds its standby from the appends alone.
-				if snap := r.e.op.ResidentSnapshot(g); snap != nil {
-					entries = append(entries, proto.DeltaEntry{Group: g, Seed: true, Payload: join.EncodeSnapshot(snap)})
+				seeds, err := r.seedEntries(g)
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					continue // keep needSeed set; retried next tick
 				}
+				entries = append(entries, seeds...)
 				delete(s.needSeed, g)
 				delete(s.cur, g) // anything buffered pre-seed is inside the snapshot
 			}
@@ -242,7 +334,7 @@ func (r *replicator) tick() {
 			}
 			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 			for _, g := range ids {
-				entries = append(entries, proto.DeltaEntry{Group: g, Seed: false, Payload: s.cur[g]})
+				entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaAppend, Payload: s.cur[g]})
 				delete(s.cur, g)
 			}
 		}
@@ -251,16 +343,51 @@ func (r *replicator) tick() {
 			s.pending = append(s.pending, pendingDelta{seq: s.nextSeq, entries: entries})
 		}
 		for _, p := range s.pending {
-			//distqlint:allow senderrcheck: retransmitted on every stats tick until acknowledged
-			r.e.ep.Send(f, proto.StateDelta{From: r.e.cfg.Node, Seq: p.seq, Entries: p.entries})
-			r.e.reg.Counter("distq_engine_deltas_out_total").Inc()
+			r.sendDelta(f, p.seq, p.entries)
 		}
 	}
+	return firstErr
+}
+
+// seedEntries builds the full seed of one group: the resident snapshot
+// first, then one segment entry per spilled generation in order. A
+// group with no state at all needs no seed (the follower builds its
+// standby from the appends alone); a group whose state is entirely on
+// disk gets a synthesized empty memory tier at the post-spill
+// generation so the follower's standby lands on the right boundary.
+func (r *replicator) seedEntries(g partition.ID) ([]proto.DeltaEntry, error) {
+	snap := r.e.op.ResidentSnapshot(g)
+	segs, err := r.e.cfg.Store.Read(g)
+	if err != nil {
+		return nil, fmt.Errorf("read segments for seed of group %d: %w", g, err)
+	}
+	if snap == nil && len(segs) == 0 {
+		return nil, nil
+	}
+	if snap == nil {
+		last := segs[len(segs)-1]
+		snap = &join.GroupSnapshot{
+			ID:          g,
+			Gen:         last.Gen + 1,
+			Output:      last.Output,
+			CumBytes:    last.CumBytes,
+			SpilledTs:   last.SpilledTs,
+			EverSpilled: true,
+			Tuples:      make([][]tuple.Tuple, r.e.cfg.Inputs),
+		}
+	}
+	entries := make([]proto.DeltaEntry, 0, 1+len(segs))
+	entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaSeed, Payload: join.EncodeSnapshot(snap)})
+	for _, seg := range segs {
+		entries = append(entries, proto.DeltaEntry{Group: g, Kind: proto.DeltaSegment, Payload: join.EncodeSnapshot(seg)})
+	}
+	return entries, nil
 }
 
 // lag returns the per-group replication lag in bytes: appends not yet
 // packaged, deltas sent but unacknowledged, and — for groups still
-// awaiting their seed — the group's whole resident size (sizeOf).
+// awaiting their seed — the group's whole resident size (sizeOf) plus
+// its spilled segments, which the seed must ship too.
 func (r *replicator) lag(sizeOf func(partition.ID) int64) map[partition.ID]int64 {
 	if r.version == 0 {
 		return nil
@@ -271,7 +398,7 @@ func (r *replicator) lag(sizeOf func(partition.ID) int64) map[partition.ID]int64
 			out[g] += int64(len(buf))
 		}
 		for g := range s.needSeed {
-			out[g] += sizeOf(g)
+			out[g] += sizeOf(g) + r.e.cfg.Store.BytesOf(g)
 		}
 		for _, p := range s.pending {
 			for _, ent := range p.entries {
@@ -295,46 +422,122 @@ func (r *replicator) onDelta(m proto.StateDelta) error {
 		return nil // gap: an earlier delta is still in flight
 	}
 	for _, ent := range m.Entries {
-		if ent.Seed {
+		switch ent.Kind {
+		case proto.DeltaSeed:
 			snap, err := join.DecodeSnapshot(ent.Payload)
 			if err != nil {
 				return fmt.Errorf("decode seed for group %d: %w", ent.Group, err)
 			}
-			// A seed means this engine is the group's follower again;
-			// it replaces whatever standby (or stale promoted flag) is
-			// left from an earlier life.
+			// A seed means this engine is the group's follower again; it
+			// replaces whatever standby (or stale promoted flag) is left
+			// from an earlier life — segments included, or a re-seed
+			// after a flap would duplicate them.
 			delete(r.promoted, ent.Group)
 			if old := r.standby[ent.Group]; old != nil {
 				r.standbyBytes -= snapshotBytes(old)
 			}
+			if _, err := r.e.cfg.StandbyStore.Remove(ent.Group); err != nil {
+				return fmt.Errorf("clear standby segments of group %d: %w", ent.Group, err)
+			}
 			r.standby[ent.Group] = snap
 			r.standbyBytes += snapshotBytes(snap)
-			continue
-		}
-		tuples, bytes, err := decodeAppends(ent.Payload, r.e.cfg.Inputs)
-		if err != nil {
-			return fmt.Errorf("decode appends for group %d: %w", ent.Group, err)
-		}
-		if r.promoted[ent.Group] {
-			if err := r.e.op.Merge(&join.GroupSnapshot{ID: ent.Group, Tuples: tuples}); err != nil {
-				return fmt.Errorf("merge tail for promoted group %d: %w", ent.Group, err)
+		case proto.DeltaSegment:
+			seg, err := join.DecodeSnapshot(ent.Payload)
+			if err != nil {
+				return fmt.Errorf("decode segment for group %d: %w", ent.Group, err)
 			}
-			continue
+			if err := r.e.cfg.StandbyStore.Write(seg); err != nil {
+				return fmt.Errorf("store standby segment of group %d: %w", ent.Group, err)
+			}
+		case proto.DeltaSpillMark:
+			if len(ent.Payload) != 4 {
+				return fmt.Errorf("spill marker for group %d: payload %d bytes, want 4", ent.Group, len(ent.Payload))
+			}
+			gen := binary.LittleEndian.Uint32(ent.Payload)
+			if r.promoted[ent.Group] {
+				continue // resident here now; the local spill policy governs
+			}
+			if err := r.demoteStandby(ent.Group, gen); err != nil {
+				return err
+			}
+		case proto.DeltaAppend:
+			tuples, bytes, err := decodeAppends(ent.Payload, r.e.cfg.Inputs)
+			if err != nil {
+				return fmt.Errorf("decode appends for group %d: %w", ent.Group, err)
+			}
+			if r.promoted[ent.Group] {
+				if err := r.e.op.Merge(&join.GroupSnapshot{ID: ent.Group, Tuples: tuples}); err != nil {
+					return fmt.Errorf("merge tail for promoted group %d: %w", ent.Group, err)
+				}
+				continue
+			}
+			sb := r.standby[ent.Group]
+			if sb == nil {
+				sb = &join.GroupSnapshot{ID: ent.Group, Tuples: make([][]tuple.Tuple, r.e.cfg.Inputs)}
+				r.standby[ent.Group] = sb
+			}
+			for i, l := range tuples {
+				sb.Tuples[i] = append(sb.Tuples[i], l...)
+			}
+			sb.CumBytes += bytes
+			r.standbyBytes += bytes
+		default:
+			return fmt.Errorf("delta entry for group %d: unknown kind %d", ent.Group, ent.Kind)
 		}
-		sb := r.standby[ent.Group]
-		if sb == nil {
-			sb = &join.GroupSnapshot{ID: ent.Group, Tuples: make([][]tuple.Tuple, r.e.cfg.Inputs)}
-			r.standby[ent.Group] = sb
-		}
-		for i, l := range tuples {
-			sb.Tuples[i] = append(sb.Tuples[i], l...)
-		}
-		sb.CumBytes += bytes
-		r.standbyBytes += bytes
 	}
 	r.applied[m.From] = m.Seq
 	r.e.reg.Counter("distq_engine_deltas_in_total").Inc()
 	return r.e.ep.Send(m.From, proto.DeltaAck{Node: r.e.cfg.Node, Seq: m.Seq, Trace: m.Trace})
+}
+
+// demoteStandby mirrors a primary spill on the follower: the memory
+// tier of the group's standby becomes a local segment stamped with the
+// primary's spilled generation, and a fresh empty memory tier starts at
+// the next generation. The spill watermark advances exactly like the
+// primary's ExtractForSpill so a later promotion restores the same
+// windowed-purge behaviour.
+func (r *replicator) demoteStandby(g partition.ID, gen uint32) error {
+	sb := r.standby[g]
+	if sb == nil {
+		// Marker for a group with no standby yet (the seed was cut after
+		// the primary had state but nothing reached us): record the
+		// boundary anyway so later appends accumulate at the primary's
+		// current generation.
+		sb = &join.GroupSnapshot{ID: g, Tuples: make([][]tuple.Tuple, r.e.cfg.Inputs)}
+	}
+	spilledTs := sb.SpilledTs
+	everSpilled := sb.EverSpilled
+	for _, l := range sb.Tuples {
+		for i := range l {
+			if !everSpilled || l[i].Ts > spilledTs {
+				spilledTs = l[i].Ts
+			}
+			everSpilled = true
+		}
+	}
+	seg := &join.GroupSnapshot{
+		ID:          g,
+		Gen:         gen,
+		Output:      sb.Output,
+		CumBytes:    sb.CumBytes,
+		SpilledTs:   spilledTs,
+		EverSpilled: true,
+		Tuples:      sb.Tuples,
+	}
+	if err := r.e.cfg.StandbyStore.Write(seg); err != nil {
+		return fmt.Errorf("demote standby of group %d: %w", g, err)
+	}
+	r.standbyBytes -= snapshotBytes(sb)
+	r.standby[g] = &join.GroupSnapshot{
+		ID:          g,
+		Gen:         gen + 1,
+		Output:      sb.Output,
+		CumBytes:    sb.CumBytes,
+		SpilledTs:   spilledTs,
+		EverSpilled: true,
+		Tuples:      make([][]tuple.Tuple, r.e.cfg.Inputs),
+	}
+	return nil
 }
 
 // decodeAppends parses a tuple-encoded append payload into per-input
@@ -372,22 +575,63 @@ func (r *replicator) onAck(m proto.DeltaAck) {
 
 // promote turns the standby copies of groups into resident operator
 // state (no checkpoint replay — this is the whole point of keeping
-// followers warm). Groups without a standby had no replicated state and
-// simply start empty. Returns how many standby groups were installed.
+// followers warm). The memory tier merges into the operator first —
+// even when empty, so the group registers at its post-spill generation
+// — then the standby segments are adopted into the engine's own store,
+// where cleanup and relocation pick them up with no new code paths.
+// Groups without any standby had no replicated state and simply start
+// empty. The standby is deleted only after its merge succeeds: a failed
+// merge returns with the warm state intact, so the coordinator's
+// Promote retry re-enters here and tries again instead of finding
+// nothing and acking an install that never happened. Returns how many
+// standby groups were installed.
 func (r *replicator) promote(groups []partition.ID) (int, error) {
 	installed := 0
 	for _, g := range groups {
 		r.promoted[g] = true
-		sb := r.standby[g]
-		if sb == nil {
-			continue
+		if sb := r.standby[g]; sb != nil {
+			if err := r.e.op.Merge(sb); err != nil {
+				return installed, fmt.Errorf("install standby of group %d: %w", g, err)
+			}
+			delete(r.standby, g)
+			r.standbyBytes -= snapshotBytes(sb)
+			installed++
 		}
-		delete(r.standby, g)
-		r.standbyBytes -= snapshotBytes(sb)
-		if err := r.e.op.Merge(sb); err != nil {
-			return installed, fmt.Errorf("install standby of group %d: %w", g, err)
+		if err := r.adoptSegments(g); err != nil {
+			return installed, fmt.Errorf("adopt standby segments of group %d: %w", g, err)
 		}
-		installed++
 	}
 	return installed, nil
+}
+
+// adoptSegments moves a promoted group's standby segments into the
+// engine's own store. Idempotent across promote retries: generations
+// already present in the engine store are not re-written, and the
+// standby side is cleared only after every missing generation landed.
+func (r *replicator) adoptSegments(g partition.ID) error {
+	segs, err := r.e.cfg.StandbyStore.Read(g)
+	if err != nil {
+		return err
+	}
+	if len(segs) == 0 {
+		return nil
+	}
+	have, err := r.e.cfg.Store.Read(g)
+	if err != nil {
+		return err
+	}
+	existing := make(map[uint32]bool, len(have))
+	for _, seg := range have {
+		existing[seg.Gen] = true
+	}
+	for _, seg := range segs {
+		if existing[seg.Gen] {
+			continue
+		}
+		if err := r.e.cfg.Store.Write(seg); err != nil {
+			return err
+		}
+	}
+	_, err = r.e.cfg.StandbyStore.Remove(g)
+	return err
 }

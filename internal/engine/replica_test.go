@@ -1,0 +1,437 @@
+package engine
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/join"
+	"repro/internal/partition"
+	"repro/internal/proto"
+	"repro/internal/spill"
+	"repro/internal/tuple"
+	"repro/internal/vclock"
+)
+
+// snap builds an encodable group snapshot with the given per-input
+// tuple lists.
+func snap(g partition.ID, gen uint32, lists ...[]tuple.Tuple) *join.GroupSnapshot {
+	return &join.GroupSnapshot{ID: g, Gen: gen, Tuples: lists}
+}
+
+// appendPayload tuple-encodes ts the way the primary's data-path hook
+// does.
+func appendPayload(ts ...tuple.Tuple) []byte {
+	var buf []byte
+	for i := range ts {
+		buf = ts[i].AppendTo(buf)
+	}
+	return buf
+}
+
+func markPayload(gen uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], gen)
+	return b[:]
+}
+
+// expectNoPromoteAck fences the engine with a stats tick from the
+// coordinator (same-sender FIFO) and fails if a PromoteAck arrives
+// before the report: a failed promotion must never be acknowledged.
+func expectNoPromoteAck(t *testing.T, r *rig) {
+	t.Helper()
+	if err := r.gc.ep.Send("m1", proto.Tick{Kind: proto.TickStats}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case m := <-r.gc.msgs:
+			switch m.msg.(type) {
+			case proto.PromoteAck:
+				t.Fatal("PromoteAck sent for a promotion whose standby merge failed")
+			case proto.StatsReport:
+				return
+			}
+		case <-deadline:
+			t.Fatal("timed out waiting for the stats-tick fence")
+		}
+	}
+}
+
+// sumStandby recomputes the memory-tier byte counter from scratch.
+func sumStandby(r *replicator) int64 {
+	var n int64
+	for _, sb := range r.standby {
+		n += snapshotBytes(sb)
+	}
+	return n
+}
+
+// TestPromoteRetryKeepsStandbyAfterFailedMerge is the regression test
+// for the retried-Promote data loss: the standby must be deleted only
+// after its merge succeeds, so a Promote retry finds the warm copy
+// still there instead of acking an install that never happened.
+func TestPromoteRetryKeepsStandbyAfterFailedMerge(t *testing.T) {
+	r := newRig(t, nil)
+	m2 := newPeer(t, r.net, "m2")
+
+	// A seed whose snapshot has three inputs cannot merge into the
+	// two-input operator: op.Merge fails after the standby is built.
+	bad := snap(1, 0, []tuple.Tuple{mk(0, 1, 1)}, nil, nil)
+	if err := m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 1,
+		Entries: []proto.DeltaEntry{{Group: 1, Kind: proto.DeltaSeed, Payload: join.EncodeSnapshot(bad)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if ack := expect[proto.DeltaAck](t, m2); ack.Seq != 1 {
+		t.Fatalf("seed ack seq = %d", ack.Seq)
+	}
+	bytesBefore := r.engine.repl.standbyBytes
+	if bytesBefore == 0 {
+		t.Fatal("seed installed no standby bytes")
+	}
+
+	promote := proto.Promote{Epoch: 7, From: "m2", Groups: []partition.ID{1}}
+	for attempt := 0; attempt < 2; attempt++ {
+		if err := r.gc.ep.Send("m1", promote); err != nil {
+			t.Fatal(err)
+		}
+		expectNoPromoteAck(t, r)
+		if r.engine.repl.standby[1] == nil {
+			t.Fatalf("attempt %d: standby deleted although its merge failed", attempt)
+		}
+		if got := r.engine.repl.standbyBytes; got != bytesBefore {
+			t.Fatalf("attempt %d: standbyBytes = %d, want %d", attempt, got, bytesBefore)
+		}
+		if r.engine.Op().Groups() != 0 {
+			t.Fatalf("attempt %d: failed merge left resident state behind", attempt)
+		}
+	}
+
+	// The primary re-seeds with a well-formed snapshot; the retried
+	// Promote now installs it.
+	good := snap(1, 0, []tuple.Tuple{mk(0, 1, 1)}, nil)
+	if err := m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 2,
+		Entries: []proto.DeltaEntry{{Group: 1, Kind: proto.DeltaSeed, Payload: join.EncodeSnapshot(good)}}}); err != nil {
+		t.Fatal(err)
+	}
+	if ack := expect[proto.DeltaAck](t, m2); ack.Seq != 2 {
+		t.Fatalf("re-seed ack seq = %d", ack.Seq)
+	}
+	if err := r.gc.ep.Send("m1", promote); err != nil {
+		t.Fatal(err)
+	}
+	ack := expect[proto.PromoteAck](t, r.gc)
+	if ack.Epoch != 7 || !ack.Installed {
+		t.Fatalf("PromoteAck = %+v", ack)
+	}
+	r.drain(t)
+	if r.engine.repl.standby[1] != nil || r.engine.repl.standbyBytes != 0 {
+		t.Fatalf("standby not consumed by the successful promote (bytes=%d)", r.engine.repl.standbyBytes)
+	}
+	// The installed copy is live resident state: a probe joins it.
+	r.gen.ep.Send("m1", dataMsg(t, mk(1, 1, 9)))
+	r.drain(t)
+	if got := r.engine.Op().Output(); got != 1 {
+		t.Fatalf("output = %d: promoted standby does not join", got)
+	}
+}
+
+// TestStandbyBytesCountTowardLocalSpill verifies the follower's local
+// overflow check charges the memory-tier standby: a standby-heavy
+// follower must spill its own resident state even when that state alone
+// sits under the threshold, and its stats report the combined figure.
+func TestStandbyBytesCountTowardLocalSpill(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.LocalSpill = true
+		c.Spill = core.SpillConfig{MemThreshold: 2048, Fraction: 0.5}
+	})
+	m2 := newPeer(t, r.net, "m2")
+
+	// A little resident state of the engine's own, well under threshold.
+	r.gen.ep.Send("m1", dataMsg(t, mk(0, 1, 1), mk(0, 2, 2)))
+
+	// A heavy standby copy streamed from the primary.
+	heavy := make([]tuple.Tuple, 40)
+	for i := range heavy {
+		heavy[i] = tuple.Tuple{Stream: 0, Key: 3, Seq: uint64(i), Payload: make([]byte, 64)}
+	}
+	if err := m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 1,
+		Entries: []proto.DeltaEntry{{Group: 3, Kind: proto.DeltaAppend, Payload: appendPayload(heavy...)}}}); err != nil {
+		t.Fatal(err)
+	}
+	expect[proto.DeltaAck](t, m2)
+
+	own := r.engine.Op().MemBytes()
+	standby := r.engine.repl.standbyBytes
+	if own >= 2048 {
+		t.Fatalf("resident state %d bytes crosses the threshold alone; test proves nothing", own)
+	}
+	if own+standby <= 2048 {
+		t.Fatalf("combined load %d bytes under threshold; standby too small", own+standby)
+	}
+
+	// The stats report charges both tiers of memory.
+	r.gc.ep.Send("m1", proto.Tick{Kind: proto.TickStats})
+	report := expect[proto.StatsReport](t, r.gc)
+	if report.MemBytes != own+standby {
+		t.Fatalf("report.MemBytes = %d, want own %d + standby %d", report.MemBytes, own, standby)
+	}
+
+	// The spill tick fires although the engine's own state is tiny.
+	r.gen.ep.Send("m1", proto.Tick{Kind: proto.TickSpill})
+	r.drain(t)
+	if r.engine.SpillManager().Count() == 0 {
+		t.Fatal("standby-heavy follower did not spill locally")
+	}
+	if r.store.SegmentCount() == 0 {
+		t.Fatal("no segments persisted by the standby-pressure spill")
+	}
+}
+
+// TestReplicationLagCountsSpilledBytes verifies an unseeded group is
+// charged for its disk segments, not just its resident size: until the
+// seed ships, the follower holds neither tier, and a settled fence that
+// ignored the segments would declare safety while the spilled fraction
+// is still unreplicated.
+func TestReplicationLagCountsSpilledBytes(t *testing.T) {
+	store := spill.NewMemStore()
+	e := mustNew(t, Config{
+		Node: "m1", Coordinator: "gc", AppServer: "app",
+		Inputs: 2, Partitions: 4, Store: store,
+		StatsInterval: time.Hour, SpillCheckInterval: time.Hour,
+	}, vclock.NewManual())
+
+	for gen := uint32(0); gen < 2; gen++ {
+		if err := store.Write(snap(1, gen, []tuple.Tuple{mk(0, 1, uint64(gen))}, nil)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.repl.applyMap(proto.ReplicaMap{Version: 1, Entries: []proto.ReplicaEntry{
+		{Group: 1, Primary: "m1", Follower: "m2"},
+		{Group: 2, Primary: "m1", Follower: "m2"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	sizeOf := func(partition.ID) int64 { return 777 }
+	lag := e.repl.lag(sizeOf)
+	spilled := store.BytesOf(1)
+	if spilled == 0 {
+		t.Fatal("segment store reports zero bytes for a written group")
+	}
+	if got := lag[1]; got != 777+spilled {
+		t.Fatalf("lag of spilled group = %d, want resident 777 + spilled %d", got, spilled)
+	}
+	if got := lag[2]; got != 777 {
+		t.Fatalf("lag of memory-only group = %d, want 777", got)
+	}
+}
+
+// TestSeedCarriesSegmentsAndPromoteAdoptsThem walks the tiered-standby
+// life cycle on the follower: a seed with segments lands in the local
+// standby store, a spill marker demotes the memory tier at the
+// primary's generation boundary, and promotion merges the memory tier
+// and adopts every segment into the engine's own store exactly once.
+func TestSeedCarriesSegmentsAndPromoteAdoptsThem(t *testing.T) {
+	sbStore := spill.NewMemStore()
+	r := newRig(t, func(c *Config) { c.StandbyStore = sbStore })
+	m2 := newPeer(t, r.net, "m2")
+	g := partition.ID(2)
+
+	// Seed: memory tier at generation 2, segments for generations 0,1.
+	if err := m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 1, Entries: []proto.DeltaEntry{
+		{Group: g, Kind: proto.DeltaSeed, Payload: join.EncodeSnapshot(snap(g, 2, []tuple.Tuple{mk(0, 2, 3)}, nil))},
+		{Group: g, Kind: proto.DeltaSegment, Payload: join.EncodeSnapshot(snap(g, 0, []tuple.Tuple{mk(0, 2, 1)}, nil))},
+		{Group: g, Kind: proto.DeltaSegment, Payload: join.EncodeSnapshot(snap(g, 1, []tuple.Tuple{mk(0, 2, 2)}, nil))},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	expect[proto.DeltaAck](t, m2)
+	if got := sbStore.SegmentCount(); got != 2 {
+		t.Fatalf("standby segments after seed = %d, want 2", got)
+	}
+	if r.engine.repl.standbyBytes == 0 {
+		t.Fatal("seed installed no memory tier")
+	}
+
+	// An append, then the primary spills generation 2: the marker
+	// demotes the whole memory tier into a local segment at gen 2.
+	m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 2, Entries: []proto.DeltaEntry{
+		{Group: g, Kind: proto.DeltaAppend, Payload: appendPayload(mk(1, 2, 4))},
+	}})
+	expect[proto.DeltaAck](t, m2)
+	m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 3, Entries: []proto.DeltaEntry{
+		{Group: g, Kind: proto.DeltaSpillMark, Payload: markPayload(2)},
+	}})
+	expect[proto.DeltaAck](t, m2)
+	if got := sbStore.SegmentCount(); got != 3 {
+		t.Fatalf("standby segments after marker = %d, want 3", got)
+	}
+	if got := r.engine.repl.standbyBytes; got != 0 {
+		t.Fatalf("memory tier holds %d bytes after full demotion", got)
+	}
+	if sb := r.engine.repl.standby[g]; sb == nil || sb.Gen != 3 {
+		t.Fatalf("fresh memory tier = %+v, want generation 3", sb)
+	}
+
+	// Post-spill appends accumulate at the new generation.
+	m2.ep.Send("m1", proto.StateDelta{From: "m2", Seq: 4, Entries: []proto.DeltaEntry{
+		{Group: g, Kind: proto.DeltaAppend, Payload: appendPayload(mk(1, 2, 5))},
+	}})
+	expect[proto.DeltaAck](t, m2)
+
+	// Promotion: memory tier merges at generation 3, segments 0..2 are
+	// adopted into the engine's own store in generation order.
+	r.gc.ep.Send("m1", proto.Promote{Epoch: 3, From: "m2", Groups: []partition.ID{g}})
+	if ack := expect[proto.PromoteAck](t, r.gc); !ack.Installed {
+		t.Fatalf("PromoteAck = %+v", ack)
+	}
+	r.drain(t)
+	res := r.engine.Op().ResidentSnapshot(g)
+	if res == nil || res.Gen != 3 {
+		t.Fatalf("resident snapshot = %+v, want generation 3 (the primary's post-spill boundary)", res)
+	}
+	segs, err := r.store.Read(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 {
+		t.Fatalf("adopted %d segments, want 3", len(segs))
+	}
+	for i, seg := range segs {
+		if seg.Gen != uint32(i) {
+			t.Fatalf("adopted segment %d has generation %d: boundaries off the primary's", i, seg.Gen)
+		}
+	}
+	if sbStore.SegmentCount() != 0 {
+		t.Fatal("standby store not cleared after adoption")
+	}
+
+	// A later promotion epoch re-runs adoption; it must not duplicate.
+	r.gc.ep.Send("m1", proto.Promote{Epoch: 4, From: "m2", Groups: []partition.ID{g}})
+	expect[proto.PromoteAck](t, r.gc)
+	r.drain(t)
+	if got := r.store.SegmentCount(); got != 3 {
+		t.Fatalf("segments after repeated promote = %d, want 3 (adoption must be idempotent)", got)
+	}
+}
+
+// TestFollowerDeltaStreamProperty drives onDelta with a seeded random
+// mix of in-order deltas, duplicates, gaps, seed replacements, spill
+// markers, and malformed payloads, checking after every step that the
+// byte counter matches the standby copies exactly, the applied sequence
+// only advances on well-formed in-order deltas, and duplicates are
+// re-acked without effect.
+func TestFollowerDeltaStreamProperty(t *testing.T) {
+	sbStore := spill.NewMemStore()
+	r := newRig(t, func(c *Config) { c.StandbyStore = sbStore })
+	m2 := newPeer(t, r.net, "m2")
+	rng := rand.New(rand.NewSource(42))
+
+	var (
+		seq     uint64 // last in-order sequence the engine accepted
+		lastGen = map[partition.ID]uint32{}
+		sent    []proto.StateDelta // well-formed deltas, for duplicates
+	)
+	send := func(d proto.StateDelta) {
+		t.Helper()
+		if err := m2.ep.Send("m1", d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wellFormed := func(entries ...proto.DeltaEntry) {
+		t.Helper()
+		d := proto.StateDelta{From: "m2", Seq: seq + 1, Entries: entries}
+		send(d)
+		seq++
+		sent = append(sent, d)
+		if ack := expect[proto.DeltaAck](t, m2); ack.Seq != seq {
+			t.Fatalf("ack seq = %d, want %d", ack.Seq, seq)
+		}
+	}
+
+	for i := 0; i < 150; i++ {
+		g := partition.ID(rng.Intn(4))
+		switch op := rng.Intn(10); {
+		case op < 4: // append
+			n := 1 + rng.Intn(3)
+			ts := make([]tuple.Tuple, n)
+			for j := range ts {
+				ts[j] = tuple.Tuple{Stream: uint8(rng.Intn(2)), Key: uint64(g), Seq: uint64(i*10 + j),
+					Payload: make([]byte, 1+rng.Intn(32))}
+			}
+			wellFormed(proto.DeltaEntry{Group: g, Kind: proto.DeltaAppend, Payload: appendPayload(ts...)})
+		case op < 5: // seed replacement (drops the group's standby segments too)
+			gen := lastGen[g] + 1
+			lastGen[g] = gen
+			wellFormed(proto.DeltaEntry{Group: g, Kind: proto.DeltaSeed,
+				Payload: join.EncodeSnapshot(snap(g, gen, []tuple.Tuple{mk(0, uint64(g), uint64(i))}, nil))})
+			if got := sbStore.BytesOf(g); got != 0 {
+				t.Fatalf("iter %d: %d standby segment bytes survive a re-seed of group %d", i, got, g)
+			}
+		case op < 6: // segment
+			wellFormed(proto.DeltaEntry{Group: g, Kind: proto.DeltaSegment,
+				Payload: join.EncodeSnapshot(snap(g, lastGen[g], []tuple.Tuple{mk(0, uint64(g), uint64(i))}, nil))})
+		case op < 7: // spill marker: demotes the memory tier
+			gen := lastGen[g] + 1
+			lastGen[g] = gen
+			before := sbStore.SegmentCount()
+			wellFormed(proto.DeltaEntry{Group: g, Kind: proto.DeltaSpillMark, Payload: markPayload(gen)})
+			r.drain(t)
+			if got := sbStore.SegmentCount(); got != before+1 {
+				t.Fatalf("iter %d: marker produced %d local segments, want %d", i, got, before+1)
+			}
+			if sb := r.engine.repl.standby[g]; sb == nil || sb.Gen != gen+1 {
+				t.Fatalf("iter %d: memory tier after marker = %+v, want generation %d", i, sb, gen+1)
+			}
+		case op < 8: // duplicate of an already-applied delta: re-acked, no effect
+			if len(sent) == 0 {
+				continue
+			}
+			send(sent[rng.Intn(len(sent))])
+			if ack := expect[proto.DeltaAck](t, m2); ack.Seq != seq {
+				t.Fatalf("iter %d: duplicate re-acked with %d, want last applied %d", i, ack.Seq, seq)
+			}
+		case op < 9: // gap: ignored until the missing delta arrives
+			send(proto.StateDelta{From: "m2", Seq: seq + 2 + uint64(rng.Intn(3)),
+				Entries: []proto.DeltaEntry{{Group: g, Kind: proto.DeltaAppend, Payload: appendPayload(mk(0, uint64(g), 1))}}})
+		default: // malformed: rejected without advancing the sequence
+			var ent proto.DeltaEntry
+			switch rng.Intn(3) {
+			case 0: // truncated spill marker
+				ent = proto.DeltaEntry{Group: g, Kind: proto.DeltaSpillMark, Payload: []byte{1, 2, 3}}
+			case 1: // garbage snapshot
+				ent = proto.DeltaEntry{Group: g, Kind: proto.DeltaSeed, Payload: []byte("not a snapshot")}
+			default: // unknown kind
+				ent = proto.DeltaEntry{Group: g, Kind: proto.DeltaKind(9), Payload: nil}
+			}
+			send(proto.StateDelta{From: "m2", Seq: seq + 1, Entries: []proto.DeltaEntry{ent}})
+		}
+
+		r.drain(t)
+		if got, want := r.engine.repl.standbyBytes, sumStandby(r.engine.repl); got != want {
+			t.Fatalf("iter %d: standbyBytes = %d, standby copies hold %d", i, got, want)
+		}
+		if got := r.engine.repl.applied["m2"]; got != seq {
+			t.Fatalf("iter %d: applied seq = %d, want %d", i, got, seq)
+		}
+	}
+
+	// A final well-formed delta proves the stream is not wedged: gaps
+	// and malformed deltas never advanced the sequence, so seq+1 is
+	// still the next in-order delta.
+	wellFormed(proto.DeltaEntry{Group: 0, Kind: proto.DeltaAppend, Payload: appendPayload(mk(0, 0, 9999))})
+	r.drain(t)
+	if got := r.engine.repl.applied["m2"]; got != seq {
+		t.Fatalf("final applied seq = %d, want %d", got, seq)
+	}
+	// No stray acks beyond the ones the model accounted for.
+	select {
+	case m := <-m2.msgs:
+		t.Fatalf("unexpected trailing message to the primary: %+v", m.msg)
+	case <-time.After(50 * time.Millisecond):
+	}
+}

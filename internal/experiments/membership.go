@@ -2,10 +2,12 @@
 // runtime join with rebalance, graceful leave with drain, and
 // watchdog-triggered follower promotion — under a fault-injecting
 // transport, and assert the exactness invariant survives. Replication
-// runs at factor 2 (every partition group has one warm follower), and
-// all scenarios stay in memory: disk spill segments are not replicated,
-// so a failover of spilled state would genuinely lose it (see
-// PROTOCOL.md, "Membership & replication").
+// runs at factor 2 (every partition group has one warm follower) and is
+// spill-aware: seeds carry disk segments, spill markers demote the
+// follower's standby into its local store, and the spilled-failover
+// scenario kills a primary after a spill and requires the promoted
+// follower's cleanup to recover the disk-resident fraction exactly
+// (see PROTOCOL.md, "Membership & replication").
 //
 // Each scenario is a deterministic script over the virtual clock. The
 // fences matter: before a failover the script drains the data path and
@@ -197,6 +199,154 @@ func RunChaosPromote(faults faulty.Config) (*cluster.Result, error) {
 		return nil, err
 	}
 	return finishMembership(c)
+}
+
+// SpilledFailoverResult carries the spilled-failover run, its
+// fault-free baseline, and the evidence the scenario's assertions need:
+// the victim demonstrably spilled before it was killed, and the
+// promoted survivor's cleanup demonstrably merged disk segments.
+type SpilledFailoverResult struct {
+	Res      *cluster.Result
+	Baseline *cluster.Result
+	// VictimSpilledBytes / VictimSegments are the victim's disk tier as
+	// of its last stats report before the crash.
+	VictimSpilledBytes int64
+	VictimSegments     int
+	// SurvivorCleanupSegments is how many disk segments the surviving
+	// engine's cleanup merged — it must include the segments adopted
+	// from the victim's replicated standby.
+	SurvivorCleanupSegments int
+}
+
+// spilledFailoverSpill is the local-overflow configuration of the
+// spilled-failover scenario: a threshold far below the workload's
+// resident footprint, so both engines spill several generations during
+// phase 1 and the victim is guaranteed to hold disk segments when it is
+// killed.
+func spilledFailoverSpill() core.SpillConfig {
+	return core.SpillConfig{MemThreshold: 16 << 10, Fraction: 0.4}
+}
+
+// RunChaosSpilledFailover scripts the failover-with-disk-state path
+// under seeded faults: feed phase 1 with local spills on (file-backed
+// stores under storeDir), await the victim's spill, fence the data path
+// and await ReplicationSettled — the follower's standby now holds the
+// victim's memory tier AND its disk segments — kill the victim, await
+// the promotion, feed phase 2, and run the cleanup phase. The union of
+// runtime and cleanup results must match the fault-free baseline
+// exactly: before segments replicated, this scenario demonstrably lost
+// the victim's spilled fraction.
+func RunChaosSpilledFailover(storeDir string, faults faulty.Config) (*SpilledFailoverResult, error) {
+	cfg := membershipClusterConfig([]partition.NodeID{"e1", "e2"}, chaosWorkload())
+	cfg.LocalSpill = true
+	cfg.Spill = spilledFailoverSpill()
+	cfg.StoreDir = storeDir
+	inner := transport.NewInproc()
+	fnet := faulty.New(inner, vclock.NewScaled(cfg.Scale), faults)
+	defer fnet.Close()
+	cfg.Network = fnet
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := c.Start(); err != nil {
+		return nil, err
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	victim, survivor := partition.NodeID("e2"), partition.NodeID("e1")
+	// The victim must hold disk segments before it dies — that spilled
+	// fraction is exactly what the tiered standby exists to preserve.
+	if !c.Await(30*time.Second, func() bool {
+		s := c.EngineStats(victim)
+		return s.SpilledBytes > 0 && s.DiskSegments > 0
+	}) {
+		return nil, fmt.Errorf("victim %s never spilled (stats %+v)", victim, c.EngineStats(victim))
+	}
+	// Fence the data path so replication can settle: the settle fence
+	// counts spilled bytes too, so after it the follower's standby holds
+	// the victim's memory tier and all of its segments.
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, c.ReplicationSettled) {
+		return nil, fmt.Errorf("replication never settled (lag %d bytes)", c.ReplicationLagTotal())
+	}
+	victimStats := c.EngineStats(victim)
+	if err := c.Crash(victim); err != nil {
+		return nil, err
+	}
+	if !c.Await(30*time.Second, func() bool {
+		return c.Promotions() >= 1 && c.PartitionsPaused() == 0
+	}) {
+		return nil, fmt.Errorf("promotion never completed (promotions %d, paused %d)",
+			c.Promotions(), c.PartitionsPaused())
+	}
+	if err := c.Feed(membershipPhase); err != nil {
+		return nil, err
+	}
+	if err := c.Quiesce(); err != nil {
+		return nil, err
+	}
+	if err := c.Drain(); err != nil {
+		return nil, err
+	}
+	if err := c.RunCleanup(); err != nil {
+		return nil, err
+	}
+	res, err := c.Finish()
+	if err != nil {
+		return nil, err
+	}
+
+	baseline, err := cluster.Run(func() cluster.Config {
+		b := membershipClusterConfig([]partition.NodeID{"e1", "e2"}, chaosWorkload())
+		b.Replicate = false
+		b.LocalSpill = true
+		b.Spill = spilledFailoverSpill()
+		b.RunCleanup = true
+		return b
+	}())
+	if err != nil {
+		return nil, err
+	}
+	return &SpilledFailoverResult{
+		Res:                     res,
+		Baseline:                baseline,
+		VictimSpilledBytes:      victimStats.SpilledBytes,
+		VictimSegments:          victimStats.DiskSegments,
+		SurvivorCleanupSegments: res.Cleanup.PerNode[survivor].Segments,
+	}, nil
+}
+
+// CheckSpilledFailoverExactness compares the spilled-failover run
+// against its baseline on the union of runtime and cleanup results:
+// which phase produces a match shifts with spill and failover timing,
+// but the union is invariant, and a lost spilled fraction shows up as
+// baseline results missing from it.
+func CheckSpilledFailoverExactness(res, baseline *cluster.Result) []string {
+	var bad []string
+	if res.Generated != baseline.Generated {
+		bad = append(bad, fmt.Sprintf("generated %d tuples, baseline %d", res.Generated, baseline.Generated))
+	}
+	if res.Duplicates != 0 {
+		bad = append(bad, fmt.Sprintf("%d duplicate results", res.Duplicates))
+	}
+	if res.RuntimeSet == nil || res.CleanupSet == nil || baseline.RuntimeSet == nil || baseline.CleanupSet == nil {
+		bad = append(bad, "missing materialized result sets")
+		return bad
+	}
+	got := res.RuntimeSet.Union(res.CleanupSet)
+	want := baseline.RuntimeSet.Union(baseline.CleanupSet)
+	if miss := want.Diff(got); len(miss) > 0 {
+		bad = append(bad, fmt.Sprintf("%d baseline results missing (first: %s)", len(miss), miss[0]))
+	}
+	if extra := got.Diff(want); len(extra) > 0 {
+		bad = append(bad, fmt.Sprintf("%d extra results not in baseline (first: %s)", len(extra), extra[0]))
+	}
+	return bad
 }
 
 // CheckMembershipExactness is CheckExactness minus the

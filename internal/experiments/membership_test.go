@@ -172,6 +172,40 @@ func TestChaosPromoteExact(t *testing.T) {
 		res.Promotions, countEvents(res.Events, stats.EventRetry), res.Generated, res.RuntimeSet.Len())
 }
 
+// TestChaosSpilledFailoverExact kills an engine that demonstrably holds
+// disk segments and asserts the tiered-standby contract: the follower's
+// standby received the victim's segments with its seed (and demoted its
+// memory tier on every later spill marker), promotion adopted them into
+// the survivor's own store, and the cleanup phase recovered every
+// cross-generation match the victim's disk tier still owed — the union
+// of runtime and cleanup results matches the fault-free baseline
+// exactly under seeded drop/dup/delay faults.
+func TestChaosSpilledFailoverExact(t *testing.T) {
+	sr, err := RunChaosSpilledFailover(t.TempDir(), membershipFaults(23))
+	if err != nil {
+		t.Fatalf("spilled-failover run hung or failed: %v", err)
+	}
+	for _, v := range CheckSpilledFailoverExactness(sr.Res, sr.Baseline) {
+		t.Error(v)
+	}
+	if sr.VictimSegments == 0 || sr.VictimSpilledBytes == 0 {
+		t.Fatalf("victim crashed without disk segments (segments=%d bytes=%d) — scenario proves nothing",
+			sr.VictimSegments, sr.VictimSpilledBytes)
+	}
+	if sr.Res.Promotions == 0 {
+		t.Fatal("no promotion completed")
+	}
+	if sr.SurvivorCleanupSegments == 0 {
+		t.Error("survivor cleanup merged no disk segments — adopted standby segments missing")
+	}
+	if sr.Res.CleanupSet == nil || sr.Res.CleanupSet.Len() == 0 {
+		t.Error("cleanup phase produced no results — the spilled fraction was lost")
+	}
+	t.Logf("spilled failover: victim segments=%d (%d bytes), survivor cleanup segments=%d, cleanup results=%d, runtime results=%d",
+		sr.VictimSegments, sr.VictimSpilledBytes, sr.SurvivorCleanupSegments,
+		sr.Res.CleanupSet.Len(), sr.Res.RuntimeSet.Len())
+}
+
 // TestChaosHeartbeatFlap isolates an engine until the watchdog
 // declares it dead and its followers are promoted, then heals the
 // partition so the stale copy revives mid-promotion. The revived copy

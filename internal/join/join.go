@@ -605,7 +605,15 @@ func (o *Operator) ResidentSnapshot(id partition.ID) *GroupSnapshot {
 	if !ok {
 		return nil
 	}
-	return &GroupSnapshot{ID: id, Gen: g.gen, Output: g.output, CumBytes: g.cum, Tuples: snapshotTables(g.tables, g.counts)}
+	return &GroupSnapshot{
+		ID:          id,
+		Gen:         g.gen,
+		Output:      g.output,
+		CumBytes:    g.cum,
+		SpilledTs:   g.spilledTs,
+		EverSpilled: g.everSpilled,
+		Tuples:      snapshotTables(g.tables, g.counts),
+	}
 }
 
 // ResidentIDs returns the sorted IDs of all resident groups.

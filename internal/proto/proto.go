@@ -532,8 +532,10 @@ type ReplicaEntry struct {
 
 // StateDelta carries incremental replication state from a primary to a
 // follower: the tuples appended to the primary's groups since the last
-// delta, pre-encoded per group, plus full snapshot seeds for groups the
-// follower has not been initialized with. Seq orders deltas per
+// delta, pre-encoded per group, full snapshot seeds (plus their spilled
+// disk segments) for groups the follower has not been initialized with,
+// and spill markers demoting the follower's matching standby fraction
+// to its local store. Seq orders deltas per
 // (primary, follower) pair; the follower applies them in order and
 // re-acks duplicates, and the primary retransmits everything unacked on
 // each stats tick.
@@ -547,13 +549,36 @@ type StateDelta struct {
 	Trace obs.TraceContext
 }
 
+// DeltaKind discriminates the payload of one DeltaEntry.
+type DeltaKind uint8
+
+const (
+	// DeltaAppend carries tuple-encoded appends since the last delta.
+	DeltaAppend DeltaKind = 0
+	// DeltaSeed carries a full join.EncodeSnapshot image of the group's
+	// resident state, replacing any follower state for the group.
+	DeltaSeed DeltaKind = 1
+	// DeltaSegment carries one spilled disk segment (a full
+	// join.EncodeSnapshot image of an extracted generation). Segments
+	// ride immediately after their group's seed in the same delta; the
+	// follower re-spills them into its own local store so the standby
+	// stays two-tier like the primary.
+	DeltaSegment DeltaKind = 2
+	// DeltaSpillMark tells the follower the primary spilled the group:
+	// the payload is the spilled generation (uint32 little-endian), and
+	// the follower demotes its current memory-tier standby into a local
+	// segment stamped with that generation, keeping follower segment
+	// boundaries aligned with the primary's.
+	DeltaSpillMark DeltaKind = 3
+)
+
 // DeltaEntry is one group's increment within a StateDelta (nested, not
-// a standalone message). Seed entries carry a full join.EncodeSnapshot
-// image replacing any follower state for the group; non-seed entries
-// carry tuple-encoded appends.
+// a standalone message). Kind selects the payload encoding: appends are
+// tuple-encoded, seeds and segments are join.EncodeSnapshot images, and
+// spill markers carry the spilled generation.
 type DeltaEntry struct {
 	Group   partition.ID
-	Seed    bool
+	Kind    DeltaKind
 	Payload []byte
 }
 

@@ -144,11 +144,7 @@ func AppendWire(dst []byte, msg Message) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Entries)))
 		for _, e := range m.Entries {
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(e.Group))
-			if e.Seed {
-				dst = append(dst, 1)
-			} else {
-				dst = append(dst, 0)
-			}
+			dst = append(dst, byte(e.Kind))
 			dst = binary.LittleEndian.AppendUint32(dst, uint32(len(e.Payload)))
 			dst = append(dst, e.Payload...)
 		}
@@ -314,18 +310,14 @@ func DecodeWire(kind WireKind, body []byte) (Message, error) {
 				return nil, err
 			}
 			e.Group = partition.ID(g)
-			seed, err := r.takeU8()
+			kind, err := r.takeU8()
 			if err != nil {
 				return nil, err
 			}
-			switch seed {
-			case 0:
-				e.Seed = false
-			case 1:
-				e.Seed = true
-			default:
-				return nil, fmt.Errorf("proto: StateDelta entry %d: seed byte %d", i, seed)
+			if kind > uint8(DeltaSpillMark) {
+				return nil, fmt.Errorf("proto: StateDelta entry %d: kind byte %d", i, kind)
 			}
+			e.Kind = DeltaKind(kind)
 			plen, err := r.takeU32()
 			if err != nil {
 				return nil, err

@@ -27,8 +27,10 @@ func wireMessages() []Message {
 			From: "e2",
 			Seq:  41,
 			Entries: []DeltaEntry{
-				{Group: 5, Seed: true, Payload: []byte("snapshot")},
-				{Group: 6, Seed: false, Payload: nil},
+				{Group: 5, Kind: DeltaSeed, Payload: []byte("snapshot")},
+				{Group: 6, Kind: DeltaAppend, Payload: nil},
+				{Group: 5, Kind: DeltaSegment, Payload: []byte("segment-img")},
+				{Group: 5, Kind: DeltaSpillMark, Payload: []byte{2, 0, 0, 0}},
 			},
 			Trace: obs.TraceContext{TraceID: 1, SpanID: 2, Node: "e2"},
 		},
@@ -97,7 +99,7 @@ func TestWireDecodeRejectsCorruption(t *testing.T) {
 	valid := AppendWire(nil, StateDelta{
 		From:    "e1",
 		Seq:     9,
-		Entries: []DeltaEntry{{Group: 3, Seed: true, Payload: []byte("p")}},
+		Entries: []DeltaEntry{{Group: 3, Kind: DeltaSeed, Payload: []byte("p")}},
 		Trace:   obs.TraceContext{TraceID: 1, SpanID: 2, Node: "n"},
 	})
 
@@ -125,15 +127,15 @@ func TestWireDecodeRejectsCorruption(t *testing.T) {
 		}
 	}
 
-	// Non-canonical seed byte. The empty-Entries encoding of the same
+	// Out-of-range kind byte. The empty-Entries encoding of the same
 	// header still writes the entry count, so its length is exactly where
-	// the first entry starts; the seed byte sits 4 (group) bytes later.
+	// the first entry starts; the kind byte sits 4 (group) bytes later.
 	prefix := len(AppendWire(nil, StateDelta{From: "e1", Seq: 9,
 		Trace: obs.TraceContext{TraceID: 1, SpanID: 2, Node: "n"}}))
 	mut := append([]byte(nil), valid...)
-	mut[prefix+4] = 2
-	if _, err := DecodeWire(WireStateDelta, mut); err == nil || !strings.Contains(err.Error(), "seed byte") {
-		t.Errorf("non-canonical seed byte accepted (err: %v)", err)
+	mut[prefix+4] = byte(DeltaSpillMark) + 1
+	if _, err := DecodeWire(WireStateDelta, mut); err == nil || !strings.Contains(err.Error(), "kind byte") {
+		t.Errorf("out-of-range kind byte accepted (err: %v)", err)
 	}
 
 	// A count field promising more entries than the body can hold must be

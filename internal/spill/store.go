@@ -34,6 +34,10 @@ type Store interface {
 	SegmentCount() int
 	// Bytes reports the total encoded size of all stored segments.
 	Bytes() int64
+	// BytesOf reports the encoded size of one group's segments — the
+	// replication plane charges it as lag until the segments have been
+	// shipped to the group's follower.
+	BytesOf(id partition.ID) int64
 	// Close releases resources. Read-after-Close is undefined.
 	Close() error
 }
@@ -129,6 +133,17 @@ func (s *MemStore) Bytes() int64 {
 	return s.bytes
 }
 
+// BytesOf implements Store.
+func (s *MemStore) BytesOf(id partition.ID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var n int64
+	for _, seg := range s.segs[id] {
+		n += seg.size
+	}
+	return n
+}
+
 // Close implements Store.
 func (s *MemStore) Close() error { return nil }
 
@@ -139,6 +154,7 @@ type FileStore struct {
 
 	mu    sync.Mutex
 	gens  map[partition.ID][]uint32
+	sizes map[partition.ID]int64
 	count int
 	bytes int64
 }
@@ -149,7 +165,7 @@ func NewFileStore(dir string) (*FileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("spill: create store dir: %w", err)
 	}
-	s := &FileStore{dir: dir, gens: make(map[partition.ID][]uint32)}
+	s := &FileStore{dir: dir, gens: make(map[partition.ID][]uint32), sizes: make(map[partition.ID]int64)}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("spill: scan store dir: %w", err)
@@ -165,6 +181,7 @@ func NewFileStore(dir string) (*FileStore, error) {
 			return nil, fmt.Errorf("spill: stat segment: %w", err)
 		}
 		s.gens[id] = append(s.gens[id], gen)
+		s.sizes[id] += info.Size()
 		s.count++
 		s.bytes += info.Size()
 	}
@@ -198,6 +215,7 @@ func (s *FileStore) Write(snap *join.GroupSnapshot) error {
 	s.gens[snap.ID] = append(s.gens[snap.ID], snap.Gen)
 	g := s.gens[snap.ID]
 	sort.Slice(g, func(i, j int) bool { return g[i] < g[j] })
+	s.sizes[snap.ID] += int64(len(buf))
 	s.count++
 	s.bytes += int64(len(buf))
 	return nil
@@ -232,6 +250,7 @@ func (s *FileStore) Remove(id partition.ID) ([]*join.GroupSnapshot, error) {
 	s.mu.Lock()
 	gens := s.gens[id]
 	delete(s.gens, id)
+	delete(s.sizes, id)
 	s.count -= len(gens)
 	s.mu.Unlock()
 	for _, snap := range out {
@@ -273,6 +292,13 @@ func (s *FileStore) Bytes() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.bytes
+}
+
+// BytesOf implements Store.
+func (s *FileStore) BytesOf(id partition.ID) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sizes[id]
 }
 
 // Close implements Store. Segments remain on disk for a later reopen.

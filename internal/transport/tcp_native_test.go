@@ -138,8 +138,8 @@ func TestTCPNativeNegotiationRoundTrip(t *testing.T) {
 		From: "a",
 		Seq:  5,
 		Entries: []proto.DeltaEntry{
-			{Group: 1, Seed: true, Payload: []byte("seed-img")},
-			{Group: 2, Seed: false, Payload: []byte("append")},
+			{Group: 1, Kind: proto.DeltaSeed, Payload: []byte("seed-img")},
+			{Group: 2, Kind: proto.DeltaAppend, Payload: []byte("append")},
 		},
 		Trace: obs.TraceContext{TraceID: 1, SpanID: 2, Node: "a"},
 	}
@@ -172,8 +172,8 @@ func TestTCPNativeNegotiationRoundTrip(t *testing.T) {
 	}
 	gd, ok := sink.others[1].(proto.StateDelta)
 	if !ok || gd.From != "a" || gd.Seq != 5 || len(gd.Entries) != 2 ||
-		!gd.Entries[0].Seed || string(gd.Entries[0].Payload) != "seed-img" ||
-		gd.Entries[1].Seed || string(gd.Entries[1].Payload) != "append" || gd.Trace != delta.Trace {
+		gd.Entries[0].Kind != proto.DeltaSeed || string(gd.Entries[0].Payload) != "seed-img" ||
+		gd.Entries[1].Kind != proto.DeltaAppend || string(gd.Entries[1].Payload) != "append" || gd.Trace != delta.Trace {
 		t.Fatalf("StateDelta mangled: %+v", sink.others[1])
 	}
 	gr, ok := sink.others[2].(proto.ResultData)
